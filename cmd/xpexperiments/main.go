@@ -1,0 +1,351 @@
+// Command xpexperiments regenerates every experiment in the reproduction's
+// per-experiment index (DESIGN.md §3): the three lower-bound families of
+// Sections 4 and 7 (machine-verified), the Theorem 8.8 space scalings of
+// the streaming filter, the automata-paradigm blowup comparison, and the
+// filter-vs-naive memory comparison. Output is a sequence of labeled
+// tables; EXPERIMENTS.md records a captured run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"streamxpath"
+	"streamxpath/internal/automaton"
+	"streamxpath/internal/core"
+	"streamxpath/internal/naive"
+	"streamxpath/internal/query"
+	"streamxpath/internal/sax"
+	"streamxpath/internal/streameval"
+	"streamxpath/internal/workload"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment id (e.g. E9); default all")
+	flag.Parse()
+	experiments := []struct {
+		id   string
+		name string
+		run  func()
+	}{
+		{"E3", "Theorem 4.2: frontier fooling set, Q = /a[c[.//e and f] and b > 5]", e3},
+		{"E4", "Theorem 4.5: recursion/DISJ reduction, Q = //a[b and c]", e4},
+		{"E5", "Theorem 4.6: depth fooling family, Q = /a/b", e5},
+		{"E9", "Theorem 7.1: general frontier bound across queries", e9},
+		{"E10", "Theorem 7.4: general recursion bound, Q = //d[f and a[b and c]]", e10},
+		{"E11", "Theorem 7.14: general depth bound across queries", e11},
+		{"E14", "Theorem 8.8: filter space vs recursion depth r", e14},
+		{"E15", "Theorem 8.8: filter space vs frontier size FS(Q)", e15},
+		{"E16", "Theorem 8.8: filter space vs document depth d", e16},
+		{"E17", "Filter throughput vs |D|", e17},
+		{"E18", "Section 1.2: DFA state blowup vs filter frontier", e18},
+		{"E19", "Lemma 3.7: k-cut protocol accounting", e19},
+		{"E20", "Filter vs naive buffering on the news corpus", e20},
+		{"E21", "Full evaluation buffering vs evidence delay (follow-up work [5])", e21},
+	}
+	for _, e := range experiments {
+		if *only != "" && e.id != *only {
+			continue
+		}
+		fmt.Printf("== %s: %s\n", e.id, e.name)
+		e.run()
+		fmt.Println()
+	}
+}
+
+func tw() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xpexperiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func e3() {
+	rep, err := streamxpath.MustCompile("/a[c[.//e and f] and b > 5]").VerifyFrontierLowerBound(0)
+	check(err)
+	fmt.Println(" ", rep)
+	fmt.Println("  fooling conditions machine-verified for all 2^3 subsets and all crossover pairs")
+}
+
+func e4() {
+	q := streamxpath.MustCompile("//a[b and c]")
+	w := tw()
+	fmt.Fprintln(w, "  r\tfamily 2^r\tproven bits\tfilter states\tfilter state bits")
+	for _, r := range []int{2, 3, 4, 6, 8} {
+		max := 0
+		if r > 4 {
+			max = 256 // sample the 4^r input pairs
+		}
+		rep, err := q.VerifyRecursionLowerBound(r, max)
+		check(err)
+		fmt.Fprintf(w, "  %d\t%d\t%d\t%d\t%d\n", r, rep.FamilySize, rep.LowerBoundBits, rep.DistinctStates, rep.MaxMessageBits)
+	}
+	w.Flush()
+}
+
+func e5() {
+	q := streamxpath.MustCompile("/a/b")
+	w := tw()
+	fmt.Fprintln(w, "  d\tfamily t\tproven bits\tfilter states\tfilter state bits")
+	for _, d := range []int{8, 16, 32, 64, 128} {
+		max := 0
+		if d > 32 {
+			max = 12
+		}
+		rep, err := q.VerifyDepthLowerBound(d, max)
+		check(err)
+		fmt.Fprintf(w, "  %d\t%d\t%d\t%d\t%d\n", d, rep.FamilySize, rep.LowerBoundBits, rep.DistinctStates, rep.MaxMessageBits)
+	}
+	w.Flush()
+}
+
+func e9() {
+	queries := []string{
+		"/a[b and c]",
+		"/a[b and c and e]",
+		"/a[b[x and y] and c]",
+		"//d[f and a[b and c]]",
+		"/a[*/b > 5 and c/b//d > 12 and .//d < 30]",
+		"/a[b > 5 and c < 3 and e and f]",
+	}
+	w := tw()
+	fmt.Fprintln(w, "  query\tFS(Q)\tfamily\tproven bits\tfilter states\tfilter state bits")
+	for _, src := range queries {
+		rep, err := streamxpath.MustCompile(src).VerifyFrontierLowerBound(0)
+		check(err)
+		fmt.Fprintf(w, "  %s\t%d\t%d\t%d\t%d\t%d\n", src, rep.Parameter, rep.FamilySize, rep.LowerBoundBits, rep.DistinctStates, rep.MaxMessageBits)
+	}
+	w.Flush()
+}
+
+func e10() {
+	rep, err := streamxpath.MustCompile("//d[f and a[b and c]]").VerifyRecursionLowerBound(3, 0)
+	check(err)
+	fmt.Println(" ", rep)
+	fmt.Println("  all 4^3 DISJ inputs verified against the reference evaluator (Lemmas 7.5/7.6)")
+}
+
+func e11() {
+	queries := []string{"/a/b", "/x/a[b and c]", "//x[a/b]", "/a[c[.//e and f] and b > 5]"}
+	w := tw()
+	fmt.Fprintln(w, "  query\td budget\tfamily t\tfilter states\tfilter state bits")
+	for _, src := range queries {
+		rep, err := streamxpath.MustCompile(src).VerifyDepthLowerBound(24, 8)
+		check(err)
+		fmt.Fprintf(w, "  %s\t24\t%d\t%d\t%d\n", src, rep.FamilySize, rep.DistinctStates, rep.MaxMessageBits)
+	}
+	w.Flush()
+}
+
+func e14() {
+	q := query.MustParse("//a[b and c]")
+	w := tw()
+	fmt.Fprintln(w, "  r\tpeak tuples\tpeak frontier\test bits\tbits/r")
+	for _, r := range []int{1, 2, 4, 8, 16, 32, 64} {
+		f := core.MustCompile(q)
+		doc := workload.FullyRecursive(r)
+		_, err := f.ProcessAll(doc.Events())
+		check(err)
+		s := f.Stats()
+		bits := s.EstimatedBits(q.Size())
+		fmt.Fprintf(w, "  %d\t%d\t%d\t%d\t%.1f\n", r, s.PeakTuples, s.PeakFrontier, bits, float64(bits)/float64(r))
+	}
+	w.Flush()
+	fmt.Println("  expected shape: tuples and bits grow linearly in r (Theorem 8.8 upper bound, Theorem 7.4 lower bound)")
+}
+
+func e15() {
+	w := tw()
+	fmt.Fprintln(w, "  FS(Q)\tpeak tuples\tpeak frontier\test bits\tbits/FS")
+	for _, fs := range []int{1, 2, 4, 8, 16, 32} {
+		q := workload.FrontierQuery(fs)
+		f := core.MustCompile(q)
+		_, err := f.ProcessAll(workload.FrontierDoc(fs).Events())
+		check(err)
+		s := f.Stats()
+		bits := s.EstimatedBits(q.Size())
+		fmt.Fprintf(w, "  %d\t%d\t%d\t%d\t%.1f\n", fs, s.PeakTuples, s.PeakFrontier, bits, float64(bits)/float64(fs))
+	}
+	w.Flush()
+	fmt.Println("  expected shape: frontier tracks FS(Q) (Theorem 8.8 pc-free/closure-free regime, Theorem 7.1 lower bound)")
+}
+
+func e16() {
+	q := query.MustParse("/a//b")
+	w := tw()
+	fmt.Fprintln(w, "  d\tpeak tuples\test bits\tsnapshot bits mid-depth")
+	for _, d := range []int{4, 16, 64, 256, 1024} {
+		f := core.MustCompile(q)
+		doc := workload.Deep(d)
+		events := doc.Events()
+		// Snapshot at the deepest point: right after the last open.
+		half := len(events) / 2
+		for _, e := range events[:half] {
+			check(f.Process(e))
+		}
+		snapBits := len(f.Snapshot()) * 8
+		for _, e := range events[half:] {
+			check(f.Process(e))
+		}
+		s := f.Stats()
+		fmt.Fprintf(w, "  %d\t%d\t%d\t%d\n", d, s.PeakTuples, s.EstimatedBits(q.Size()), snapBits)
+	}
+	w.Flush()
+	fmt.Println("  expected shape: bits grow logarithmically in d (the level counter), not linearly")
+}
+
+func e17() {
+	q := query.MustParse(`//item[keyword = "go" and priority > 5]`)
+	rng := rand.New(rand.NewSource(17))
+	w := tw()
+	fmt.Fprintln(w, "  items\tevents\tns/event")
+	for _, n := range []int{10, 100, 1000, 10000} {
+		doc := workload.RandomNewsFeed(rng, n)
+		events := doc.Events()
+		f := core.MustCompile(q)
+		start := time.Now()
+		_, err := f.ProcessAll(events)
+		check(err)
+		el := time.Since(start)
+		fmt.Fprintf(w, "  %d\t%d\t%.1f\n", n, len(events), float64(el.Nanoseconds())/float64(len(events)))
+	}
+	w.Flush()
+	fmt.Println("  expected shape: constant ns/event (linear time in |D|)")
+}
+
+func e18() {
+	w := tw()
+	fmt.Fprintln(w, "  k (wildcards)\teager DFA states\tfilter peak tuples\tfilter est bits")
+	rng := rand.New(rand.NewSource(18))
+	for _, k := range []int{2, 4, 6, 8, 10, 12} {
+		q := workload.StarChainQuery(k)
+		nfa, err := automaton.FromQuery(q)
+		check(err)
+		states, complete := automaton.EagerStateCount(nfa, 1_000_000)
+		suffix := ""
+		if !complete {
+			suffix = "+"
+		}
+		f := core.MustCompile(q)
+		doc := workload.RandomTree(rng, []string{"a", "b", "x", "y"}, nil, k+4, 3)
+		_, err = f.ProcessAll(doc.Events())
+		check(err)
+		s := f.Stats()
+		fmt.Fprintf(w, "  %d\t%d%s\t%d\t%d\n", k, states, suffix, s.PeakTuples, s.EstimatedBits(q.Size()))
+	}
+	w.Flush()
+	fmt.Println("  expected shape: eager DFA states grow exponentially in k; the filter stays polynomial")
+}
+
+func e19() {
+	q := query.MustParse("/a[b and c]")
+	events := sax.MustParse("<a><x/><b>hello</b><y/><c>world</c></a>")
+	w := tw()
+	fmt.Fprintln(w, "  k segments\tmessages\ttotal bits\tmax message bits")
+	for k := 2; k <= 5; k++ {
+		var segs [][]sax.Event
+		per := (len(events) + k - 1) / k
+		for i := 0; i < len(events); i += per {
+			end := i + per
+			if end > len(events) {
+				end = len(events)
+			}
+			segs = append(segs, events[i:end])
+		}
+		run, err := runProtocol(q, segs)
+		check(err)
+		fmt.Fprintf(w, "  %d\t%d\t%d\t%d\n", len(segs), len(run.msgBits), run.total, run.max)
+	}
+	w.Flush()
+	fmt.Println("  accounting matches Lemma 3.7: (k-1) messages of <= S bits each")
+}
+
+type protoResult struct {
+	msgBits []int
+	total   int
+	max     int
+}
+
+func runProtocol(q *query.Query, segs [][]sax.Event) (*protoResult, error) {
+	f := core.MustCompile(q)
+	res := &protoResult{total: 1}
+	for i, seg := range segs {
+		for _, e := range seg {
+			if err := f.Process(e); err != nil {
+				return nil, err
+			}
+		}
+		if i == len(segs)-1 {
+			break
+		}
+		snap := f.Snapshot()
+		bits := len(snap) * 8
+		res.msgBits = append(res.msgBits, bits)
+		res.total += bits
+		if bits > res.max {
+			res.max = bits
+		}
+		g := core.MustCompile(q)
+		if err := g.Restore(snap); err != nil {
+			return nil, err
+		}
+		f = g
+	}
+	return res, nil
+}
+
+func e20() {
+	rng := rand.New(rand.NewSource(20))
+	q := query.MustParse(`//item[keyword = "go" and priority > 5]`)
+	w := tw()
+	fmt.Fprintln(w, "  items\tnaive buffered bytes\tfilter est bytes\tratio")
+	for _, n := range []int{10, 100, 1000} {
+		doc := workload.RandomNewsFeed(rng, n)
+		events := doc.Events()
+		nv := naive.New(q)
+		_, err := nv.ProcessAll(events)
+		check(err)
+		f := core.MustCompile(q)
+		_, err = f.ProcessAll(events)
+		check(err)
+		filterBytes := (f.Stats().EstimatedBits(q.Size()) + 7) / 8
+		fmt.Fprintf(w, "  %d\t%d\t%d\t%.0fx\n", n, nv.BufferedBytes(), filterBytes, float64(nv.BufferedBytes())/float64(filterBytes))
+	}
+	w.Flush()
+	fmt.Println("  expected shape: naive memory grows linearly with |D|; the filter stays flat")
+}
+
+func e21() {
+	q := query.MustParse("/a[c]/b")
+	e, err := streameval.Compile(q)
+	check(err)
+	w := tw()
+	fmt.Fprintln(w, "  values before evidence\tpeak pending\tpeak buffered bytes")
+	for _, n := range []int{1, 10, 100, 1000} {
+		var b strings.Builder
+		b.WriteString("<a>")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&b, "<b>v%d</b>", i)
+		}
+		b.WriteString("<c/></a>")
+		e.Reset()
+		events, err := sax.Parse(b.String())
+		check(err)
+		_, err = e.ProcessAll(events)
+		check(err)
+		s := e.Stats()
+		fmt.Fprintf(w, "  %d\t%d\t%d\n", n, s.PeakPendingCandidates, s.PeakBufferedBytes)
+	}
+	w.Flush()
+	fmt.Println("  expected shape: full evaluation buffers linearly in the evidence delay —")
+	fmt.Println("  the inherent buffering the follow-up work proves; filtering needs none of it")
+}

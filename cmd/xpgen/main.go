@@ -1,0 +1,55 @@
+// Command xpgen generates the synthetic XML workloads the benchmarks and
+// experiments sweep over, writing one document to stdout.
+//
+// Usage:
+//
+//	xpgen -kind deep -d 100          # depth-100 chain (Theorem 7.14 sweeps)
+//	xpgen -kind recursive -r 20      # 20 nested a[b,c] levels (Theorem 7.4)
+//	xpgen -kind wide -n 50           # 50 siblings (frontier pressure)
+//	xpgen -kind news -n 10           # news-feed corpus (dissemination)
+//	xpgen -kind random -seed 7       # random tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"streamxpath/internal/sax"
+	"streamxpath/internal/tree"
+	"streamxpath/internal/workload"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "news", "deep | recursive | wide | news | random")
+		d    = flag.Int("d", 10, "depth (deep)")
+		r    = flag.Int("r", 5, "recursion levels (recursive)")
+		n    = flag.Int("n", 10, "fanout / item count (wide, news)")
+		seed = flag.Int64("seed", 1, "random seed (random, news)")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+	var doc *tree.Node
+	switch *kind {
+	case "deep":
+		doc = workload.Deep(*d)
+	case "recursive":
+		doc = workload.FullyRecursive(*r)
+	case "wide":
+		doc = workload.Wide(*n)
+	case "news":
+		doc = workload.RandomNewsFeed(rng, *n)
+	case "random":
+		doc = workload.RandomTree(rng, []string{"a", "b", "c", "e", "f"}, []string{"3", "6", "hello"}, 6, 3)
+	default:
+		fmt.Fprintf(os.Stderr, "xpgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err := sax.Serialize(os.Stdout, doc.Events()); err != nil {
+		fmt.Fprintf(os.Stderr, "xpgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,279 @@
+// Conformance suite: a systematic table of (query, document, expectation)
+// cases covering every feature of the supported Forward XPath grammar,
+// evaluated through the public API's in-memory path and — when the query
+// is streamable — cross-checked against the streaming filter. Each case
+// exercises a distinct behavior; grouped by language feature.
+package streamxpath_test
+
+import (
+	"reflect"
+	"testing"
+
+	"streamxpath"
+)
+
+type confCase struct {
+	q, d string
+	want bool
+}
+
+func runConf(t *testing.T, group string, cases []confCase) {
+	t.Helper()
+	for _, c := range cases {
+		q, err := streamxpath.Compile(c.q)
+		if err != nil {
+			t.Errorf("%s: Compile(%s): %v", group, c.q, err)
+			continue
+		}
+		got, err := q.MatchDocument(c.d)
+		if err != nil {
+			t.Errorf("%s: MatchDocument(%s, %s): %v", group, c.q, c.d, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: Match(%s, %s) = %v, want %v", group, c.q, c.d, got, c.want)
+		}
+		// Cross-check with the streaming filter when supported.
+		if f, err := q.NewFilter(); err == nil {
+			sgot, err := f.MatchString(c.d)
+			if err != nil {
+				t.Errorf("%s: filter(%s, %s): %v", group, c.q, c.d, err)
+				continue
+			}
+			if sgot != got {
+				t.Errorf("%s: filter/evaluator disagree on (%s, %s): %v vs %v", group, c.q, c.d, sgot, got)
+			}
+		}
+	}
+}
+
+func TestConformanceAxes(t *testing.T) {
+	runConf(t, "axes", []confCase{
+		{"/a", "<a/>", true},
+		{"/a", "<A/>", false}, // names are case-sensitive
+		{"/a", "<a><a/></a>", true},
+		{"/b", "<a><b/></a>", false}, // absolute child is the top element
+		{"//a", "<a/>", true},
+		{"//a", "<x><y><a/></y></x>", true},
+		{"//a", "<x><y/></x>", false},
+		{"/a/b", "<a><b/></a>", true},
+		{"/a/b", "<a><x/><b/></a>", true},
+		{"/a/b", "<a><x><b/></x></a>", false},
+		{"/a//b", "<a><b/></a>", true}, // descendant includes children
+		{"/a//b", "<a><x><y><b/></y></x></a>", true},
+		{"/a//b", "<b><a/></b>", false},
+		{"//a/b", "<x><a><b/></a></x>", true},
+		{"//a//b", "<x><a><x><b/></x></a></x>", true},
+		{"//a//b//c", "<a><b><x><c/></x></b></a>", true},
+		{"//a//b//c", "<a><c><b/></c></a>", false},
+	})
+}
+
+func TestConformanceWildcards(t *testing.T) {
+	runConf(t, "wildcards", []confCase{
+		{"/*", "<whatever/>", true},
+		{"/a/*/c", "<a><b><c/></b></a>", true},
+		{"/a/*/c", "<a><c/></a>", false}, // * consumes exactly one level
+		{"/a/*/*/c", "<a><x><y><c/></y></x></a>", true},
+		{"/a/*/*/c", "<a><x><c/></x></a>", false},
+		{"/*/*", "<a><b/></a>", true},
+		{"/*/*", "<a>text only</a>", false}, // text nodes are not elements
+	})
+}
+
+func TestConformancePredicateExistence(t *testing.T) {
+	runConf(t, "existence", []confCase{
+		{"/a[b]", "<a><b/></a>", true},
+		{"/a[b]", "<a><c><b/></c></a>", false}, // predicate child axis is strict
+		{"/a[.//b]", "<a><c><b/></c></a>", true},
+		{"/a[b/c]", "<a><b><c/></b></a>", true},
+		{"/a[b/c]", "<a><b/><c/></a>", false},
+		{"/a[b//c]", "<a><b><x><c/></x></b></a>", true},
+		{"/a[b][c]", "<a><b/><c/></a>", true}, // consecutive predicates conjoin
+		{"/a[b][c]", "<a><b/></a>", false},
+	})
+}
+
+func TestConformanceLogic(t *testing.T) {
+	runConf(t, "logic", []confCase{
+		{"/a[b and c]", "<a><b/><c/></a>", true},
+		{"/a[b and c]", "<a><c/></a>", false},
+		{"/a[b or c]", "<a><c/></a>", true},
+		{"/a[b or c]", "<a><x/></a>", false},
+		{"/a[not(b)]", "<a><c/></a>", true},
+		{"/a[not(b)]", "<a><b/></a>", false},
+		{"/a[not(not(b))]", "<a><b/></a>", true},
+		{"/a[b and not(c)]", "<a><b/></a>", true},
+		{"/a[b and not(c)]", "<a><b/><c/></a>", false},
+		{"/a[b or not(c)]", "<a><x/></a>", true},
+		{"/a[(b or c) and e]", "<a><c/><e/></a>", true},
+		{"/a[(b or c) and e]", "<a><c/></a>", false},
+		{"/a[b and c and e and f]", "<a><f/><e/><c/><b/></a>", true},
+	})
+}
+
+func TestConformanceComparisons(t *testing.T) {
+	runConf(t, "comparisons", []confCase{
+		{"/a[b = 5]", "<a><b>5</b></a>", true},
+		{"/a[b = 5]", "<a><b>5.0</b></a>", true}, // numeric equality
+		{"/a[b = 5]", "<a><b> 5 </b></a>", true}, // whitespace trimmed by number()
+		{"/a[b = 5]", "<a><b>five</b></a>", false},
+		{"/a[b != 5]", "<a><b>6</b></a>", true},
+		{"/a[b != 5]", "<a><b>nan</b></a>", false}, // NaN poisons != too (documented deviation)
+		{"/a[b < 5]", "<a><b>4.9</b></a>", true},
+		{"/a[b <= 5]", "<a><b>5</b></a>", true},
+		{"/a[b > 5]", "<a><b>5</b></a>", false},
+		{"/a[b >= 5]", "<a><b>5</b></a>", true},
+		{"/a[5 < b]", "<a><b>6</b></a>", true}, // constant on the left
+		{`/a[b = "x"]`, "<a><b>x</b></a>", true},
+		{`/a[b = "x"]`, "<a><b>xx</b></a>", false},
+		{`/a[b != "x"]`, "<a><b>y</b></a>", true},
+		// Existential semantics over multiple nodes.
+		{"/a[b > 5]", "<a><b>1</b><b>2</b><b>9</b></a>", true},
+		{"/a[b > 5]", "<a><b>1</b><b>2</b></a>", false},
+		{"/a[b = c]", "<a><b>7</b><c>7</c></a>", true}, // two-variable (in-memory only)
+		{"/a[b = c]", "<a><b>7</b><c>8</c></a>", false},
+		{"/a[b < c]", "<a><b>1</b><b>9</b><c>5</c></a>", true}, // exists pair
+	})
+}
+
+func TestConformanceArithmetic(t *testing.T) {
+	runConf(t, "arithmetic", []confCase{
+		{"/a[b + 2 = 5]", "<a><b>3</b></a>", true},
+		{"/a[b + 2 = 5]", "<a><b>0</b><b>3</b></a>", true}, // paper's remark example
+		{"/a[b - 1 > 5]", "<a><b>7</b></a>", true},
+		{"/a[b * 2 = 10]", "<a><b>5</b></a>", true},
+		{"/a[b div 2 = 3]", "<a><b>6</b></a>", true},
+		{"/a[b idiv 2 = 3]", "<a><b>7</b></a>", true},
+		{"/a[b mod 3 = 1]", "<a><b>7</b></a>", true},
+		{"/a[-b = -4]", "<a><b>4</b></a>", true},
+		{"/a[b + c = 10]", "<a><b>4</b><c>6</c></a>", true}, // cartesian
+		{"/a[2 + 3 = b]", "<a><b>5</b></a>", true},
+	})
+}
+
+func TestConformanceFunctions(t *testing.T) {
+	runConf(t, "functions", []confCase{
+		{`/a[contains(b, "lo w")]`, "<a><b>hello world</b></a>", true},
+		{`/a[contains(b, "xyz")]`, "<a><b>hello</b></a>", false},
+		{`/a[starts-with(b, "he")]`, "<a><b>hello</b></a>", true},
+		{`/a[starts-with(b, "lo")]`, "<a><b>hello</b></a>", false},
+		{`/a[ends-with(b, "lo")]`, "<a><b>hello</b></a>", true},
+		{`/a[fn:ends-with(b, "he")]`, "<a><b>hello</b></a>", false},
+		{"/a[string-length(b) = 5]", "<a><b>hello</b></a>", true},
+		{"/a[string-length(b) > 3]", "<a><b>hi</b></a>", false},
+		{`/a[concat(b, "!") = "hi!"]`, "<a><b>hi</b></a>", true},
+		{`/a[substring(b, 2, 3) = "ell"]`, "<a><b>hello</b></a>", true},
+		{`/a[normalize-space(b) = "x y"]`, "<a><b>  x   y </b></a>", true},
+		{"/a[number(b) = 7]", "<a><b>7</b></a>", true},
+		{`/a[string(b) = "7"]`, "<a><b>7</b></a>", true},
+		{"/a[floor(b) = 2]", "<a><b>2.9</b></a>", true},
+		{"/a[ceiling(b) = 3]", "<a><b>2.1</b></a>", true},
+		{"/a[round(b) = 3]", "<a><b>2.5</b></a>", true},
+		// Existential semantics for boolean-output functions.
+		{`/a[contains(b, "AB")]`, "<a><b>no</b><b>xABy</b></a>", true},
+	})
+}
+
+func TestConformanceAttributes(t *testing.T) {
+	runConf(t, "attributes", []confCase{
+		{"/a/@id", `<a id="1"/>`, true},
+		{"/a/@id", `<a name="1"/>`, false},
+		{"/a/@id", `<a><b id="1"/></a>`, false},
+		{"/a/b/@id", `<a><b id="1"/></a>`, true},
+		{"/a[@id]", `<a id="1"/>`, true},
+		{"/a[@id = 7]", `<a id="7"/>`, true},
+		{"/a[@id > 5]/b", `<a id="9"><b/></a>`, true},
+		{`/a[@lang = "en"]`, `<a lang="en"/>`, true},
+		{`/a[@lang = "en"]`, `<a lang="de"/>`, false},
+		// Attributes and elements are distinct namespaces.
+		{"/a/id", `<a id="1"/>`, false},
+		{"/a/@b", `<a><b/></a>`, false},
+	})
+}
+
+func TestConformanceStrVal(t *testing.T) {
+	runConf(t, "strval", []confCase{
+		// STRVAL concatenates text descendants in document order.
+		{`/a[b = "xyz"]`, "<a><b>x<c>y</c>z</b></a>", true},
+		{`/a[b = "xz"]`, "<a><b>x<c>y</c>z</b></a>", false},
+		{"/a[b = 12]", "<a><b>1<c>2</c></b></a>", true},
+		// Empty content.
+		{`/a[b = ""]`, "<a><b/></a>", true},
+		{`/a[b = ""]`, "<a><b>x</b></a>", false},
+		// Entities decode before comparison.
+		{`/a[b = "a&b"]`, "<a><b>a&amp;b</b></a>", true},
+		{`/a[b = "<"]`, "<a><b>&lt;</b></a>", true},
+	})
+}
+
+func TestConformanceDocumentShapes(t *testing.T) {
+	runConf(t, "shapes", []confCase{
+		// Recursion.
+		{"//a[b and c]", "<a><a><b/><c/></a></a>", true},
+		{"//a[b and c]", "<a><b/><a><c/></a></a>", false},
+		{"//a[.//a]", "<a><x><a/></x></a>", true},
+		{"//a[.//a]", "<a/>", false},
+		// Mixed content and comments/PIs are skipped by the tokenizer.
+		{"/a/b", "<a>text<b/><!-- comment -->more</a>", true},
+		{"/a/b", "<a><?pi data?><b/></a>", true},
+		// CDATA is text.
+		{`/a[b = "<raw>"]`, "<a><b><![CDATA[<raw>]]></b></a>", true},
+		// Deep nesting.
+		{"//z", "<a><b><c><d><e><f><g><h><z/></h></g></f></e></d></c></b></a>", true},
+	})
+}
+
+// TestConformanceEvaluate checks full-evaluation results (values and
+// order) through both evaluation paths.
+func TestConformanceEvaluate(t *testing.T) {
+	cases := []struct {
+		q, d string
+		want []string
+	}{
+		{"/a/b", "<a><b>1</b><b>2</b><b>3</b></a>", []string{"1", "2", "3"}},
+		{"//b", "<a><b>1</b><x><b>2</b></x><b>3</b></a>", []string{"1", "2", "3"}},
+		{"/a[c]/b", "<a><b>1</b><c/><b>2</b></a>", []string{"1", "2"}},
+		{"/a[x]/b", "<a><b>1</b></a>", nil},
+		{"/a/b[c]", "<a><b>1<c/></b><b>2</b></a>", []string{"1"}},
+		{"/a/b/@id", `<a><b id="i1"/><b id="i2"/></a>`, []string{"i1", "i2"}},
+		{"//a/c", "<a><a><c>inner</c></a><c>outer</c></a>", []string{"inner", "outer"}},
+	}
+	for _, c := range cases {
+		q := streamxpath.MustCompile(c.q)
+		got, err := q.Evaluate(c.d)
+		if err != nil {
+			t.Fatalf("Evaluate(%s, %s): %v", c.q, c.d, err)
+		}
+		if !reflect.DeepEqual(got, c.want) && !(len(got) == 0 && len(c.want) == 0) {
+			t.Errorf("Evaluate(%s, %s) = %v, want %v", c.q, c.d, got, c.want)
+		}
+		se, err := q.NewStreamEvaluator()
+		if err != nil {
+			continue // outside streamable fragment
+		}
+		sgot, err := se.EvaluateString(c.d)
+		if err != nil {
+			t.Fatalf("stream Evaluate(%s, %s): %v", c.q, c.d, err)
+		}
+		if !reflect.DeepEqual(sgot, got) && !(len(sgot) == 0 && len(got) == 0) {
+			t.Errorf("stream/in-memory disagree on (%s, %s): %v vs %v", c.q, c.d, sgot, got)
+		}
+	}
+}
+
+// TestConformancePaperSemantics pins the paper-specific semantic choices.
+func TestConformancePaperSemantics(t *testing.T) {
+	runConf(t, "paper-semantics", []confCase{
+		// Definition 3.5 part 5: arithmetic yields a sequence; EBV of a
+		// non-empty sequence is true, so [2 - 2] holds.
+		{"/a[2 - 2]", "<a/>", true},
+		// But a comparison with an empty operand sequence is false.
+		{"/a[b + 1 = 1]", "<a/>", false},
+		// EBV of a constant zero (part 1: atomic) is false.
+		{"/a[0]", "<a/>", false},
+		{"/a[1]", "<a/>", true},
+		{`/a[""]`, "<a/>", false},
+		{`/a["x"]`, "<a/>", true},
+	})
+}

@@ -1,0 +1,39 @@
+// Tracer: reproduces the example run of the paper's Section 8.4 (Fig. 22):
+// the streaming filter processes /a[c[.//e and f] and b] over
+// <a><c><d/><e/><f/></c><c/><b/></a>, printing the frontier table after
+// every SAX event in the figure's (level, ntest, matched) format.
+package main
+
+import (
+	"fmt"
+
+	"streamxpath/internal/core"
+	"streamxpath/internal/query"
+	"streamxpath/internal/sax"
+)
+
+func main() {
+	q := query.MustParse("/a[c[.//e and f] and b]")
+	doc := "<a><c><d/><e/><f/></c><c/><b/></a>"
+	fmt.Printf("query:    %s\n", q)
+	fmt.Printf("document: %s\n\n", doc)
+	fmt.Printf("%-4s %-8s %s\n", "no.", "event", "frontier (level, ntest, matched)")
+
+	f := core.MustCompile(q)
+	i := 0
+	f.Trace = func(e sax.Event, f *core.Filter) {
+		fmt.Printf("%-4d %-8s %s\n", i, e.String(), f.FrontierString())
+		i++
+	}
+	matched, err := f.ProcessAll(sax.MustParse(doc))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nresult: match = %v (the root's matched flag, as in Fig. 22)\n", matched)
+	fmt.Printf("stats:  %s\n", f.Stats())
+
+	fmt.Println("\nThe two 'interesting events' of Section 8.4:")
+	fmt.Println(" - event 4 (<d>): d matches nothing in the frontier; only the level moves.")
+	fmt.Println(" - event 11 (second <c>): c is already matched, so the new c element is")
+	fmt.Println("   ignored instead of opening another candidate scope.")
+}

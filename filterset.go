@@ -1,0 +1,103 @@
+package streamxpath
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"streamxpath/internal/core"
+	"streamxpath/internal/sax"
+)
+
+// FilterSet matches one document stream against many standing queries in a
+// single pass — the selective-dissemination workload of the paper's
+// introduction (ref [1]). The document is tokenized once; each event is
+// fanned out to the subscriptions' filters. A filter whose match has
+// become definitive (conjunctive matching is monotone, so a provisional
+// match is final) stops receiving events, which makes broad subscriptions
+// cheap on large documents.
+//
+// A FilterSet is not safe for concurrent use; create one per goroutine
+// (compiled queries are shared safely by recompiling per set).
+type FilterSet struct {
+	ids     []string
+	filters []*core.Filter
+}
+
+// NewFilterSet returns an empty set.
+func NewFilterSet() *FilterSet { return &FilterSet{} }
+
+// Add compiles a subscription under the given id. Ids must be unique.
+func (s *FilterSet) Add(id, querySrc string) error {
+	for _, existing := range s.ids {
+		if existing == id {
+			return fmt.Errorf("streamxpath: duplicate subscription id %q", id)
+		}
+	}
+	q, err := Compile(querySrc)
+	if err != nil {
+		return err
+	}
+	f, err := core.Compile(q.q)
+	if err != nil {
+		return fmt.Errorf("streamxpath: subscription %q: %w", id, err)
+	}
+	s.ids = append(s.ids, id)
+	s.filters = append(s.filters, f)
+	return nil
+}
+
+// Len returns the number of subscriptions.
+func (s *FilterSet) Len() int { return len(s.ids) }
+
+// MatchReader streams one document past every subscription and returns the
+// ids that match, in insertion order.
+func (s *FilterSet) MatchReader(r io.Reader) ([]string, error) {
+	for _, f := range s.filters {
+		f.Reset()
+	}
+	// done[i] marks filters with a definitive positive answer; they stop
+	// receiving events (monotone early exit). Negative answers are only
+	// definitive at endDocument.
+	done := make([]bool, len(s.filters))
+	tok := sax.NewTokenizer(r)
+	sawEnd := false
+	for {
+		e, err := tok.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if e.Kind == sax.EndDocument {
+			sawEnd = true
+		}
+		for i, f := range s.filters {
+			if done[i] && e.Kind != sax.EndDocument {
+				continue
+			}
+			if err := f.Process(e); err != nil {
+				return nil, fmt.Errorf("streamxpath: subscription %q: %w", s.ids[i], err)
+			}
+			if !done[i] && f.WouldMatchIfClosedNow() {
+				done[i] = true
+			}
+		}
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("streamxpath: document ended prematurely")
+	}
+	var out []string
+	for i, f := range s.filters {
+		if f.Matched() {
+			out = append(out, s.ids[i])
+		}
+	}
+	return out, nil
+}
+
+// MatchString is MatchReader over a string.
+func (s *FilterSet) MatchString(xml string) ([]string, error) {
+	return s.MatchReader(strings.NewReader(xml))
+}

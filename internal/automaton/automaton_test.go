@@ -1,0 +1,161 @@
+package automaton
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamxpath/internal/query"
+	"streamxpath/internal/sax"
+	"streamxpath/internal/semantics"
+	"streamxpath/internal/tree"
+	"streamxpath/internal/workload"
+)
+
+func lazyMatch(t *testing.T, qs, xml string) bool {
+	t.Helper()
+	n, err := FromQuery(query.MustParse(qs))
+	if err != nil {
+		t.Fatalf("FromQuery(%s): %v", qs, err)
+	}
+	d := NewLazyDFA(n)
+	got, err := d.ProcessAll(tree.MustParse(xml).Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestLazyDFABasic(t *testing.T) {
+	cases := []struct {
+		q, d string
+		want bool
+	}{
+		{"/a", "<a/>", true},
+		{"/a", "<b/>", false},
+		{"/a/b", "<a><b/></a>", true},
+		{"/a/b", "<a><c><b/></c></a>", false},
+		{"/a//b", "<a><c><b/></c></a>", true},
+		{"//b", "<a><c><b/></c></a>", true},
+		{"//b", "<a><c/></a>", false},
+		{"/a/*/b", "<a><x><b/></x></a>", true},
+		{"/a/*/b", "<a><b/></a>", false},
+		{"//a//b", "<x><a><y><b/></y></a></x>", true},
+		{"//a//b", "<x><b/><a/></x>", false},
+	}
+	for _, c := range cases {
+		if got := lazyMatch(t, c.q, c.d); got != c.want {
+			t.Errorf("LazyDFA(%s, %s) = %v, want %v", c.q, c.d, got, c.want)
+		}
+	}
+}
+
+func TestFromQueryRejects(t *testing.T) {
+	for _, src := range []string{"/a[b]", "/a/@id"} {
+		if _, err := FromQuery(query.MustParse(src)); err == nil {
+			t.Errorf("FromQuery(%s): want error", src)
+		}
+	}
+}
+
+// TestLazyDFAAgainstOracle fuzzes the DFA against the reference evaluator
+// on random documents.
+func TestLazyDFAAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	queries := []string{"/a/b", "//b", "/a//b", "/a/*/b", "//a/*//b", "//a//b//c"}
+	names := []string{"a", "b", "c", "x"}
+	for iter := 0; iter < 200; iter++ {
+		d := workload.RandomTree(rng, names, nil, 5, 3)
+		for _, qs := range queries {
+			q := query.MustParse(qs)
+			n, err := FromQuery(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dfa := NewLazyDFA(n)
+			got, err := dfa.ProcessAll(d.Events())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := semantics.BoolEval(q, d); got != want {
+				t.Fatalf("iter %d: %s on %s: dfa=%v oracle=%v", iter, qs, d, got, want)
+			}
+		}
+	}
+}
+
+// TestEagerBlowup: the eager DFA state count grows exponentially in the
+// number of wildcards of //a/*^k/b — the Section 1.2 blowup — while the
+// NFA (and the paper's algorithm) stay linear.
+func TestEagerBlowup(t *testing.T) {
+	prev := 0
+	for k := 1; k <= 8; k++ {
+		n, err := FromQuery(workload.StarChainQuery(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, complete := EagerStateCount(n, 100000)
+		if !complete {
+			t.Fatalf("k=%d: hit the state limit", k)
+		}
+		if count <= prev {
+			t.Errorf("k=%d: state count %d did not grow (prev %d)", k, count, prev)
+		}
+		prev = count
+	}
+	// Exponential growth: k=8 must exceed 2^8 states.
+	if prev < 1<<8 {
+		t.Errorf("k=8 state count = %d, want >= 256 (exponential blowup)", prev)
+	}
+}
+
+func TestEagerStateCountLimit(t *testing.T) {
+	n, err := FromQuery(workload.StarChainQuery(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, complete := EagerStateCount(n, 50); complete {
+		t.Error("limit 50 should truncate the construction")
+	}
+}
+
+func TestLazyDFAStats(t *testing.T) {
+	n, err := FromQuery(query.MustParse("//a/b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewLazyDFA(n)
+	doc := tree.MustParse("<a><b/><c><a><b/></a></c></a>")
+	if _, err := d.ProcessAll(doc.Events()); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.States == 0 || s.Transitions == 0 || s.Symbols != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.PeakStack != 5 { // $ + a + c + a + b
+		t.Errorf("peak stack = %d, want 5", s.PeakStack)
+	}
+	if s.EstimatedBits(n.Accepting()) <= 0 {
+		t.Error("EstimatedBits must be positive")
+	}
+	// Reset keeps the table (a long-running filter reuses it).
+	d.Reset()
+	if d.Stats().Transitions == 0 {
+		t.Error("Reset must keep the memoized table")
+	}
+}
+
+func TestLazyDFAErrors(t *testing.T) {
+	n, _ := FromQuery(query.MustParse("/a"))
+	d := NewLazyDFA(n)
+	if err := d.Process(sax.Start("a")); err == nil {
+		t.Error("startElement before startDocument: want error")
+	}
+	d.Reset()
+	if err := d.Process(sax.StartDoc()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Process(sax.End("a")); err == nil {
+		t.Error("unmatched endElement: want error")
+	}
+}

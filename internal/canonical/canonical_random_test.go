@@ -1,0 +1,72 @@
+package canonical
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamxpath/internal/fragment"
+	"streamxpath/internal/semantics"
+	"streamxpath/internal/tree"
+	"streamxpath/internal/workload"
+)
+
+// TestCanonicalRandomQueries runs the full canonical-document pipeline on
+// generated redundancy-free queries: construction succeeds, the canonical
+// matching verifies (Lemma 6.11), it is unique (Lemma 6.15), no shadow's
+// descendant matches its query node (Proposition 6.16), and the document
+// matches under the reference semantics.
+func TestCanonicalRandomQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	verified := 0
+	for iter := 0; iter < 60 && verified < 25; iter++ {
+		q := workload.RandomRedundancyFreeQuery(rng, 2+rng.Intn(6))
+		if !fragment.IsRedundancyFree(q) {
+			t.Fatalf("generator produced non-RF query %s", q)
+		}
+		c, err := Build(q)
+		if err != nil {
+			t.Errorf("%s: Build: %v", q, err)
+			continue
+		}
+		verified++
+		if err := c.VerifyCanonicalMatching(); err != nil {
+			t.Errorf("%s: Lemma 6.11: %v", q, err)
+		}
+		if err := c.VerifyUnique(); err != nil {
+			t.Errorf("%s: Lemma 6.15: %v", q, err)
+		}
+		for _, u := range q.Nodes() {
+			if u.IsRoot() {
+				continue
+			}
+			if err := c.NoDescendantMatch(u); err != nil {
+				t.Errorf("%s: %v", q, err)
+			}
+		}
+		if !semantics.BoolEval(q, c.Doc) {
+			t.Errorf("%s: canonical document does not match under reference semantics", q)
+		}
+	}
+	if verified < 20 {
+		t.Errorf("only %d random queries verified", verified)
+	}
+}
+
+// TestCanonicalFrontierEqualsQueryFrontier: FS(Dc) = FS(Q) for generated
+// queries — the fact Theorem 7.1's proof leans on ("these paths do not
+// have any effect on the frontier size").
+func TestCanonicalFrontierEqualsQueryFrontier(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	for iter := 0; iter < 30; iter++ {
+		q := workload.RandomRedundancyFreeQuery(rng, 2+rng.Intn(6))
+		c, err := Build(q)
+		if err != nil {
+			continue
+		}
+		qFS := fragment.FrontierSize(q)
+		dFS := tree.FrontierSize(c.Doc)
+		if qFS != dFS {
+			t.Errorf("%s: FS(Q) = %d but FS(Dc) = %d", q, qFS, dFS)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package canonical
+
+import (
+	"strings"
+	"testing"
+
+	"streamxpath/internal/fragment"
+	"streamxpath/internal/match"
+	"streamxpath/internal/query"
+	"streamxpath/internal/semantics"
+	"streamxpath/internal/tree"
+)
+
+// TestFig9CanonicalDocument reproduces Figure 9: the canonical document for
+// /a[*/b > 5 and c/b//d > 12 and .//d < 30].
+func TestFig9CanonicalDocument(t *testing.T) {
+	q := query.MustParse("/a[*/b > 5 and c/b//d > 12 and .//d < 30]")
+	c, err := Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.AuxName != "Z" {
+		t.Errorf("aux name = %q, want Z", c.AuxName)
+	}
+	if c.H != 1 {
+		t.Errorf("h = %d, want 1 (longest wildcard chain)", c.H)
+	}
+	a := c.Doc.Children[0]
+	if a.Name != "a" || len(a.Children) != 3 {
+		t.Fatalf("a has %d children, want 3 (Z-shadow, c, Z-chain)", len(a.Children))
+	}
+	// First child: shadow of the wildcard, named Z, containing b with a
+	// numeric value > 5.
+	zShadow := a.Children[0]
+	if zShadow.Name != "Z" || c.Artificial[zShadow] {
+		t.Error("first child must be the (non-artificial) wildcard shadow Z")
+	}
+	b1 := zShadow.Children[0]
+	if b1.Name != "b" {
+		t.Fatal("wildcard shadow must contain b")
+	}
+	// Second child: c containing b (with a non-numeric leading text)
+	// containing a chain of h+1 = 2 artificial Zs then d.
+	cNode := a.Children[1]
+	if cNode.Name != "c" {
+		t.Fatal("second child must be c")
+	}
+	b2 := cNode.Children[0]
+	if b2.Name != "b" {
+		t.Fatal("c must contain b")
+	}
+	// b2 is internal and dominates the leaf b1, so it has a leading text
+	// child whose content is not a numeric prefix (like "hello").
+	lt, ok := tree.LeadingText(b2)
+	if !ok {
+		t.Fatal("b2 must carry a leading prefix-sunflower text")
+	}
+	gt5, _ := query.TruthSetOf(q.Root.Children[0].Children[0].Successor)
+	if gt5.ExtendsToMember(lt) {
+		t.Errorf("leading text %q extends into TRUTH(b1) = %s", lt, gt5)
+	}
+	z1 := b2.Children[1]
+	z2 := z1.Children[0]
+	if z1.Name != "Z" || z2.Name != "Z" || !c.Artificial[z1] || !c.Artificial[z2] {
+		t.Error("b2 must contain a 2-long artificial Z chain")
+	}
+	d1 := z2.Children[0]
+	if d1.Name != "d" {
+		t.Fatal("chain must end at d")
+	}
+	// d1's value is in (12,∞) but outside (-∞,30), i.e. >= 30.
+	aQ := q.Root.Children[0]
+	d1Q := aQ.Children[1].Successor.Successor
+	d2Q := aQ.Children[2]
+	set1, _ := query.TruthSetOf(d1Q)
+	set2, _ := query.TruthSetOf(d2Q)
+	if !set1.Contains(d1.StrVal()) || set2.Contains(d1.StrVal()) {
+		t.Errorf("d1 value %q must be in (12,∞) \\ (-∞,30)", d1.StrVal())
+	}
+	// Third child: artificial chain of 2 Zs ending at d2 whose value is
+	// in (-∞,30).
+	z3 := a.Children[2]
+	z4 := z3.Children[0]
+	d2 := z4.Children[0]
+	if !c.Artificial[z3] || !c.Artificial[z4] || d2.Name != "d" {
+		t.Fatal("third child must be the Z-chain to d2")
+	}
+	if !set2.Contains(d2.StrVal()) {
+		t.Errorf("d2 value %q must be in (-∞,30)", d2.StrVal())
+	}
+	// Shadows of a and c have no text (their dominated-leaf sets are
+	// empty), matching the printed Fig. 9 document.
+	if _, ok := tree.LeadingText(a); ok {
+		t.Error("a must have no leading text")
+	}
+	if _, ok := tree.LeadingText(cNode); ok {
+		t.Error("c must have no leading text")
+	}
+	// And the whole document matches the query.
+	if !semantics.BoolEval(q, c.Doc) {
+		t.Error("canonical document must match its query")
+	}
+}
+
+var rfQueries = []string{
+	"/a/b",
+	"//a[b and c]",
+	"/a[c[.//e and f] and b > 5]",
+	"/a[*/b > 5 and c/b//d > 12 and .//d < 30]",
+	"//d[f and a[b and c]]",
+	"/a[b > 5 and c < 3]",
+	"/a[contains(b, \"AB\") and c]",
+	"/news[keyword = \"go\" and .//body]",
+	"/a[b[c and d] and e]/f",
+}
+
+// TestCanonicalMatchingLemmas verifies Lemmas 6.11 and 6.15 on a corpus of
+// redundancy-free queries: the canonical matching exists and is unique.
+func TestCanonicalMatchingLemmas(t *testing.T) {
+	for _, src := range rfQueries {
+		q := query.MustParse(src)
+		if !fragment.IsRedundancyFree(q) {
+			t.Errorf("%s: corpus query should be redundancy-free: %v", src, fragment.Classify(q).Issues())
+			continue
+		}
+		c, err := Build(q)
+		if err != nil {
+			t.Errorf("%s: Build: %v", src, err)
+			continue
+		}
+		if err := c.VerifyCanonicalMatching(); err != nil {
+			t.Errorf("%s: Lemma 6.11: %v", src, err)
+		}
+		if err := c.VerifyUnique(); err != nil {
+			t.Errorf("%s: Lemma 6.15: %v", src, err)
+		}
+	}
+}
+
+// TestProposition616 verifies that no descendant of SHADOW(u) matches u.
+func TestProposition616(t *testing.T) {
+	for _, src := range rfQueries {
+		q := query.MustParse(src)
+		c, err := Build(q)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		for _, u := range q.Nodes() {
+			if u.IsRoot() {
+				continue
+			}
+			if err := c.NoDescendantMatch(u); err != nil {
+				t.Errorf("%s: %v", src, err)
+			}
+		}
+	}
+}
+
+// TestCanonicalMatchesSemantics: the canonical document must satisfy
+// BOOLEVAL for its query under the reference semantics too.
+func TestCanonicalMatchesSemantics(t *testing.T) {
+	for _, src := range rfQueries {
+		q := query.MustParse(src)
+		c, err := Build(q)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if !semantics.BoolEval(q, c.Doc) {
+			t.Errorf("%s: canonical document does not match under reference semantics:\n%s", src, c.Doc.Outline())
+		}
+	}
+}
+
+func TestLongestWildcardChain(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"/a/b", 0},
+		{"/a/*/b", 1},
+		{"/a/*/*/b", 2},
+		{"/a[*/x and */*/y]", 2},
+		{"/a[*/b > 5 and c/b//d > 12 and .//d < 30]", 1},
+	}
+	for _, c := range cases {
+		if got := LongestWildcardChain(query.MustParse(c.src)); got != c.want {
+			t.Errorf("h(%s) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestAuxiliaryName(t *testing.T) {
+	if got := AuxiliaryName(query.MustParse("/a/b")); got != "Z" {
+		t.Errorf("aux = %q, want Z", got)
+	}
+	if got := AuxiliaryName(query.MustParse("/Z/Z0")); got != "Z1" {
+		t.Errorf("aux = %q, want Z1", got)
+	}
+}
+
+func TestArtificialChainLength(t *testing.T) {
+	// h = 1 (one wildcard): descendant nodes get chains of h+1 = 2.
+	q := query.MustParse("/a[*/x and .//b]")
+	c, err := Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := q.Root.Children[0].Children[1]
+	head := c.ChainHead[b]
+	if head == nil || !c.Artificial[head] {
+		t.Fatal("descendant node must have a chain head")
+	}
+	// Chain: head -> one more artificial -> shadow(b).
+	if len(head.Children) != 1 || !c.Artificial[head.Children[0]] {
+		t.Fatal("chain must have 2 artificial nodes")
+	}
+	if head.Children[0].Children[0] != c.Shadow[b] {
+		t.Error("chain must end at SHADOW(b)")
+	}
+}
+
+func TestShadowInverse(t *testing.T) {
+	q := query.MustParse("//a[b and c]")
+	c, err := Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, sh := range c.Shadow {
+		if c.ShadowInv[sh] != u {
+			t.Errorf("ShadowInv broken at %s", u.NTest)
+		}
+	}
+	// Artificial nodes are not shadows.
+	for z := range c.Artificial {
+		if _, ok := c.ShadowInv[z]; ok {
+			t.Error("artificial node registered as shadow")
+		}
+	}
+}
+
+func TestBuildRejectsNonSunflower(t *testing.T) {
+	// /a[b and b]: each b's truth set S is inside the other's; no
+	// sunflower witness exists.
+	q := query.MustParse("/a[b and b]")
+	if _, err := Build(q); err == nil {
+		t.Error("Build must fail for non-strongly-subsumption-free queries")
+	}
+	// The paper's ends-with counterexample fails on the prefix side.
+	q2 := query.MustParse(`/a[b[c = "A"] and fn:ends-with(b, "B")]`)
+	if _, err := Build(q2); err == nil {
+		t.Error("Build must fail for the ends-with counterexample")
+	}
+}
+
+func TestStructuralBuildHasNoText(t *testing.T) {
+	q := query.MustParse("/a[c[.//e and f] and b > 5]")
+	c, err := BuildStructural(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Doc.Walk(func(n *tree.Node) bool {
+		if n.Kind == tree.KindText {
+			t.Error("structurally canonical document must have no text nodes")
+			return false
+		}
+		return true
+	})
+	// A structural matching exists and maps nodes to shadows.
+	phi, ok := match.FindDocQuery(q, c.Doc, match.Options{Kind: match.Structural})
+	if !ok {
+		t.Fatal("structural matching must exist")
+	}
+	for u, img := range phi {
+		if c.Shadow[u] != img {
+			t.Errorf("structural matching maps %s off its shadow", u.NTest)
+		}
+	}
+}
+
+func TestCanonicalEventsWellFormed(t *testing.T) {
+	for _, src := range rfQueries {
+		q := query.MustParse(src)
+		c, err := Build(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := c.Events()
+		d2, err := tree.FromEvents(ev)
+		if err != nil {
+			t.Fatalf("%s: events malformed: %v", src, err)
+		}
+		if !d2.Equal(c.Doc) {
+			t.Errorf("%s: event round trip mismatch", src)
+		}
+	}
+}
+
+// TestTheorem42CanonicalShape: the canonical document of the Section 4.1
+// query matches the document D used in the simplified proof (up to values
+// and artificial-chain padding).
+func TestTheorem42CanonicalShape(t *testing.T) {
+	q := query.MustParse("/a[c[.//e and f] and b > 5]")
+	c, err := Build(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := c.Doc.XML()
+	for _, frag := range []string{"<a>", "<c>", "<e", "<f", "<b>"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("canonical doc %q missing %q", s, frag)
+		}
+	}
+	// FS of the canonical document equals FS(Q) = 3 (artificial chains
+	// contribute no siblings).
+	if got := tree.FrontierSize(c.Doc); got != 3 {
+		t.Errorf("FS(Dc) = %d, want 3", got)
+	}
+}

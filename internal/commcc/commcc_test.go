@@ -1,0 +1,340 @@
+package commcc
+
+import (
+	"testing"
+
+	"streamxpath/internal/match"
+	"streamxpath/internal/query"
+	"streamxpath/internal/sax"
+	"streamxpath/internal/tree"
+)
+
+// TestTheorem42FoolingSet verifies the simplified frontier lower bound on
+// the paper's specific query: FS = 3, all 2^3 split documents match, and
+// every crossover pair has a non-matching member.
+func TestTheorem42FoolingSet(t *testing.T) {
+	q := query.MustParse("/a[c[.//e and f] and b > 5]")
+	fam, err := NewFrontierFamily(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.FS() != 3 {
+		t.Fatalf("FS = %d, want 3", fam.FS())
+	}
+	if fam.Size() != 8 {
+		t.Fatalf("family size = %d, want 2^3", fam.Size())
+	}
+	if err := fam.VerifyFoolingSet(0); err != nil {
+		t.Fatal(err)
+	}
+	// The lower bound: CC >= 3 bits, space >= (3-1)/(2-1) = 2 bits.
+	if lb := SpaceLowerBound(fam.FS(), 2); lb != 2 {
+		t.Errorf("space lower bound = %d, want 2", lb)
+	}
+}
+
+// TestTheorem42FilterStates: our filter must reach 2^FS distinct states on
+// the fooling prefixes — it really pays the lower bound.
+func TestTheorem42FilterStates(t *testing.T) {
+	q := query.MustParse("/a[c[.//e and f] and b > 5]")
+	fam, err := NewFrontierFamily(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := fam.DistinctStates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != fam.Size() {
+		t.Errorf("distinct states = %d, want %d", n, fam.Size())
+	}
+}
+
+// TestTheorem71General runs the general frontier fooling construction on a
+// corpus of redundancy-free queries of varying frontier size.
+func TestTheorem71General(t *testing.T) {
+	queries := []struct {
+		src string
+		fs  int
+	}{
+		{"/a[b and c]", 2},
+		{"/a[b and c and e]", 3},
+		{"/a[b[x and y] and c]", 3},
+		{"//d[f and a[b and c]]", 3},
+		{"/a[*/b > 5 and c/b//d > 12 and .//d < 30]", 3},
+		{"/a[b > 5 and c < 3 and e and f]", 4},
+	}
+	for _, c := range queries {
+		fam, err := NewFrontierFamily(query.MustParse(c.src))
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		if fam.FS() != c.fs {
+			t.Errorf("%s: FS = %d, want %d", c.src, fam.FS(), c.fs)
+			continue
+		}
+		if err := fam.VerifyFoolingSet(0); err != nil {
+			t.Errorf("%s: %v", c.src, err)
+		}
+		n, err := fam.DistinctStates()
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		if n != fam.Size() {
+			t.Errorf("%s: distinct states = %d, want %d", c.src, n, fam.Size())
+		}
+	}
+}
+
+func TestFrontierFamilyRejectsNonRF(t *testing.T) {
+	if _, err := NewFrontierFamily(query.MustParse("/a[b or c]")); err == nil {
+		t.Error("non-redundancy-free query: want error")
+	}
+}
+
+// TestTheorem45Disjointness verifies the simplified recursion-depth
+// reduction on //a[b and c]: D_{s,t} matches iff the sets intersect, for
+// all 2^r × 2^r inputs at r = 3.
+func TestTheorem45Disjointness(t *testing.T) {
+	q := query.MustParse("//a[b and c]")
+	fam, err := NewDisjFamily(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fam.VerifyReduction(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem45PaperExample reproduces the exact D_{110,010} document of
+// Fig. 5 (for the simplified query the segments collapse to the paper's).
+func TestTheorem45PaperExample(t *testing.T) {
+	q := query.MustParse("//a[b and c]")
+	fam, err := NewDisjFamily(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := []bool{true, true, false}
+	tt := []bool{false, true, false}
+	doc := fam.Document(s, tt)
+	d, err := tree.FromEvents(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intersection at i = 1 (0-indexed: s_1 = t_1 = 1): matches.
+	m, err := oracle(q, doc)
+	if err != nil || !m {
+		t.Errorf("D_{110,010} must match: %v %v", m, err)
+	}
+	// Structure: three nested a-bearing levels; b under levels 0 and 1,
+	// c under level 1 only (the canonical adds artificial Z chains and
+	// witness texts, so we check name counts rather than exact XML).
+	if got := len(d.FindAllNamed("a")); got != 3 {
+		t.Errorf("a count = %d, want 3", got)
+	}
+	if got := len(d.FindAllNamed("b")); got != 2 {
+		t.Errorf("b count = %d, want 2 (s = 110)", got)
+	}
+	if got := len(d.FindAllNamed("c")); got != 1 {
+		t.Errorf("c count = %d, want 1 (t = 010)", got)
+	}
+}
+
+// TestTheorem74General runs the general reduction on the paper's Section
+// 7.2 example //d[f and a[b and c]] (Figs. 10-15).
+func TestTheorem74General(t *testing.T) {
+	q := query.MustParse("//d[f and a[b and c]]")
+	fam, err := NewDisjFamily(q, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fam.VerifyReduction(0); err != nil {
+		t.Fatal(err)
+	}
+	// The protocol must compute DISJ correctly on every input.
+	for si := 0; si < 4; si++ {
+		for ti := 0; ti < 4; ti++ {
+			s, tt := bitsOf(si, 2), bitsOf(ti, 2)
+			run, err := fam.RunDisjProtocol(s, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if run.Result != Intersects(s, tt) {
+				t.Errorf("protocol(%02b, %02b) = %v, want %v", si, ti, run.Result, Intersects(s, tt))
+			}
+			if len(run.MessageBits) != 1 {
+				t.Errorf("one-cut protocol sent %d messages", len(run.MessageBits))
+			}
+		}
+	}
+}
+
+// TestTheorem74RecursionDepthBound: D_{s,t} has recursion depth at most r
+// w.r.t. v (the hypothesis of the space bound).
+func TestTheorem74RecursionDepthBound(t *testing.T) {
+	q := query.MustParse("//a[b and c]")
+	r := 3
+	fam, err := NewDisjFamily(q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allOnes := []bool{true, true, true}
+	d, err := tree.FromEvents(fam.Document(allOnes, allOnes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth, err := match.RecursionDepth(q, d, fam.Spec.V)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth > r {
+		t.Errorf("recursion depth = %d, exceeds r = %d", depth, r)
+	}
+	if depth != r {
+		t.Errorf("all-ones input should achieve recursion depth exactly r = %d, got %d", r, depth)
+	}
+}
+
+// TestDisjDistinctStates: the filter distinguishes all 2^r characteristic
+// vectors, certifying Ω(r) bits empirically.
+func TestDisjDistinctStates(t *testing.T) {
+	q := query.MustParse("//a[b and c]")
+	for _, r := range []int{2, 4, 6} {
+		fam, err := NewDisjFamily(q, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := fam.DistinctStates(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1<<r {
+			t.Errorf("r=%d: distinct states = %d, want %d", r, n, 1<<r)
+		}
+	}
+}
+
+func TestDisjFamilyRejects(t *testing.T) {
+	if _, err := NewDisjFamily(query.MustParse("/a[b and c]"), 3); err == nil {
+		t.Error("non-recursive query: want error")
+	}
+	if _, err := NewDisjFamily(query.MustParse("//a[b and c]"), 0); err == nil {
+		t.Error("r = 0: want error")
+	}
+}
+
+// TestTheorem46DepthFoolingSet verifies the simplified document-depth
+// family on /a/b: every D_i matches, every D_{i,j} (i > j) is well-formed
+// and fails.
+func TestTheorem46DepthFoolingSet(t *testing.T) {
+	q := query.MustParse("/a/b")
+	fam, err := NewDepthFamily(q, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fam.VerifyFoolingSet(0); err != nil {
+		t.Fatal(err)
+	}
+	if fam.T < 8 {
+		t.Errorf("family size T = %d too small for budget 12", fam.T)
+	}
+}
+
+// TestTheorem714General runs the depth family on queries with predicates.
+func TestTheorem714General(t *testing.T) {
+	for _, src := range []string{
+		"/a/b",
+		"/x/a[b and c]",
+		"//x[a/b]",
+		"/a[c[.//e and f] and b > 5]",
+	} {
+		q := query.MustParse(src)
+		fam, err := NewDepthFamily(q, 16)
+		if err != nil {
+			t.Errorf("%s: %v", src, err)
+			continue
+		}
+		if err := fam.VerifyFoolingSet(6); err != nil {
+			t.Errorf("%s: %v", src, err)
+		}
+	}
+}
+
+// TestDepthProtocol: the 3-segment protocol computes the right answer and
+// its message count is 2 (Alice→Bob→Alice).
+func TestDepthProtocol(t *testing.T) {
+	fam, err := NewDepthFamily(query.MustParse("/a/b"), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fam.T; i += 3 {
+		run, err := fam.RunDepthProtocol(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !run.Result {
+			t.Errorf("D_%d: protocol result = false, want true", i)
+		}
+		if len(run.MessageBits) != 2 {
+			t.Errorf("D_%d: %d messages, want 2", i, len(run.MessageBits))
+		}
+	}
+}
+
+// TestDepthDistinctStates: the filter distinguishes all depths i.
+func TestDepthDistinctStates(t *testing.T) {
+	fam, err := NewDepthFamily(query.MustParse("/a/b"), 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := fam.DistinctStates(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != fam.T {
+		t.Errorf("distinct states = %d, want %d", n, fam.T)
+	}
+}
+
+func TestDepthFamilyRejects(t *testing.T) {
+	if _, err := NewDepthFamily(query.MustParse("//a"), 12); err == nil {
+		t.Error("//a has no depth-eligible node: want error")
+	}
+	if _, err := NewDepthFamily(query.MustParse("/a/b"), 2); err == nil {
+		t.Error("budget below canonical depth: want error")
+	}
+}
+
+// TestReductionLemmaProtocol: Lemma 3.7's accounting — for a k-segment run,
+// the protocol sends k-1 messages and agrees with the oracle.
+func TestReductionLemmaProtocol(t *testing.T) {
+	q := query.MustParse("/a[b and c]")
+	events := sax.MustParse("<a><b/><c/></a>")
+	for k := 2; k <= 4; k++ {
+		// Split into k roughly equal segments.
+		var segs [][]sax.Event
+		per := (len(events) + k - 1) / k
+		for i := 0; i < len(events); i += per {
+			end := i + per
+			if end > len(events) {
+				end = len(events)
+			}
+			segs = append(segs, events[i:end])
+		}
+		run, err := RunProtocol(q, segs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !run.Result {
+			t.Errorf("k=%d: result false, want true", k)
+		}
+		if len(run.MessageBits) != len(segs)-1 {
+			t.Errorf("k=%d: %d messages, want %d", k, len(run.MessageBits), len(segs)-1)
+		}
+		if run.TotalBits() <= run.MaxMessageBits() {
+			t.Error("TotalBits accounting broken")
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package commcc
+
+import (
+	"fmt"
+
+	"streamxpath/internal/canonical"
+	"streamxpath/internal/fragment"
+	"streamxpath/internal/query"
+	"streamxpath/internal/sax"
+)
+
+// DepthFamily is the three-way fooling family of Theorem 7.14 (generalizing
+// Theorem 4.6): for a redundancy-free query with a child-axis node u whose
+// node test and parent's node test are not wildcards, and a depth budget d,
+// the documents D_i (i = 0 … t-1) pad the canonical document with two
+// length-i chains of auxiliary Z elements around φ(u). Every D_i matches Q;
+// splicing the middle of D_j into D_i (i > j) re-parents φ(u) under a Z
+// node and breaks the match. The family gives CC ≥ log t, hence
+// Ω(log d) bits of streaming space via the 3-segment reduction.
+type DepthFamily struct {
+	Query     *query.Query
+	Canonical *canonical.Canonical
+	Spec      *fragment.DepthSpec
+	// T is the family size (d minus the canonical document's own depth).
+	T int
+
+	alpha []sax.Event // up to (excluding) φ(u)'s start
+	beta  []sax.Event // the φ(u) subtree
+	gamma []sax.Event // the rest
+	aux   string
+}
+
+// NewDepthFamily builds the family for depth budget d.
+func NewDepthFamily(q *query.Query, d int) (*DepthFamily, error) {
+	spec, ok := fragment.DepthEligibleNode(q)
+	if !ok {
+		return nil, fmt.Errorf("commcc: query has no depth-eligible node (Theorem 7.14 hypothesis)")
+	}
+	c, err := canonical.Build(q)
+	if err != nil {
+		return nil, err
+	}
+	s := c.Doc.Depth()
+	if d < 2*s {
+		return nil, fmt.Errorf("commcc: depth budget %d < 2·depth(Dc) = %d", d, 2*s)
+	}
+	events, spans := c.Doc.EventSpans()
+	uSpan, ok := spans[c.Shadow[spec.U]]
+	if !ok {
+		return nil, fmt.Errorf("commcc: missing span for φ(u)")
+	}
+	cp := func(seg []sax.Event) []sax.Event { return append([]sax.Event(nil), seg...) }
+	return &DepthFamily{
+		Query: q, Canonical: c, Spec: spec, T: d - s,
+		alpha: cp(events[:uSpan[0]]),
+		beta:  cp(events[uSpan[0]:uSpan[1]]),
+		gamma: cp(events[uSpan[1]:]),
+		aux:   c.AuxName,
+	}, nil
+}
+
+// zOpen and zClose emit i auxiliary start/end events.
+func (f *DepthFamily) zOpen(i int) []sax.Event {
+	out := make([]sax.Event, i)
+	for j := range out {
+		out[j] = sax.Start(f.aux)
+	}
+	return out
+}
+
+func (f *DepthFamily) zClose(i int) []sax.Event {
+	out := make([]sax.Event, i)
+	for j := range out {
+		out[j] = sax.End(f.aux)
+	}
+	return out
+}
+
+// Segments returns the three segments (α_i, β_i, γ_i) of D_i:
+//
+//	α_i = α ∘ <Z>^i
+//	β_i = </Z>^i ∘ β ∘ <Z>^i
+//	γ_i = </Z>^i ∘ γ
+func (f *DepthFamily) Segments(i int) (alpha, beta, gamma []sax.Event) {
+	alpha = sax.Concat(f.alpha, f.zOpen(i))
+	beta = sax.Concat(f.zClose(i), f.beta, f.zOpen(i))
+	gamma = sax.Concat(f.zClose(i), f.gamma)
+	return
+}
+
+// Document builds D_i = α_i ∘ β_i ∘ γ_i.
+func (f *DepthFamily) Document(i int) []sax.Event {
+	a, b, g := f.Segments(i)
+	return sax.Concat(a, b, g)
+}
+
+// Crossover builds D_{i,j} = α_i ∘ β_j ∘ γ_i; for i > j it is well-formed
+// but does not match Q (φ(u) becomes the child of the (i-j)-th Z node).
+func (f *DepthFamily) Crossover(i, j int) []sax.Event {
+	ai, _, gi := f.Segments(i)
+	_, bj, _ := f.Segments(j)
+	return sax.Concat(ai, bj, gi)
+}
+
+// VerifyFoolingSet machine-checks the family: every D_i matches; every
+// crossover D_{i,j} with i > j is well-formed and does not match. maxI
+// bounds the family indexes checked (0 = all T of them).
+func (f *DepthFamily) VerifyFoolingSet(maxI int) error {
+	limit := f.T
+	if maxI > 0 && maxI < limit {
+		limit = maxI
+	}
+	for i := 0; i < limit; i++ {
+		di := f.Document(i)
+		if err := sax.CheckWellFormed(di); err != nil {
+			return fmt.Errorf("commcc: D_%d malformed: %w", i, err)
+		}
+		m, err := oracle(f.Query, di)
+		if err != nil {
+			return err
+		}
+		if !m {
+			return fmt.Errorf("commcc: D_%d does not match Q", i)
+		}
+	}
+	for i := 1; i < limit; i++ {
+		for j := 0; j < i; j++ {
+			dij := f.Crossover(i, j)
+			if err := sax.CheckWellFormed(dij); err != nil {
+				return fmt.Errorf("commcc: D_{%d,%d} malformed: %w", i, j, err)
+			}
+			m, err := oracle(f.Query, dij)
+			if err != nil {
+				return err
+			}
+			if m {
+				return fmt.Errorf("commcc: D_{%d,%d} matches Q (Lemma 7.15 violated)", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// RunDepthProtocol executes the 3-segment protocol on D_i: Alice runs α_i,
+// sends the state to Bob, who runs β_i and sends back; Alice finishes γ_i.
+func (f *DepthFamily) RunDepthProtocol(i int) (*ProtocolRun, error) {
+	a, b, g := f.Segments(i)
+	return RunProtocol(f.Query, [][]sax.Event{a, b, g})
+}
+
+// DistinctStates counts the distinct filter states over the α_i prefixes —
+// the algorithm must remember the depth i, certifying Ω(log d) bits.
+func (f *DepthFamily) DistinctStates(maxI int) (int, error) {
+	limit := f.T
+	if maxI > 0 && maxI < limit {
+		limit = maxI
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < limit; i++ {
+		a, _, _ := f.Segments(i)
+		state, err := prefixState(f.Query, a)
+		if err != nil {
+			return 0, err
+		}
+		seen[state] = true
+	}
+	return len(seen), nil
+}

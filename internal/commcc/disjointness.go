@@ -1,0 +1,183 @@
+package commcc
+
+import (
+	"fmt"
+
+	"streamxpath/internal/canonical"
+	"streamxpath/internal/fragment"
+	"streamxpath/internal/query"
+	"streamxpath/internal/sax"
+)
+
+// DisjFamily is the set-disjointness reduction of Theorem 7.4 (generalizing
+// Theorem 4.5): for a query Q in Recursive XPath and a recursion budget r,
+// every input (s, t) of DISJ on r-bit vectors maps to a document D_{s,t} of
+// recursion depth at most r such that D_{s,t} matches Q iff the sets
+// intersect. Since DISJ has communication complexity Ω(r), any streaming
+// algorithm needs Ω(r) bits on some D_{s,t}.
+type DisjFamily struct {
+	Query     *query.Query
+	Canonical *canonical.Canonical
+	Spec      *fragment.RecursiveSpec
+	R         int
+
+	// The seven stream segments of the Theorem 7.4 proof.
+	GammaPrefix []sax.Event // up to (excluding) the chain head y
+	GammaYBeg   []sax.Event // y's start up to (excluding) φ(w1)
+	GammaW1     []sax.Event // the φ(w1) subtree
+	GammaYMid   []sax.Event // after φ(w1) up to (excluding) φ(w2)
+	GammaW2     []sax.Event // the φ(w2) subtree
+	GammaYEnd   []sax.Event // after φ(w2) through y's end
+	GammaSuffix []sax.Event // the rest
+}
+
+// NewDisjFamily builds the segment decomposition for a Recursive XPath
+// query.
+func NewDisjFamily(q *query.Query, r int) (*DisjFamily, error) {
+	spec, ok := fragment.RecursiveNode(q)
+	if !ok {
+		return nil, fmt.Errorf("commcc: query is not in Recursive XPath")
+	}
+	if r < 1 {
+		return nil, fmt.Errorf("commcc: recursion budget must be >= 1")
+	}
+	c, err := canonical.Build(q)
+	if err != nil {
+		return nil, err
+	}
+	events, spans := c.Doc.EventSpans()
+	y := c.ChainHead[spec.V1]
+	if y == nil {
+		return nil, fmt.Errorf("commcc: v1 has no artificial chain (not a descendant-axis node?)")
+	}
+	ySpan, ok1 := spans[y]
+	w1Span, ok2 := spans[c.Shadow[spec.W1]]
+	w2Span, ok3 := spans[c.Shadow[spec.W2]]
+	if !ok1 || !ok2 || !ok3 {
+		return nil, fmt.Errorf("commcc: missing event spans")
+	}
+	if !(ySpan[0] < w1Span[0] && w1Span[1] <= w2Span[0] && w2Span[1] <= ySpan[1]) {
+		return nil, fmt.Errorf("commcc: unexpected span nesting (w1 must precede w2 inside y)")
+	}
+	cp := func(seg []sax.Event) []sax.Event { return append([]sax.Event(nil), seg...) }
+	return &DisjFamily{
+		Query: q, Canonical: c, Spec: spec, R: r,
+		GammaPrefix: cp(events[:ySpan[0]]),
+		GammaYBeg:   cp(events[ySpan[0]:w1Span[0]]),
+		GammaW1:     cp(events[w1Span[0]:w1Span[1]]),
+		GammaYMid:   cp(events[w1Span[1]:w2Span[0]]),
+		GammaW2:     cp(events[w2Span[0]:w2Span[1]]),
+		GammaYEnd:   cp(events[w2Span[1]:ySpan[1]]),
+		GammaSuffix: cp(events[ySpan[1]:]),
+	}, nil
+}
+
+// Alpha builds Alice's stream prefix from her DISJ input s: r nested
+// openings of the y-subtree, each containing a copy of φ(w1)'s subtree iff
+// the corresponding bit of s is set.
+func (f *DisjFamily) Alpha(s []bool) []sax.Event {
+	out := append([]sax.Event(nil), f.GammaPrefix...)
+	for i := 0; i < f.R; i++ {
+		out = append(out, f.GammaYBeg...)
+		if s[i] {
+			out = append(out, f.GammaW1...)
+		}
+		out = append(out, f.GammaYMid...)
+	}
+	return out
+}
+
+// Beta builds Bob's stream suffix from his DISJ input t: the matching r
+// closings, innermost (bit r-1) first, each preceded by a copy of φ(w2)'s
+// subtree iff the corresponding bit of t is set.
+func (f *DisjFamily) Beta(t []bool) []sax.Event {
+	var out []sax.Event
+	for i := f.R - 1; i >= 0; i-- {
+		if t[i] {
+			out = append(out, f.GammaW2...)
+		}
+		out = append(out, f.GammaYEnd...)
+	}
+	return append(out, f.GammaSuffix...)
+}
+
+// Document builds D_{s,t} = Alpha(s) ∘ Beta(t).
+func (f *DisjFamily) Document(s, t []bool) []sax.Event {
+	return sax.Concat(f.Alpha(s), f.Beta(t))
+}
+
+// Intersects is the DISJ ground truth: ∃i with s_i = t_i = 1.
+func Intersects(s, t []bool) bool {
+	for i := range s {
+		if s[i] && t[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// VerifyReduction machine-checks Lemmas 7.5 and 7.6 over all (or maxInputs
+// sampled) input pairs: D_{s,t} is well-formed and matches Q iff the sets
+// intersect.
+func (f *DisjFamily) VerifyReduction(maxInputs int) error {
+	n := 1 << f.R
+	checked := 0
+	for si := 0; si < n; si++ {
+		for ti := 0; ti < n; ti++ {
+			if maxInputs > 0 && checked >= maxInputs {
+				return nil
+			}
+			checked++
+			s, t := bitsOf(si, f.R), bitsOf(ti, f.R)
+			doc := f.Document(s, t)
+			if err := sax.CheckWellFormed(doc); err != nil {
+				return fmt.Errorf("commcc: D_{%0*b,%0*b} malformed: %w", f.R, si, f.R, ti, err)
+			}
+			m, err := oracle(f.Query, doc)
+			if err != nil {
+				return err
+			}
+			if m != Intersects(s, t) {
+				return fmt.Errorf("commcc: D_{%0*b,%0*b}: match=%v, DISJ=%v (Lemma 7.5/7.6 violated)",
+					f.R, si, f.R, ti, m, Intersects(s, t))
+			}
+		}
+	}
+	return nil
+}
+
+// bitsOf expands an integer into its low r bits, index 0 first.
+func bitsOf(x, r int) []bool {
+	out := make([]bool, r)
+	for i := 0; i < r; i++ {
+		out[i] = x&(1<<i) != 0
+	}
+	return out
+}
+
+// RunDisjProtocol executes the one-cut protocol on (s, t): Alice streams
+// Alpha(s) through the filter, sends the state, Bob finishes with Beta(t).
+// The returned run's message size is the space the algorithm carried across
+// the cut, and Result must equal Intersects(s, t).
+func (f *DisjFamily) RunDisjProtocol(s, t []bool) (*ProtocolRun, error) {
+	return RunProtocol(f.Query, [][]sax.Event{f.Alpha(s), f.Beta(t)})
+}
+
+// DistinctStates counts the distinct filter states over all 2^r (or
+// maxInputs sampled) values of s at the cut point — the algorithm must
+// distinguish all characteristic vectors, certifying Ω(r) bits empirically.
+func (f *DisjFamily) DistinctStates(maxInputs int) (int, error) {
+	seen := make(map[string]bool)
+	n := 1 << f.R
+	for si := 0; si < n; si++ {
+		if maxInputs > 0 && si >= maxInputs {
+			break
+		}
+		state, err := prefixState(f.Query, f.Alpha(bitsOf(si, f.R)))
+		if err != nil {
+			return 0, err
+		}
+		seen[state] = true
+	}
+	return len(seen), nil
+}

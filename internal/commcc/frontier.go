@@ -1,0 +1,234 @@
+package commcc
+
+import (
+	"fmt"
+
+	"streamxpath/internal/canonical"
+	"streamxpath/internal/core"
+	"streamxpath/internal/fragment"
+	"streamxpath/internal/query"
+	"streamxpath/internal/sax"
+	"streamxpath/internal/tree"
+)
+
+// FrontierFamily is the fooling set of Theorem 7.1 (generalizing
+// Theorem 4.2): for a redundancy-free query Q with frontier size FS(Q), a
+// family of 2^FS(Q) split documents (α_T, β_T), one per subset T of the
+// canonical document's largest frontier. Every D_T = α_T ∘ β_T matches Q,
+// while for every T ≠ T' at least one crossover α_T ∘ β_T' or α_T' ∘ β_T
+// fails to match — so the communication complexity of the two-party
+// BOOLEVAL is at least log 2^FS(Q) = FS(Q) bits, and by Lemma 3.7 any
+// streaming algorithm needs at least FS(Q) - 1 bits of memory on some
+// document in the family.
+type FrontierFamily struct {
+	Query     *query.Query
+	Canonical *canonical.Canonical
+	// FrontierNode is the shadow node x with the largest frontier.
+	FrontierNode *tree.Node
+	// Frontier is F(x); its size is FS(Q).
+	Frontier []*tree.Node
+	// Subsets enumerates the 2^FS subsets T as bitmasks over Frontier.
+	Subsets []uint64
+}
+
+// FS returns the frontier size (the lower bound in bits, up to the -1 of
+// the reduction).
+func (f *FrontierFamily) FS() int { return len(f.Frontier) }
+
+// Size returns the family size 2^FS.
+func (f *FrontierFamily) Size() int { return len(f.Subsets) }
+
+// NewFrontierFamily builds the family for a redundancy-free query.
+func NewFrontierFamily(q *query.Query) (*FrontierFamily, error) {
+	if r := fragment.Classify(q); !r.RedundancyFree() {
+		return nil, fmt.Errorf("commcc: query is not redundancy-free: %v", r.Issues())
+	}
+	c, err := canonical.Build(q)
+	if err != nil {
+		return nil, err
+	}
+	// Choose the shadow node with the largest frontier (artificial nodes
+	// have no siblings, so some shadow always achieves the maximum;
+	// FS(Dc) = FS(Q) because artificial chains add no siblings). Ties
+	// prefer the deepest node: the document element is always alone in
+	// its own frontier, and splitting at it cannot produce well-formed
+	// crossovers (dropping it empties the document).
+	var x *tree.Node
+	best, bestDepth := -1, -1
+	c.Doc.Walk(func(y *tree.Node) bool {
+		if y.Kind == tree.KindText || c.Artificial[y] || y.Kind == tree.KindRoot {
+			return true
+		}
+		n := len(tree.FrontierAt(y))
+		if n > best || (n == best && y.Level() > bestDepth) {
+			best, bestDepth, x = n, y.Level(), y
+		}
+		return true
+	})
+	if x == nil {
+		return nil, fmt.Errorf("commcc: query has no frontier (empty query)")
+	}
+	frontier := tree.FrontierAt(x)
+	fs := len(frontier)
+	if fs != fragment.FrontierSize(q) {
+		return nil, fmt.Errorf("commcc: document frontier %d != FS(Q) %d", fs, fragment.FrontierSize(q))
+	}
+	if fs > 20 {
+		return nil, fmt.Errorf("commcc: FS(Q) = %d too large to enumerate 2^FS subsets", fs)
+	}
+	fam := &FrontierFamily{Query: q, Canonical: c, FrontierNode: x, Frontier: frontier}
+	for t := uint64(0); t < 1<<fs; t++ {
+		fam.Subsets = append(fam.Subsets, t)
+	}
+	return fam, nil
+}
+
+// inT reports whether frontier member i belongs to subset t.
+func inT(t uint64, i int) bool { return t&(1<<i) != 0 }
+
+// memberIndex returns the index of node y in the frontier, or -1.
+func (f *FrontierFamily) memberIndex(y *tree.Node) int {
+	for i, m := range f.Frontier {
+		if m == y {
+			return i
+		}
+	}
+	return -1
+}
+
+// Split produces (α_T, β_T) for the subset bitmask t, following the proof
+// of Theorem 7.1: with x_1 … x_ℓ = PATH(x), α_T is formed by opening each
+// x_i (with its leading text, if any) and emitting the subtrees of the
+// frontier members among x_i's children that lie in T; β_T emits the
+// remaining frontier members' subtrees and closes the elements, innermost
+// first.
+func (f *FrontierFamily) Split(t uint64) (alpha, beta []sax.Event) {
+	path := f.FrontierNode.Path() // path[0] = document root
+	var betaRev [][]sax.Event
+	for _, xi := range path[:len(path)-1] {
+		var a, b []sax.Event
+		if xi.Kind == tree.KindRoot {
+			a = append(a, sax.StartDoc())
+			b = append(b, sax.EndDoc())
+		} else {
+			a = append(a, sax.Start(xi.Name))
+			if lt, ok := tree.LeadingText(xi); ok {
+				a = append(a, sax.TextEvent(lt))
+			}
+			b = append(b, sax.End(xi.Name))
+		}
+		var bMembers []sax.Event
+		for _, y := range xi.Children {
+			idx := f.memberIndex(y)
+			if idx < 0 {
+				continue // the path continuation x_{i+1}, or a text node
+			}
+			if inT(t, idx) {
+				a = append(a, y.Events()...)
+			} else {
+				bMembers = append(bMembers, y.Events()...)
+			}
+		}
+		alpha = append(alpha, a...)
+		betaRev = append(betaRev, append(bMembers, b...))
+	}
+	// x itself is a frontier member handled by its parent above; β is
+	// assembled innermost-first.
+	for i := len(betaRev) - 1; i >= 0; i-- {
+		beta = append(beta, betaRev[i]...)
+	}
+	return alpha, beta
+}
+
+// VerifyFoolingSet machine-checks the two fooling-set conditions
+// (Definition 3.8) against the reference evaluator:
+//
+//  1. every D_T = α_T ∘ β_T is well-formed and matches Q;
+//  2. for every pair T ≠ T', at least one crossover document fails to
+//     match.
+//
+// maxPairs bounds the number of (T, T') pairs checked (0 = all); the
+// subsets themselves are always all checked for condition 1.
+func (f *FrontierFamily) VerifyFoolingSet(maxPairs int) error {
+	splits := make(map[uint64][2][]sax.Event, len(f.Subsets))
+	for _, t := range f.Subsets {
+		a, b := f.Split(t)
+		dt := sax.Concat(a, b)
+		if err := sax.CheckWellFormed(dt); err != nil {
+			return fmt.Errorf("commcc: D_T for T=%b malformed: %w", t, err)
+		}
+		m, err := oracle(f.Query, dt)
+		if err != nil {
+			return err
+		}
+		if !m {
+			return fmt.Errorf("commcc: D_T for T=%b does not match Q (Claim 7.2 violated)", t)
+		}
+		splits[t] = [2][]sax.Event{a, b}
+	}
+	pairs := 0
+	for i, t1 := range f.Subsets {
+		for _, t2 := range f.Subsets[i+1:] {
+			if maxPairs > 0 && pairs >= maxPairs {
+				return nil
+			}
+			pairs++
+			// Definition 3.8's condition (2): at least one of the two
+			// crossover documents must be well-formed and fail to
+			// match. (Both are well-formed whenever the frontier node
+			// is not the document element itself; for FS = 1 queries
+			// one direction can collapse to an empty document.)
+			refuted := false
+			for _, pair := range [2][2]uint64{{t1, t2}, {t2, t1}} {
+				cross := sax.Concat(splits[pair[0]][0], splits[pair[1]][1])
+				if sax.CheckWellFormed(cross) != nil {
+					continue
+				}
+				m, err := oracle(f.Query, cross)
+				if err != nil {
+					return err
+				}
+				if !m {
+					refuted = true
+					break
+				}
+			}
+			if !refuted {
+				return fmt.Errorf("commcc: no well-formed non-matching crossover for T=%b, T'=%b (Claim 7.3 violated)", t1, t2)
+			}
+		}
+	}
+	return nil
+}
+
+// DistinctStates runs the streaming filter on every α_T and counts the
+// distinct serialized states at the cut — the empirical analogue of the
+// lower bound: a correct algorithm must reach at least 2^FS distinct
+// states, so the measured state must carry at least FS bits.
+func (f *FrontierFamily) DistinctStates() (int, error) {
+	seen := make(map[string]bool)
+	for _, t := range f.Subsets {
+		a, _ := f.Split(t)
+		run, err := prefixState(f.Query, a)
+		if err != nil {
+			return 0, err
+		}
+		seen[run] = true
+	}
+	return len(seen), nil
+}
+
+// prefixState runs a fresh filter over a stream prefix and returns its
+// serialized state.
+func prefixState(q *query.Query, prefix []sax.Event) (string, error) {
+	f, err := core.Compile(q)
+	if err != nil {
+		return "", err
+	}
+	for _, e := range prefix {
+		if err := f.Process(e); err != nil {
+			return "", err
+		}
+	}
+	return string(f.Snapshot()), nil
+}

@@ -1,0 +1,191 @@
+package commcc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"streamxpath/internal/query"
+	"streamxpath/internal/sax"
+	"streamxpath/internal/workload"
+)
+
+// render joins events into the paper's angle-bracket notation.
+func render(events []sax.Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
+
+// TestSection71ExampleSplit reproduces the worked example in Section 7.1:
+// for Q = /a[c[.//e and f] and b > 5] with canonical document
+// <a><c><Z><e/></Z><f/></c><b>6</b></a> and T = {b, f}, the split is
+//
+//	α_T = <a><b>6</b><c><f/><Z>    β_T = <e/></Z></c></a>
+//
+// (our streams carry the explicit <$>/</$> document markers, and the e
+// element carries its truth-set witness text).
+func TestSection71ExampleSplit(t *testing.T) {
+	q := query.MustParse("/a[c[.//e and f] and b > 5]")
+	fam, err := NewFrontierFamily(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the subset bitmask for T = {b, f}.
+	var mask uint64
+	for i, m := range fam.Frontier {
+		if m.Name == "b" || m.Name == "f" {
+			mask |= 1 << i
+		}
+	}
+	alpha, beta := fam.Split(mask)
+	a, b := render(alpha), render(beta)
+	// α: document marker, a, the full b subtree, c opens, the full f
+	// subtree, then the Z chain head — in this order.
+	wantAlphaOrder := []string{"<$>", "<a>", "<b>", "6", "</b>", "<c>", "<f>", "</f>", "<Z>"}
+	pos := -1
+	for _, frag := range wantAlphaOrder {
+		i := strings.Index(a, frag)
+		if i < 0 || i < pos {
+			t.Fatalf("α_T = %s\nmissing or out-of-order fragment %q", a, frag)
+		}
+		pos = i
+	}
+	if strings.Contains(a, "<e>") {
+		t.Errorf("α_T must not contain e (e ∉ T): %s", a)
+	}
+	// β: e's subtree, then the closings </Z></c></a></$>.
+	wantBetaOrder := []string{"<e>", "</e>", "</Z>", "</c>", "</a>", "</$>"}
+	pos = -1
+	for _, frag := range wantBetaOrder {
+		i := strings.Index(b, frag)
+		if i < 0 || i < pos {
+			t.Fatalf("β_T = %s\nmissing or out-of-order fragment %q", b, frag)
+		}
+		pos = i
+	}
+}
+
+// TestFrontierCrossoverProtocol: running the actual filter-based protocol
+// on crossover streams gives the oracle's answer — the executable form of
+// "the transcript argument": distinct states are forced because crossovers
+// must be answered differently.
+func TestFrontierCrossoverProtocol(t *testing.T) {
+	q := query.MustParse("/a[c[.//e and f] and b > 5]")
+	fam, err := NewFrontierFamily(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	splits := make(map[uint64][2][]sax.Event)
+	for _, tt := range fam.Subsets {
+		a, b := fam.Split(tt)
+		splits[tt] = [2][]sax.Event{a, b}
+	}
+	for _, t1 := range fam.Subsets {
+		for _, t2 := range fam.Subsets {
+			stream := sax.Concat(splits[t1][0], splits[t2][1])
+			want, err := oracle(q, stream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run, err := RunProtocol(q, [][]sax.Event{splits[t1][0], splits[t2][1]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if run.Result != want {
+				t.Errorf("protocol(α_%b, β_%b) = %v, oracle = %v", t1, t2, run.Result, want)
+			}
+		}
+	}
+}
+
+// TestFrontierFamilyRandomQueries runs the full Theorem 7.1 pipeline on
+// generated redundancy-free queries: family construction, exhaustive
+// fooling verification (for small FS), and state distinctness.
+func TestFrontierFamilyRandomQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	verified := 0
+	for iter := 0; iter < 40 && verified < 12; iter++ {
+		q := workload.RandomRedundancyFreeQuery(rng, 3+rng.Intn(4))
+		fam, err := NewFrontierFamily(q)
+		if err != nil {
+			continue // e.g. FS too large or generator artifacts
+		}
+		if fam.FS() > 5 {
+			continue // keep the exhaustive pair check cheap
+		}
+		verified++
+		if err := fam.VerifyFoolingSet(0); err != nil {
+			t.Errorf("%s: %v", q, err)
+			continue
+		}
+		n, err := fam.DistinctStates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != fam.Size() {
+			t.Errorf("%s: distinct states %d != family %d", q, n, fam.Size())
+		}
+	}
+	if verified < 8 {
+		t.Errorf("only %d random queries verified; generator too cold", verified)
+	}
+}
+
+// TestDisjFamilyRandomRecursiveQueries runs the Theorem 7.4 pipeline on
+// generated queries forced into Recursive XPath by wrapping them under a
+// descendant-axis node with two child-axis children.
+func TestDisjFamilyRandomRecursiveQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	verified := 0
+	for iter := 0; iter < 30 && verified < 8; iter++ {
+		inner := workload.RandomRedundancyFreeQuery(rng, 2)
+		// //rX[w1 and w2 and <inner's predicate body>]
+		src := strings.Replace(inner.String(), "/", "//", 1)
+		src = strings.Replace(src, "[", "[w1q and w2q and ", 1)
+		q, err := query.Parse(src)
+		if err != nil {
+			t.Fatalf("constructed query %q: %v", src, err)
+		}
+		fam, err := NewDisjFamily(q, 2)
+		if err != nil {
+			continue
+		}
+		verified++
+		if err := fam.VerifyReduction(0); err != nil {
+			t.Errorf("%s: %v", q, err)
+		}
+	}
+	if verified < 4 {
+		t.Errorf("only %d random recursive queries verified", verified)
+	}
+}
+
+// TestDepthFamilyRandomQueries runs the Theorem 7.14 pipeline on generated
+// queries with a forced depth-eligible step.
+func TestDepthFamilyRandomQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(714))
+	verified := 0
+	for iter := 0; iter < 30 && verified < 8; iter++ {
+		inner := workload.RandomRedundancyFreeQuery(rng, 2)
+		// Append a child step under the (non-wildcard) top element.
+		src := inner.String() + "/tailq"
+		q, err := query.Parse(src)
+		if err != nil {
+			t.Fatalf("constructed query %q: %v", src, err)
+		}
+		fam, err := NewDepthFamily(q, 20)
+		if err != nil {
+			continue
+		}
+		verified++
+		if err := fam.VerifyFoolingSet(5); err != nil {
+			t.Errorf("%s: %v", q, err)
+		}
+	}
+	if verified < 4 {
+		t.Errorf("only %d random depth queries verified", verified)
+	}
+}

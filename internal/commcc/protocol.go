@@ -1,0 +1,111 @@
+// Package commcc implements the communication-complexity side of the paper:
+// the reduction from streaming space to communication (Lemma 3.7), the
+// fooling-set families behind the query frontier size lower bound
+// (Theorems 4.2 and 7.1), the set-disjointness reduction behind the
+// recursion depth lower bound (Theorems 4.5 and 7.4), and the three-way
+// fooling family behind the document depth lower bound (Theorems 4.6
+// and 7.14).
+//
+// Everything is executable: document families are generated from the
+// queries' canonical documents, their match/non-match claims are
+// machine-checked against the reference evaluator, and the Alice/Bob
+// protocols run the actual streaming filter with serialized state as the
+// messages — so each lower-bound theorem turns into a verified experiment.
+package commcc
+
+import (
+	"fmt"
+
+	"streamxpath/internal/core"
+	"streamxpath/internal/query"
+	"streamxpath/internal/sax"
+	"streamxpath/internal/semantics"
+)
+
+// ProtocolRun is the outcome of running the k-cut protocol of Lemma 3.7:
+// the streaming algorithm is executed over k segments, and at each of the
+// k-1 cut points the algorithm's serialized state is "sent" to the other
+// party. The total communication is the sum of the message sizes (plus one
+// bit for the answer).
+type ProtocolRun struct {
+	// Result is the protocol's output (the match decision).
+	Result bool
+	// MessageBits holds the size, in bits, of each state message.
+	MessageBits []int
+}
+
+// TotalBits is the protocol's communication cost: state messages plus the
+// 1-bit answer.
+func (p *ProtocolRun) TotalBits() int {
+	total := 1
+	for _, b := range p.MessageBits {
+		total += b
+	}
+	return total
+}
+
+// MaxMessageBits is the largest single message — the per-cut memory the
+// streaming algorithm carried across a segment boundary.
+func (p *ProtocolRun) MaxMessageBits() int {
+	best := 0
+	for _, b := range p.MessageBits {
+		if b > best {
+			best = b
+		}
+	}
+	return best
+}
+
+// RunProtocol executes the Lemma 3.7 simulation: a fresh filter for q
+// processes the segments in order; after each segment (except the last) the
+// filter's snapshot is serialized, "transmitted", and restored into a fresh
+// filter — exactly the Alice/Bob alternation of the reduction.
+func RunProtocol(q *query.Query, segments [][]sax.Event) (*ProtocolRun, error) {
+	f, err := core.Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	run := &ProtocolRun{}
+	for i, seg := range segments {
+		for _, e := range seg {
+			if err := f.Process(e); err != nil {
+				return nil, fmt.Errorf("commcc: segment %d: %w", i, err)
+			}
+		}
+		if i == len(segments)-1 {
+			break
+		}
+		snap := f.Snapshot()
+		run.MessageBits = append(run.MessageBits, len(snap)*8)
+		next, err := core.Compile(q)
+		if err != nil {
+			return nil, err
+		}
+		if err := next.Restore(snap); err != nil {
+			return nil, err
+		}
+		f = next
+	}
+	if !f.Done() {
+		return nil, fmt.Errorf("commcc: stream ended before endDocument")
+	}
+	run.Result = f.Matched()
+	return run, nil
+}
+
+// oracle decides BOOLEVAL with the reference evaluator; the ground truth
+// for all machine checks.
+func oracle(q *query.Query, events []sax.Event) (bool, error) {
+	return semantics.BoolEvalEvents(q, events)
+}
+
+// SpaceLowerBound converts a communication lower bound into a streaming
+// space lower bound per Lemma 3.7: any streaming algorithm needs at least
+// (CC - log|Z|) / (k-1) bits, with |Z| = 2 for boolean output.
+func SpaceLowerBound(ccBits, k int) int {
+	lb := (ccBits - 1) / (k - 1)
+	if lb < 0 {
+		return 0
+	}
+	return lb
+}

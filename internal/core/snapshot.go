@@ -1,0 +1,256 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Snapshot serializes the filter's complete mid-stream state. The byte
+// length is the empirical measure of the algorithm's memory: the
+// communication-complexity harness (Lemma 3.7) has "Alice" send exactly
+// this state to "Bob" at each stream cut, and the lower-bound experiments
+// check that fooling-set inputs force pairwise-distinct snapshots.
+//
+// Layout (all integers unsigned varints unless noted):
+//
+//	flags byte (started, finished, rootMatched, rootInScopes)
+//	level
+//	tuple table: count, then per tuple: node id, level, matched bit
+//	frontier: count, tuple indexes
+//	scopes: count, then per scope: owner tuple index, level,
+//	        child count, child tuple indexes
+//	pendings: count, then per pending: tuple index, level, start
+//	buffer: refCount, byte length, bytes
+func (f *Filter) Snapshot() []byte {
+	// Collect all live tuples: frontier order first, then scope owners
+	// and children, then pending owners.
+	idx := make(map[*Tuple]int)
+	var tuples []*Tuple
+	add := func(t *Tuple) {
+		if _, ok := idx[t]; !ok {
+			idx[t] = len(tuples)
+			tuples = append(tuples, t)
+		}
+	}
+	if f.root != nil {
+		add(f.root)
+	}
+	for _, t := range f.frontier {
+		add(t)
+	}
+	for _, sc := range f.scopes {
+		add(sc.Tup)
+		for _, c := range sc.Children {
+			add(c)
+		}
+	}
+	for _, p := range f.pendings {
+		add(p.Tup)
+	}
+
+	var out []byte
+	var flags byte
+	if f.started {
+		flags |= 1
+	}
+	if f.finished {
+		flags |= 2
+	}
+	if f.root != nil {
+		flags |= 4
+	}
+	out = append(out, flags)
+	out = binary.AppendUvarint(out, uint64(f.level))
+	out = binary.AppendUvarint(out, uint64(len(tuples)))
+	for _, t := range tuples {
+		out = binary.AppendUvarint(out, uint64(f.ids[t.Ref]))
+		out = binary.AppendUvarint(out, uint64(t.Level))
+		m := byte(0)
+		if t.Matched {
+			m = 1
+		}
+		out = append(out, m)
+	}
+	out = binary.AppendUvarint(out, uint64(len(f.frontier)))
+	for _, t := range f.frontier {
+		out = binary.AppendUvarint(out, uint64(idx[t]))
+	}
+	out = binary.AppendUvarint(out, uint64(len(f.scopes)))
+	for _, sc := range f.scopes {
+		out = binary.AppendUvarint(out, uint64(idx[sc.Tup]))
+		out = binary.AppendUvarint(out, uint64(sc.Level))
+		out = binary.AppendUvarint(out, uint64(len(sc.Children)))
+		for _, c := range sc.Children {
+			out = binary.AppendUvarint(out, uint64(idx[c]))
+		}
+	}
+	out = binary.AppendUvarint(out, uint64(len(f.pendings)))
+	for _, p := range f.pendings {
+		out = binary.AppendUvarint(out, uint64(idx[p.Tup]))
+		out = binary.AppendUvarint(out, uint64(p.Level))
+		out = binary.AppendUvarint(out, uint64(p.Start))
+	}
+	out = binary.AppendUvarint(out, uint64(f.refCount))
+	out = binary.AppendUvarint(out, uint64(len(f.buf)))
+	out = append(out, f.buf...)
+	return out
+}
+
+// snapReader tracks a position in a snapshot.
+type snapReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *snapReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("core: truncated snapshot")
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *snapReader) byte() (byte, error) {
+	if r.pos >= len(r.b) {
+		return 0, fmt.Errorf("core: truncated snapshot")
+	}
+	c := r.b[r.pos]
+	r.pos++
+	return c, nil
+}
+
+// Restore replaces the filter's streaming state with a snapshot previously
+// produced by Snapshot on a filter compiled from the same query. Statistics
+// are not restored.
+func (f *Filter) Restore(snap []byte) error {
+	r := &snapReader{b: snap}
+	flags, err := r.byte()
+	if err != nil {
+		return err
+	}
+	level, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	nTuples, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	tuples := make([]*Tuple, nTuples)
+	for i := range tuples {
+		id, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if int(id) >= len(f.nodes) {
+			return fmt.Errorf("core: snapshot node id %d out of range", id)
+		}
+		lv, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		m, err := r.byte()
+		if err != nil {
+			return err
+		}
+		tuples[i] = &Tuple{Ref: f.nodes[id], Level: int(lv), Matched: m == 1}
+	}
+	pick := func() (*Tuple, error) {
+		i, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if int(i) >= len(tuples) {
+			return nil, fmt.Errorf("core: snapshot tuple index %d out of range", i)
+		}
+		return tuples[i], nil
+	}
+	nFront, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	frontier := make([]*Tuple, 0, nFront)
+	for i := 0; i < int(nFront); i++ {
+		t, err := pick()
+		if err != nil {
+			return err
+		}
+		frontier = append(frontier, t)
+	}
+	nScopes, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	scopes := make([]scope, 0, nScopes)
+	for i := 0; i < int(nScopes); i++ {
+		owner, err := pick()
+		if err != nil {
+			return err
+		}
+		lv, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		nc, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		sc := scope{Tup: owner, Level: int(lv)}
+		for j := 0; j < int(nc); j++ {
+			c, err := pick()
+			if err != nil {
+				return err
+			}
+			sc.Children = append(sc.Children, c)
+		}
+		scopes = append(scopes, sc)
+	}
+	nPend, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	pendings := make([]pending, 0, nPend)
+	for i := 0; i < int(nPend); i++ {
+		t, err := pick()
+		if err != nil {
+			return err
+		}
+		lv, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		start, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		pendings = append(pendings, pending{Tup: t, Level: int(lv), Start: int(start)})
+	}
+	rc, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	blen, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if r.pos+int(blen) > len(snap) {
+		return fmt.Errorf("core: truncated snapshot buffer")
+	}
+	buf := append([]byte(nil), snap[r.pos:r.pos+int(blen)]...)
+
+	f.started = flags&1 != 0
+	f.finished = flags&2 != 0
+	if flags&4 != 0 && len(tuples) > 0 {
+		f.root = tuples[0]
+	} else {
+		f.root = nil
+	}
+	f.level = int(level)
+	f.frontier = frontier
+	f.scopes = scopes
+	f.pendings = pendings
+	f.refCount = int(rc)
+	f.buf = buf
+	return nil
+}

@@ -1,0 +1,128 @@
+package fragment
+
+import (
+	"fmt"
+
+	"streamxpath/internal/query"
+)
+
+// Redundancy reports a predicate child whose removal would not change the
+// query's semantics: a sibling subsumes it in the sense of Definition 5.12
+// (every document node satisfying the sibling's requirement also satisfies
+// the redundant child's, so the existential conjunct is implied). The
+// paper's example: in /a[b > 5 and b > 6] the b > 5 conjunct is redundant.
+type Redundancy struct {
+	// Redundant is the implied predicate child (removal candidate).
+	Redundant *query.Node
+	// Because is the sibling that implies it (possibly the successor).
+	Because *query.Node
+}
+
+func (r Redundancy) String() string {
+	return fmt.Sprintf("conjunct %s is implied by sibling %s", pathOf(r.Redundant), pathOf(r.Because))
+}
+
+func pathOf(u *query.Node) string {
+	s := u.Axis.String() + u.NTest
+	for c := u.Successor; c != nil; c = c.Successor {
+		s += c.Axis.String() + c.NTest
+	}
+	return s
+}
+
+// RedundantNodes detects redundant predicate children of a univariate
+// leaf-only-value-restricted query by the sound sibling-embedding rule:
+// predicate child v is redundant if a sibling u exists such that every
+// document node matching u necessarily matches v — decided by a recursive
+// "weaker-than" embedding over the two subtrees (axis specialization, node
+// test specialization, truth-set containment at every node).
+//
+// Every report is a true redundancy; subtler cross-level redundancies are
+// not searched for (the check is sound, not complete).
+func RedundantNodes(q *query.Query) ([]Redundancy, error) {
+	var out []Redundancy
+	for _, parent := range q.Nodes() {
+		for _, v := range parent.Children {
+			if v == parent.Successor {
+				continue // the successor spine determines the output
+			}
+			for _, u := range parent.Children {
+				if u == v {
+					continue
+				}
+				weaker, err := embedsWeaker(v, u)
+				if err != nil {
+					return nil, err
+				}
+				if weaker {
+					out = append(out, Redundancy{Redundant: v, Because: u})
+					break
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// embedsWeaker reports whether v's requirement is implied by u's: any
+// document node that matches u also matches v. Sound by induction:
+//
+//   - axis: a child is also a descendant, so AXIS(v)=descendant accepts
+//     any AXIS(u); AXIS(v)=child requires AXIS(u)=child (attribute
+//     likewise exact);
+//   - node test: a wildcard accepts anything; otherwise names must agree
+//     (and u must not be a wildcard);
+//   - value: TRUTH(u) ⊆ TRUTH(v), refuted by a witness of u's set outside
+//     v's (exact for the recognized truth-set shapes);
+//   - children: every child requirement of v is implied by some child of u.
+func embedsWeaker(v, u *query.Node) (bool, error) {
+	switch v.Axis {
+	case query.AxisChild:
+		if u.Axis != query.AxisChild {
+			return false, nil
+		}
+	case query.AxisAttribute:
+		if u.Axis != query.AxisAttribute {
+			return false, nil
+		}
+	case query.AxisDescendant:
+		if u.Axis == query.AxisAttribute {
+			// A descendant-axis node selects elements only; an
+			// attribute match cannot serve it.
+			return false, nil
+		}
+	}
+	if !v.IsWildcard() && (u.IsWildcard() || u.NTest != v.NTest) {
+		return false, nil
+	}
+	vSet, err := query.TruthSetOf(v)
+	if err != nil {
+		return false, err
+	}
+	uSet, err := query.TruthSetOf(u)
+	if err != nil {
+		return false, err
+	}
+	if !vSet.IsAll() {
+		if _, escapes := query.WitnessOutside(uSet, []query.Set{vSet}); escapes {
+			return false, nil
+		}
+	}
+	for _, vc := range v.Children {
+		implied := false
+		for _, uc := range u.Children {
+			ok, err := embedsWeaker(vc, uc)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				implied = true
+				break
+			}
+		}
+		if !implied {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,244 @@
+package match
+
+import (
+	"streamxpath/internal/query"
+	"streamxpath/internal/tree"
+)
+
+// PathMatches implements Definition 8.2: x path matches u if there is a map
+// ρ from PATH(u) to PATH(x) with root match, axis match and node test match
+// (no predicates, no values), and ρ(u) = x.
+func PathMatches(u *query.Node, x *tree.Node) bool {
+	qpath := u.Path() // qpath[0] = query root
+	dpath := x.Path() // dpath[0] = document root
+	if x.Kind == tree.KindText {
+		return false
+	}
+	// pm[i][j]: qpath[0..i] maps into dpath[0..j] with ρ(qpath[i]) =
+	// dpath[j].
+	m, k := len(qpath), len(dpath)
+	pm := make([][]bool, m)
+	for i := range pm {
+		pm[i] = make([]bool, k)
+	}
+	pm[0][0] = true // roots map to roots
+	for i := 1; i < m; i++ {
+		v := qpath[i]
+		for j := 1; j < k; j++ {
+			y := dpath[j]
+			if !stepOK(v, y) {
+				continue
+			}
+			switch v.Axis {
+			case query.AxisChild, query.AxisAttribute:
+				pm[i][j] = pm[i-1][j-1]
+			case query.AxisDescendant:
+				for jp := 0; jp < j; jp++ {
+					if pm[i-1][jp] {
+						pm[i][j] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return pm[m-1][k-1]
+}
+
+// stepOK checks node kind and node test passage for a path-matching step.
+func stepOK(v *query.Node, y *tree.Node) bool {
+	if v.Axis == query.AxisAttribute {
+		if y.Kind != tree.KindAttribute {
+			return false
+		}
+	} else if y.Kind != tree.KindElement {
+		return false
+	}
+	return v.IsWildcard() || v.NTest == y.Name
+}
+
+// PathRecursionDepth implements Definition 8.3: the maximum length of a
+// nested sequence of document nodes that all path match the same query
+// node.
+func PathRecursionDepth(q *query.Query, d *tree.Node) int {
+	best := 0
+	for _, u := range q.Nodes() {
+		if u.IsRoot() {
+			continue
+		}
+		marked := make(map[*tree.Node]bool)
+		d.Walk(func(y *tree.Node) bool {
+			if y.Kind == tree.KindElement && PathMatches(u, y) {
+				marked[y] = true
+			}
+			return true
+		})
+		if n := longestNestedChain(d, marked); n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// TextWidth implements Definition 8.4: the maximum length of STRVAL(x) over
+// document nodes x that path match some leaf of Q.
+func TextWidth(q *query.Query, d *tree.Node) int {
+	var leaves []*query.Node
+	for _, u := range q.Nodes() {
+		if !u.IsRoot() && u.IsLeaf() {
+			leaves = append(leaves, u)
+		}
+	}
+	best := 0
+	d.Walk(func(y *tree.Node) bool {
+		if y.Kind == tree.KindText {
+			return true
+		}
+		for _, u := range leaves {
+			if PathMatches(u, y) {
+				if n := len(y.StrVal()); n > best {
+					best = n
+				}
+				break
+			}
+		}
+		return true
+	})
+	return best
+}
+
+// pathPattern is the (axis, ntest, isAttr) step sequence of PATH(u) below
+// the root, used by the path-consistency decision procedure.
+type pathPattern []patternStep
+
+type patternStep struct {
+	axis  query.Axis
+	ntest string
+}
+
+func patternOf(u *query.Node) pathPattern {
+	path := u.Path()
+	out := make(pathPattern, 0, len(path)-1)
+	for _, v := range path[1:] {
+		out = append(out, patternStep{axis: v.Axis, ntest: v.NTest})
+	}
+	return out
+}
+
+// symbol is a candidate document-node label for the common-path search.
+type symbol struct {
+	name string
+	attr bool
+}
+
+// accepts reports whether a step can consume the symbol.
+func (s patternStep) accepts(sym symbol) bool {
+	if (s.axis == query.AxisAttribute) != sym.attr {
+		return false
+	}
+	return s.ntest == query.Wildcard || s.ntest == sym.name
+}
+
+// PathConsistent implements Definition 8.5: u and v are path consistent if
+// some document node path matches both. Decided by a product reachability
+// search over the two path patterns: states (i, j) count fully-matched
+// steps; a symbol advances a pattern whose next step accepts it, may be
+// skipped under a pending descendant step, and kills the search under a
+// pending child step it does not satisfy. Both patterns must complete on
+// the same final symbol (the shared node x).
+func PathConsistent(u, v *query.Node) bool {
+	p1, p2 := patternOf(u), patternOf(v)
+	m1, m2 := len(p1), len(p2)
+	if m1 == 0 || m2 == 0 {
+		return m1 == 0 && m2 == 0 // both are the root
+	}
+	// Candidate alphabet: every ntest in either pattern plus a fresh
+	// name that passes only wildcards.
+	var alphabet []symbol
+	seen := map[symbol]bool{}
+	add := func(s symbol) {
+		if s.name != query.Wildcard && !seen[s] {
+			seen[s] = true
+			alphabet = append(alphabet, s)
+		}
+	}
+	for _, st := range append(append(pathPattern{}, p1...), p2...) {
+		add(symbol{name: st.ntest, attr: st.axis == query.AxisAttribute})
+	}
+	add(symbol{name: "\x00fresh", attr: false})
+
+	type state struct{ i, j int }
+	visited := map[state]bool{{0, 0}: true}
+	frontier := []state{{0, 0}}
+	for len(frontier) > 0 {
+		var next []state
+		for _, st := range frontier {
+			for _, sym := range alphabet {
+				// Each pattern either advances, legally stays
+				// (pending descendant step), or dies.
+				moves1 := movesAfter(p1, st.i, sym)
+				moves2 := movesAfter(p2, st.j, sym)
+				for _, i2 := range moves1 {
+					for _, j2 := range moves2 {
+						// Acceptance: both complete on this symbol.
+						if i2 == m1 && j2 == m2 && i2 > st.i && j2 > st.j {
+							return true
+						}
+						ns := state{i2, j2}
+						// States where a pattern has completed early are
+						// dead: the shared endpoint must be the final
+						// symbol for both.
+						if i2 == m1 || j2 == m2 {
+							continue
+						}
+						if !visited[ns] {
+							visited[ns] = true
+							next = append(next, ns)
+						}
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return false
+}
+
+// movesAfter returns the possible progress counts after a pattern in state
+// i consumes sym: advance to i+1 if the next step accepts, stay at i if the
+// next step is a descendant step (the node is skipped material inside the
+// gap). An exhausted or blocked pattern yields no moves.
+func movesAfter(p pathPattern, i int, sym symbol) []int {
+	if i >= len(p) {
+		return nil // already complete; consuming more is invalid
+	}
+	var out []int
+	stp := p[i]
+	if stp.accepts(sym) {
+		out = append(out, i+1)
+	}
+	if stp.axis == query.AxisDescendant && !sym.attr {
+		out = append(out, i)
+	}
+	return out
+}
+
+// PathConsistencyFree implements Definition 8.6: no two distinct nodes of Q
+// are path consistent.
+func PathConsistencyFree(q *query.Query) bool {
+	nodes := q.Nodes()
+	for i, u := range nodes {
+		if u.IsRoot() {
+			continue
+		}
+		for _, v := range nodes[i+1:] {
+			if v.IsRoot() || v == u {
+				continue
+			}
+			if PathConsistent(u, v) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,63 @@
+package naive
+
+import (
+	"testing"
+
+	"streamxpath/internal/query"
+	"streamxpath/internal/sax"
+	"streamxpath/internal/tree"
+)
+
+func TestNaiveBasic(t *testing.T) {
+	cases := []struct {
+		q, d string
+		want bool
+	}{
+		{"/a[b and c]", "<a><b/><c/></a>", true},
+		{"/a[b and c]", "<a><b/></a>", false},
+		{"/a[b or c]", "<a><c/></a>", true}, // naive handles full Forward XPath
+		{"/a[not(b)]", "<a><c/></a>", true},
+	}
+	for _, c := range cases {
+		e := New(query.MustParse(c.q))
+		got, err := e.ProcessAll(tree.MustParse(c.d).Events())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("naive(%s, %s) = %v, want %v", c.q, c.d, got, c.want)
+		}
+		if got != e.Matched() {
+			t.Error("Matched disagrees with ProcessAll")
+		}
+	}
+}
+
+func TestNaiveBuffersEverything(t *testing.T) {
+	e := New(query.MustParse("/a"))
+	events := tree.MustParse("<a><b>some text</b><c/></a>").Events()
+	if _, err := e.ProcessAll(events); err != nil {
+		t.Fatal(err)
+	}
+	if e.BufferedEvents() != len(events) {
+		t.Errorf("buffered %d events, want %d", e.BufferedEvents(), len(events))
+	}
+	if e.BufferedBytes() < len("some text") {
+		t.Errorf("buffered %d bytes, too few", e.BufferedBytes())
+	}
+	e.Reset()
+	if e.BufferedEvents() != 0 || e.Matched() {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestNaiveErrors(t *testing.T) {
+	e := New(query.MustParse("/a"))
+	if _, err := e.ProcessAll([]sax.Event{sax.StartDoc()}); err == nil {
+		t.Error("missing endDocument: want error")
+	}
+	e.Reset()
+	if _, err := e.ProcessAll([]sax.Event{sax.StartDoc(), sax.Start("a"), sax.EndDoc()}); err == nil {
+		t.Error("malformed stream: want error")
+	}
+}

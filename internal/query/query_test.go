@@ -1,0 +1,513 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"streamxpath/internal/value"
+)
+
+// TestFig2QueryTree reproduces Figure 2: the query tree for
+// /a[c[.//e and f] and b > 5]/b.
+func TestFig2QueryTree(t *testing.T) {
+	q := MustParse("/a[c[.//e and f] and b > 5]/b")
+	root := q.Root
+	if !root.IsRoot() || root.Axis != AxisRoot {
+		t.Fatal("root misconfigured")
+	}
+	if len(root.Children) != 1 {
+		t.Fatalf("root children = %d, want 1", len(root.Children))
+	}
+	a := root.Children[0]
+	if a.NTest != "a" || a.Axis != AxisChild {
+		t.Fatalf("a node = %q %v", a.NTest, a.Axis)
+	}
+	if root.Successor != a {
+		t.Error("a must be the root's successor")
+	}
+	// a has three children: predicate children c and b (the "b > 5" one),
+	// then the successor b.
+	if len(a.Children) != 3 {
+		t.Fatalf("a children = %d, want 3", len(a.Children))
+	}
+	c, b1, b2 := a.Children[0], a.Children[1], a.Children[2]
+	if c.NTest != "c" || b1.NTest != "b" || b2.NTest != "b" {
+		t.Fatalf("children = %q %q %q", c.NTest, b1.NTest, b2.NTest)
+	}
+	if a.Successor != b2 {
+		t.Error("second b must be a's successor")
+	}
+	pc := a.PredicateChildren()
+	if len(pc) != 2 || pc[0] != c || pc[1] != b1 {
+		t.Error("predicate children of a must be {c, first b}")
+	}
+	// c has two predicate children e (descendant axis) and f.
+	if len(c.Children) != 2 {
+		t.Fatalf("c children = %d, want 2", len(c.Children))
+	}
+	e, f := c.Children[0], c.Children[1]
+	if e.NTest != "e" || e.Axis != AxisDescendant {
+		t.Errorf("e node = %q %v, want descendant axis", e.NTest, e.Axis)
+	}
+	if f.NTest != "f" || f.Axis != AxisChild {
+		t.Errorf("f node = %q %v", f.NTest, f.Axis)
+	}
+	if c.Successor != nil {
+		t.Error("c has no successor")
+	}
+	// OUT(Q) is the second b.
+	if q.Out() != b2 {
+		t.Error("OUT(Q) must be the successor b")
+	}
+	// Succession structure.
+	if !c.IsSuccessionRoot() || !b1.IsSuccessionRoot() || b2.IsSuccessionRoot() {
+		t.Error("succession roots: c and first b yes, successor b no")
+	}
+	if e.SuccessionRoot() != e || b2.SuccessionRoot() != root {
+		t.Error("SuccessionRoot misbehaves")
+	}
+	if root.Leaf() != b2 || c.Leaf() != c {
+		t.Error("Leaf misbehaves")
+	}
+}
+
+func TestQuerySize(t *testing.T) {
+	// root, a, c, e, f, b1, b2
+	q := MustParse("/a[c[.//e and f] and b > 5]/b")
+	if got := q.Size(); got != 7 {
+		t.Errorf("Size = %d, want 7", got)
+	}
+}
+
+func TestParseSimplePaths(t *testing.T) {
+	cases := []struct {
+		src   string
+		names []string
+		axes  []Axis
+	}{
+		{"/a/b", []string{"a", "b"}, []Axis{AxisChild, AxisChild}},
+		{"//a", []string{"a"}, []Axis{AxisDescendant}},
+		{"//a//b", []string{"a", "b"}, []Axis{AxisDescendant, AxisDescendant}},
+		{"/a//b/c", []string{"a", "b", "c"}, []Axis{AxisChild, AxisDescendant, AxisChild}},
+		{"/a/*/b", []string{"a", "*", "b"}, []Axis{AxisChild, AxisChild, AxisChild}},
+		{"/a/@id", []string{"a", "id"}, []Axis{AxisChild, AxisAttribute}},
+		{"@id", []string{"id"}, []Axis{AxisAttribute}},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%s): %v", c.src, err)
+			continue
+		}
+		n := q.Root
+		for i := range c.names {
+			n = n.Successor
+			if n == nil {
+				t.Errorf("%s: chain too short at %d", c.src, i)
+				break
+			}
+			if n.NTest != c.names[i] || n.Axis != c.axes[i] {
+				t.Errorf("%s step %d: %q %v, want %q %v", c.src, i, n.NTest, n.Axis, c.names[i], c.axes[i])
+			}
+		}
+		if n != nil && n.Successor != nil {
+			t.Errorf("%s: chain too long", c.src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"a",       // must start with axis
+		"/",       // missing node test
+		"/a[",     // unterminated predicate
+		"/a[b",    // missing ]
+		"/a]b",    // stray ]
+		"/a[b >]", // missing operand
+		"/a[unknown(b)]",
+		"/a[contains(b)]",        // arity
+		"/a[b = 'x]",             // unterminated string
+		"/a[. = 5]",              // bare dot unsupported
+		"/a[b ! c]",              // lone !
+		"/a[not(b]",              // unterminated not
+		"/a[b or]",               // trailing or
+		"/a/b extra",             // trailing junk
+		"/a[string-length(b) <]", // missing operand
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
+	}
+}
+
+func TestParsePredicateShapes(t *testing.T) {
+	// Conjunction flattening.
+	q := MustParse("/a[b and c and d]")
+	a := q.Root.Children[0]
+	if a.Pred.Kind != ExprLogic || a.Pred.Op != "and" || len(a.Pred.Args) != 3 {
+		t.Errorf("and not flattened: %v", a.Pred)
+	}
+	if len(a.PredicateChildren()) != 3 {
+		t.Errorf("predicate children = %d", len(a.PredicateChildren()))
+	}
+	// Or and not.
+	q2 := MustParse("/a[b or not(c)]")
+	p := q2.Root.Children[0].Pred
+	if p.Op != "or" || p.Args[1].Op != "not" {
+		t.Errorf("or/not parse: %s", p)
+	}
+	// Comparison precedence: arithmetic binds tighter.
+	q3 := MustParse("/a[b + 2 = 5]")
+	p3 := q3.Root.Children[0].Pred
+	if p3.Kind != ExprCompare || p3.Args[0].Kind != ExprArith {
+		t.Errorf("precedence: %s", p3)
+	}
+	// Multiplication vs wildcard: both in one predicate.
+	q4 := MustParse("/a[*/b * 2 > 6]")
+	p4 := q4.Root.Children[0].Pred
+	if p4.Kind != ExprCompare || p4.Args[0].Kind != ExprArith || p4.Args[0].Op != "*" {
+		t.Errorf("star disambiguation: %s", p4)
+	}
+	star := q4.Root.Children[0].Children[0]
+	if star.NTest != Wildcard || star.Successor == nil || star.Successor.NTest != "b" {
+		t.Errorf("wildcard relpath: %v", star)
+	}
+}
+
+func TestParseRelPathAxes(t *testing.T) {
+	q := MustParse("/a[.//e and @id and c/b//d]")
+	a := q.Root.Children[0]
+	pc := a.PredicateChildren()
+	if len(pc) != 3 {
+		t.Fatalf("predicate children = %d", len(pc))
+	}
+	if pc[0].NTest != "e" || pc[0].Axis != AxisDescendant {
+		t.Error(".//e axis")
+	}
+	if pc[1].NTest != "id" || pc[1].Axis != AxisAttribute {
+		t.Error("@id axis")
+	}
+	c := pc[2]
+	if c.NTest != "c" || c.Axis != AxisChild {
+		t.Error("c axis")
+	}
+	b := c.Successor
+	if b == nil || b.NTest != "b" || b.Axis != AxisChild {
+		t.Fatal("c/b successor")
+	}
+	d := b.Successor
+	if d == nil || d.NTest != "d" || d.Axis != AxisDescendant {
+		t.Fatal("b//d successor")
+	}
+	if c.Leaf() != d {
+		t.Error("LEAF(c) must be d")
+	}
+}
+
+func TestParseNestedPredicates(t *testing.T) {
+	q := MustParse("/a[c[.//e and f] and b > 5]")
+	c := q.Root.Children[0].Children[0]
+	if c.Pred == nil || c.Pred.Op != "and" {
+		t.Fatalf("c predicate: %v", c.Pred)
+	}
+	if len(c.PredicateChildren()) != 2 {
+		t.Error("c should have 2 predicate children")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"/a[c[.//e and f] and b > 5]/b",
+		"//a[b and c]",
+		"/a/b",
+		"/a[*/b > 5 and c/b//d > 12 and .//d < 30]",
+		"/a[b = \"hello\"]",
+		"/a[contains(b, \"AB\") and starts-with(c, \"x\")]",
+		"/a[string-length(b) <= 4]",
+		"/a[not(b) or c]",
+		"/a[b + 2 = 5]",
+		"/a/@id[. > 3]",
+	}
+	for _, src := range srcs {
+		if src == "/a/@id[. > 3]" {
+			continue // '.' value tests unsupported by design
+		}
+		q, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%s): %v", src, err)
+			continue
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Errorf("reparse of %q (from %q): %v", rendered, src, err)
+			continue
+		}
+		if q2.String() != rendered {
+			t.Errorf("render not stable: %q -> %q", rendered, q2.String())
+		}
+	}
+}
+
+func TestAtomicPredicates(t *testing.T) {
+	q := MustParse("/a[b > 5 and c + d = 7 and not(e)]")
+	a := q.Root.Children[0]
+	atoms := a.Pred.AtomicPredicates()
+	if len(atoms) != 3 {
+		t.Fatalf("atomic predicates = %d, want 3", len(atoms))
+	}
+	if atoms[0].Kind != ExprCompare || atoms[1].Kind != ExprCompare || atoms[2].Kind != ExprPath {
+		t.Errorf("atom kinds: %v %v %v", atoms[0].Kind, atoms[1].Kind, atoms[2].Kind)
+	}
+	// The paper's example: "b > 5" univariate, "c + d = 7" not.
+	if n := len(atoms[0].PathLeaves()); n != 1 {
+		t.Errorf("b > 5 has %d variables", n)
+	}
+	if n := len(atoms[1].PathLeaves()); n != 2 {
+		t.Errorf("c + d = 7 has %d variables", n)
+	}
+}
+
+func TestAtomicPredicateOf(t *testing.T) {
+	q := MustParse("/a[b > 5 and c]/d")
+	a := q.Root.Children[0]
+	b, c, d := a.Children[0], a.Children[1], a.Children[2]
+	if p := AtomicPredicateOf(b); p == nil || p.Kind != ExprCompare {
+		t.Error("b's atomic predicate should be the comparison")
+	}
+	if p := AtomicPredicateOf(c); p == nil || p.Kind != ExprPath {
+		t.Error("c's atomic predicate should be the existence test")
+	}
+	if p := AtomicPredicateOf(d); p != nil {
+		t.Error("the successor d is not pointed to by any predicate")
+	}
+}
+
+func TestSeparateChildrenPerLeaf(t *testing.T) {
+	// "No two leaves of the predicate can point to the same child":
+	// [b and b] creates two distinct b children.
+	q := MustParse("/a[b and b]")
+	a := q.Root.Children[0]
+	if len(a.Children) != 2 || a.Children[0] == a.Children[1] {
+		t.Error("each RelPath occurrence must create its own child")
+	}
+}
+
+func TestDepthHelper(t *testing.T) {
+	q := MustParse("/a/b/c")
+	c := q.Root.Leaf()
+	if c.Depth() != 4 { // $, a, b, c
+		t.Errorf("Depth = %d, want 4", c.Depth())
+	}
+	if len(c.Path()) != 4 {
+		t.Errorf("Path length = %d", len(c.Path()))
+	}
+}
+
+func TestEvalExprPaperRemark(t *testing.T) {
+	// The remark in Section 3.1.3: Q = /a[b + 2 = 5] on
+	// <a><b>0</b><b>3</b></a> evaluates TRUE under the paper's
+	// existential semantics (the second b satisfies it).
+	q := MustParse("/a[b + 2 = 5]")
+	a := q.Root.Children[0]
+	bind := func(child *Node) value.Sequence {
+		return value.Sequence{value.String_("0"), value.String_("3")}
+	}
+	if !EvalExpr(a.Pred, bind).EBV() {
+		t.Error("existential semantics: want true (3 + 2 = 5)")
+	}
+	bindNone := func(child *Node) value.Sequence {
+		return value.Sequence{value.String_("0"), value.String_("1")}
+	}
+	if EvalExpr(a.Pred, bindNone).EBV() {
+		t.Error("no satisfying element: want false")
+	}
+}
+
+func TestEvalExprCartesianRule5(t *testing.T) {
+	// Per Definition 3.5 part 5, arithmetic over atomics yields a
+	// (non-empty) sequence, so [2 - 2] has EBV true under the paper's
+	// semantics — a documented deviation from W3C XPath.
+	q := MustParse("/a[2 - 2]")
+	p := q.Root.Children[0].Pred
+	r := EvalExpr(p, func(*Node) value.Sequence { return nil })
+	if !r.IsSeq || !r.EBV() {
+		t.Error("[2 - 2] should be a non-empty sequence (EBV true)")
+	}
+}
+
+func TestEvalExprEmptySequencePropagates(t *testing.T) {
+	// An empty operand sequence makes the cartesian product empty, so
+	// the comparison is false.
+	q := MustParse("/a[b + 2 = 5]")
+	p := q.Root.Children[0].Pred
+	empty := func(*Node) value.Sequence { return nil }
+	if EvalExpr(p, empty).EBV() {
+		t.Error("empty binding: comparison must be false")
+	}
+}
+
+func TestEvalExprLogic(t *testing.T) {
+	q := MustParse("/a[b and not(c)]")
+	p := q.Root.Children[0].Pred
+	a := q.Root.Children[0]
+	b, c := a.Children[0], a.Children[1]
+	bind := func(child *Node) value.Sequence {
+		if child == b {
+			return value.Sequence{value.String_("x")}
+		}
+		if child == c {
+			return nil
+		}
+		return nil
+	}
+	if !EvalExpr(p, bind).EBV() {
+		t.Error("b present, c absent: want true")
+	}
+	bind2 := func(child *Node) value.Sequence {
+		return value.Sequence{value.String_("x")}
+	}
+	if EvalExpr(p, bind2).EBV() {
+		t.Error("c present: want false")
+	}
+}
+
+func TestEvalExprFuncs(t *testing.T) {
+	q := MustParse(`/a[contains(b, "AB")]`)
+	p := q.Root.Children[0].Pred
+	bind := func(*Node) value.Sequence {
+		return value.Sequence{value.String_("no"), value.String_("xABy")}
+	}
+	if !EvalExpr(p, bind).EBV() {
+		t.Error("contains existential: want true")
+	}
+	bind2 := func(*Node) value.Sequence {
+		return value.Sequence{value.String_("no")}
+	}
+	if EvalExpr(p, bind2).EBV() {
+		t.Error("contains: want false")
+	}
+}
+
+func TestConstFold(t *testing.T) {
+	q := MustParse("/a[b = 2 + 3]")
+	p := q.Root.Children[0].Pred
+	v, ok := ConstFold(p.Args[1])
+	if !ok || v.Num() != 5 {
+		t.Errorf("ConstFold(2+3) = %v, %v", v, ok)
+	}
+	if _, ok := ConstFold(p.Args[0]); ok {
+		t.Error("ConstFold of a variable expression must fail")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	q := MustParse(`/a[c[.//e and f] and b > 5]/b`)
+	s := q.String()
+	for _, frag := range []string{"/a[", ".//e", "and f", "b > 5", "]/b"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q, missing %q", s, frag)
+		}
+	}
+}
+
+func TestHelperMethods(t *testing.T) {
+	q := MustParse("/a[*/x and b > 5]")
+	a := q.Root.Children[0]
+	star := a.Children[0]
+	if !star.IsWildcard() || a.IsWildcard() {
+		t.Error("IsWildcard misbehaves")
+	}
+	if !star.Successor.IsLeaf() || star.IsLeaf() {
+		t.Error("IsLeaf misbehaves")
+	}
+	if len(q.Nodes()) != q.Size() {
+		t.Error("Nodes/Size disagree")
+	}
+	if len(a.Nodes()) != 4 { // a, *, x, b
+		t.Errorf("a.Nodes() = %d, want 4", len(a.Nodes()))
+	}
+	// Walk early stop.
+	count := 0
+	q.Root.Walk(func(n *Node) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("Walk early stop visited %d", count)
+	}
+	// Expr.Walk early stop.
+	ecount := 0
+	a.Pred.Walk(func(e *Expr) bool {
+		ecount++
+		return false
+	})
+	if ecount != 1 {
+		t.Errorf("Expr.Walk early stop visited %d", ecount)
+	}
+}
+
+func TestBoolOutput(t *testing.T) {
+	q := MustParse(`/a[contains(b, "x") and b + 1 = 2]`)
+	atoms := q.Root.Children[0].Pred.AtomicPredicates()
+	if !atoms[0].BoolOutput() {
+		t.Error("contains has boolean output")
+	}
+	if !atoms[1].BoolOutput() {
+		t.Error("comparison has boolean output")
+	}
+	if atoms[1].Args[0].BoolOutput() {
+		t.Error("arithmetic has non-boolean output")
+	}
+	if !q.Root.Children[0].Pred.BoolOutput() {
+		t.Error("and has boolean output")
+	}
+}
+
+func TestAxisAndTokenStrings(t *testing.T) {
+	for _, a := range []Axis{AxisRoot, AxisChild, AxisDescendant, AxisAttribute, Axis(99)} {
+		if a.String() == "" {
+			t.Errorf("Axis(%d).String empty", a)
+		}
+	}
+	// Exercise the lexer error formatting.
+	_, err := Parse("/a[b # c]")
+	if err == nil {
+		t.Fatal("want lexer error")
+	}
+	if se, ok := err.(*SyntaxError); !ok || se.Error() == "" || se.Pos == 0 {
+		t.Errorf("error = %#v", err)
+	}
+}
+
+func TestSetAccessors(t *testing.T) {
+	// Exercise Witness/Candidates/IsAll across all concrete sets (these
+	// are mostly covered cross-package; pin them here too).
+	sets := []Set{
+		All, EmptySet, NumAnySet(), NumSet(value.OpGe, 3),
+		StrEqSet("s"), StrNeSet("s"),
+		StrFuncSet(StrContains, "c"), StrFuncSet(StrPrefix, "p"), StrFuncSet(StrSuffix, "x"),
+		StrFuncSet(StrContains, ""), // empty constant => All
+		LenSet(value.OpLe, 2),
+		GenericSet("g", func(s string) bool { return s == "g" }, []string{"g"}),
+	}
+	for _, s := range sets {
+		w, ok := s.Witness()
+		if ok && !s.Contains(w) {
+			t.Errorf("%s: witness %q not a member", s, w)
+		}
+		if s == EmptySet && ok {
+			t.Error("empty set has no witness")
+		}
+		_ = s.Candidates()
+		_ = s.IsAll()
+	}
+	if !StrFuncSet(StrContains, "").IsAll() {
+		t.Error("contains(\"\") is a tautology")
+	}
+	if w, ok := NumAnySet().Witness(); !ok || w != "0" {
+		t.Errorf("NumAnySet witness = %q", w)
+	}
+}

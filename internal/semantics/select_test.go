@@ -1,0 +1,110 @@
+package semantics
+
+import (
+	"testing"
+
+	"streamxpath/internal/query"
+	"streamxpath/internal/tree"
+)
+
+// TestSelectThirdCase exercises Definition 3.4's third case directly:
+// SELECT(v | u = x) where u is a proper ancestor of PARENT(v).
+func TestSelectThirdCase(t *testing.T) {
+	q := query.MustParse("/a/b/c")
+	d := tree.MustParse("<a><b><c>1</c></b><b><c>2</c><c>3</c></b></a>")
+	a := q.Root.Successor
+	c := a.Successor.Successor
+	aDoc := d.Children[0]
+	sel := Select(c, a, aDoc)
+	if len(sel) != 3 {
+		t.Fatalf("selected %d nodes, want 3", len(sel))
+	}
+	for i, want := range []string{"1", "2", "3"} {
+		if sel[i].StrVal() != want {
+			t.Errorf("sel[%d] = %q, want %q", i, sel[i].StrVal(), want)
+		}
+	}
+}
+
+// TestSelectNestedParentsDedup: with descendant axes and recursive
+// documents, the per-parent selections overlap; the combined selection
+// must contain each node once, in document order.
+func TestSelectNestedParentsDedup(t *testing.T) {
+	q := query.MustParse("//a//c")
+	d := tree.MustParse("<a><a><c>x</c></a><c>y</c></a>")
+	sel := FullEval(q, d)
+	if len(sel) != 2 {
+		t.Fatalf("selected %d nodes, want 2 (x once despite two a ancestors)", len(sel))
+	}
+	if sel[0].StrVal() != "x" || sel[1].StrVal() != "y" {
+		t.Errorf("selection order: %q, %q; want x then y", sel[0].StrVal(), sel[1].StrVal())
+	}
+}
+
+// TestSelectDocumentOrderAcrossNestedParents: a node selected under a deep
+// parent can precede one selected under a shallow parent in document
+// order; the result must be globally document-ordered.
+func TestSelectDocumentOrderAcrossNestedParents(t *testing.T) {
+	q := query.MustParse("//a/c")
+	d := tree.MustParse("<a><a><c>first</c></a><c>second</c></a>")
+	got := EvalStrings(q, d)
+	if len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Errorf("EvalStrings = %v, want [first second]", got)
+	}
+}
+
+// TestSatisfiesBindsLeafValues: predicate path leaves bind to the
+// succession LEAF's selection (Definition 3.5 part 2), not the pointed
+// child's.
+func TestSatisfiesBindsLeafValues(t *testing.T) {
+	q := query.MustParse("/a[b/c = 5]")
+	a := q.Root.Children[0]
+	if !Satisfies(a, tree.MustParse("<a><b><c>5</c></b></a>").Children[0]) {
+		t.Error("c value should bind")
+	}
+	if Satisfies(a, tree.MustParse("<a><b>5</b></a>").Children[0]) {
+		t.Error("b's own value must not bind (the leaf is c)")
+	}
+}
+
+// TestRelatesByAxis covers the Definition 3.2 relation directly.
+func TestRelatesByAxis(t *testing.T) {
+	d := tree.MustParse("<a><b><c/></b></a>")
+	a := d.Children[0]
+	b := a.Children[0]
+	c := b.Children[0]
+	if !RelatesByAxis(b, a, query.AxisChild) || RelatesByAxis(c, a, query.AxisChild) {
+		t.Error("child relation")
+	}
+	if !RelatesByAxis(c, a, query.AxisDescendant) || RelatesByAxis(a, c, query.AxisDescendant) {
+		t.Error("descendant relation")
+	}
+	if RelatesByAxis(a, a, query.AxisDescendant) {
+		t.Error("a node is not its own descendant")
+	}
+	if !RelatesByAxis(b, a, query.AxisAttribute) {
+		t.Error("attribute axis uses the child relation (kind filtered separately)")
+	}
+	if RelatesByAxis(b, a, query.AxisRoot) {
+		t.Error("root axis relates nothing")
+	}
+}
+
+func TestPassesNodeTest(t *testing.T) {
+	if !PassesNodeTest("x", "x") || !PassesNodeTest("anything", "*") || PassesNodeTest("x", "y") {
+		t.Error("node test passage (Definition 3.1)")
+	}
+}
+
+// TestRootOnlyQueries: a query selecting the root (no steps) returns the
+// root; BOOLEVAL is then always true for any well-formed document.
+func TestRootOnlyQueriesViaFullEval(t *testing.T) {
+	// The grammar requires at least one step; construct the degenerate
+	// query directly.
+	q := &query.Query{Root: &query.Node{Axis: query.AxisRoot}}
+	d := tree.MustParse("<x/>")
+	sel := FullEval(q, d)
+	if len(sel) != 1 || sel[0] != d {
+		t.Errorf("root query selects the root: %v", sel)
+	}
+}

@@ -1,0 +1,173 @@
+// Package semantics implements the reference evaluation semantics of
+// Forward XPath exactly as specified in Section 3.1.3 (Definitions 3.1-3.6):
+// node test passage, axis-specified tree relationships, predicate
+// satisfaction via PEVAL, the SELECT function, and FULLEVAL/BOOLEVAL.
+//
+// This evaluator builds the whole document in memory and is deliberately
+// simple rather than fast: it is the ground-truth oracle against which the
+// streaming filter (internal/core) and the matching-based oracle
+// (internal/match, via Lemma 5.10) are validated.
+package semantics
+
+import (
+	"sort"
+
+	"streamxpath/internal/query"
+	"streamxpath/internal/sax"
+	"streamxpath/internal/tree"
+	"streamxpath/internal/value"
+)
+
+// PassesNodeTest implements Definition 3.1: a name passes a node test if
+// they are equal or the test is the wildcard.
+func PassesNodeTest(name, ntest string) bool {
+	return ntest == query.Wildcard || ntest == name
+}
+
+// RelatesByAxis implements Definition 3.2: y relates to x according to the
+// axis. The attribute axis behaves as child (the paper folds it into the
+// child axis); kind filtering is done by selectable.
+func RelatesByAxis(y, x *tree.Node, axis query.Axis) bool {
+	switch axis {
+	case query.AxisChild, query.AxisAttribute:
+		return y.Parent == x
+	case query.AxisDescendant:
+		return x.IsAncestorOf(y)
+	default:
+		return false
+	}
+}
+
+// selectable reports whether a document node is a selection candidate for a
+// query node with the given axis: elements for child/descendant, attribute
+// nodes for the attribute axis. Text nodes are never selected.
+func selectable(y *tree.Node, axis query.Axis) bool {
+	if axis == query.AxisAttribute {
+		return y.Kind == tree.KindAttribute
+	}
+	return y.Kind == tree.KindElement
+}
+
+// Satisfies implements Definition 3.3: x satisfies PREDICATE(v) if the
+// predicate is empty or its effective boolean value is true, with path
+// leaves bound per Definition 3.5 part 2 to the data values of
+// SELECT(LEAF(w) | v = x).
+func Satisfies(v *query.Node, x *tree.Node) bool {
+	if v.Pred == nil {
+		return true
+	}
+	bind := func(w *query.Node) value.Sequence {
+		sel := Select(w.Leaf(), v, x)
+		out := make(value.Sequence, len(sel))
+		for i, y := range sel {
+			out[i] = value.String_(y.StrVal())
+		}
+		return out
+	}
+	return query.EvalExpr(v.Pred, bind).EBV()
+}
+
+// Select implements Definition 3.4: the node sequence selected by the query
+// node v under the context u = x, in document order. u must be on PATH(v).
+func Select(v, u *query.Node, x *tree.Node) []*tree.Node {
+	if u == v {
+		return []*tree.Node{x}
+	}
+	if u == v.Parent {
+		var out []*tree.Node
+		x.Walk(func(y *tree.Node) bool {
+			if y != x &&
+				selectable(y, v.Axis) &&
+				PassesNodeTest(y.Name, v.NTest) &&
+				RelatesByAxis(y, x, v.Axis) &&
+				Satisfies(v, y) {
+				out = append(out, y)
+			}
+			return true
+		})
+		return out
+	}
+	// u is a proper ancestor of PARENT(v): select the parents first, then
+	// combine per-parent selections (Definition 3.4, third case). When
+	// parents nest (descendant axes in recursive documents), the literal
+	// concatenation would select the same node once per parent and out of
+	// document order; XPath selections are node sequences in document
+	// order, so duplicates are removed and the result re-sorted.
+	parents := Select(v.Parent, u, x)
+	seen := make(map[*tree.Node]bool)
+	var out []*tree.Node
+	for _, z := range parents {
+		for _, y := range Select(v, v.Parent, z) {
+			if !seen[y] {
+				seen[y] = true
+				out = append(out, y)
+			}
+		}
+	}
+	return sortDocOrder(x, out)
+}
+
+// sortDocOrder orders nodes by their pre-order position under root.
+func sortDocOrder(root *tree.Node, nodes []*tree.Node) []*tree.Node {
+	if len(nodes) < 2 {
+		return nodes
+	}
+	pos := make(map[*tree.Node]int, len(nodes))
+	want := make(map[*tree.Node]bool, len(nodes))
+	for _, n := range nodes {
+		want[n] = true
+	}
+	i := 0
+	root.Walk(func(n *tree.Node) bool {
+		if want[n] {
+			pos[n] = i
+		}
+		i++
+		return true
+	})
+	sort.Slice(nodes, func(a, b int) bool { return pos[nodes[a]] < pos[nodes[b]] })
+	return nodes
+}
+
+// FullEval implements Definition 3.6: the evaluation of Q on D is
+// SELECT(OUT(Q) | ROOT(Q) = ROOT(D)) if the document root satisfies the
+// root's predicate, and empty otherwise.
+func FullEval(q *query.Query, d *tree.Node) []*tree.Node {
+	if !Satisfies(q.Root, d) {
+		return nil
+	}
+	out := q.Out()
+	if out == q.Root {
+		// A query with no steps selects the root itself.
+		return []*tree.Node{d}
+	}
+	return Select(out, q.Root, d)
+}
+
+// BoolEval implements BOOLEVAL: D matches Q iff FULLEVAL(Q, D) is
+// non-empty.
+func BoolEval(q *query.Query, d *tree.Node) bool {
+	return len(FullEval(q, d)) > 0
+}
+
+// BoolEvalEvents evaluates BOOLEVAL on a SAX event stream by materializing
+// the document first. This is the non-streaming oracle used by the
+// lower-bound harness to machine-check fooling-set conditions.
+func BoolEvalEvents(q *query.Query, events []sax.Event) (bool, error) {
+	d, err := tree.FromEvents(events)
+	if err != nil {
+		return false, err
+	}
+	return BoolEval(q, d), nil
+}
+
+// EvalStrings returns the string values of the selected nodes, the form of
+// the result most examples print.
+func EvalStrings(q *query.Query, d *tree.Node) []string {
+	sel := FullEval(q, d)
+	out := make([]string, len(sel))
+	for i, n := range sel {
+		out[i] = n.StrVal()
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package semantics
+
+import (
+	"testing"
+
+	"streamxpath/internal/query"
+	"streamxpath/internal/sax"
+	"streamxpath/internal/tree"
+)
+
+func match(t *testing.T, q, xml string) bool {
+	t.Helper()
+	return BoolEval(query.MustParse(q), tree.MustParse(xml))
+}
+
+func TestBasicPaths(t *testing.T) {
+	cases := []struct {
+		q, d string
+		want bool
+	}{
+		{"/a", "<a/>", true},
+		{"/a", "<b/>", false},
+		{"/a/b", "<a><b/></a>", true},
+		{"/a/b", "<a><c><b/></c></a>", false},
+		{"/a//b", "<a><c><b/></c></a>", true},
+		{"//b", "<a><c><b/></c></a>", true},
+		{"//b", "<a><c/></a>", false},
+		{"/a/*/b", "<a><x><b/></x></a>", true},
+		{"/a/*/b", "<a><b/></a>", false},
+		{"/*", "<anything/>", true},
+	}
+	for _, c := range cases {
+		if got := match(t, c.q, c.d); got != c.want {
+			t.Errorf("BoolEval(%s, %s) = %v, want %v", c.q, c.d, got, c.want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	cases := []struct {
+		q, d string
+		want bool
+	}{
+		{"/a[b]", "<a><b/></a>", true},
+		{"/a[b]", "<a><c/></a>", false},
+		{"/a[b and c]", "<a><b/><c/></a>", true},
+		{"/a[b and c]", "<a><b/></a>", false},
+		{"/a[b or c]", "<a><c/></a>", true},
+		{"/a[not(b)]", "<a><c/></a>", true},
+		{"/a[not(b)]", "<a><b/></a>", false},
+		{"/a[b > 5]", "<a><b>6</b></a>", true},
+		{"/a[b > 5]", "<a><b>5</b></a>", false},
+		{"/a[b > 5]", "<a><b>x</b></a>", false},
+		// Existential over multiple b children.
+		{"/a[b > 5]", "<a><b>1</b><b>9</b></a>", true},
+		{"/a[b = \"hello\"]", "<a><b>hello</b></a>", true},
+		{"/a[b = \"hello\"]", "<a><b>world</b></a>", false},
+		{"/a[contains(b, \"AB\")]", "<a><b>xABy</b></a>", true},
+		{"/a[.//e and f]", "<a><x><e/></x><f/></a>", true},
+		{"/a[.//e and f]", "<a><e/><f/></a>", true},
+		{"/a[.//e and f]", "<a><f/></a>", false},
+		{"/a[c/b//d > 12]", "<a><c><b><x><d>31</d></x></b></c></a>", true},
+		{"/a[c/b//d > 12]", "<a><c><b><x><d>12</d></x></b></c></a>", false},
+	}
+	for _, c := range cases {
+		if got := match(t, c.q, c.d); got != c.want {
+			t.Errorf("BoolEval(%s, %s) = %v, want %v", c.q, c.d, got, c.want)
+		}
+	}
+}
+
+// TestPaperRemarkExample is the remark in Section 3.1.3: /a[b + 2 = 5] on
+// <a><b>0</b><b>3</b></a> is true under the paper's existential semantics.
+func TestPaperRemarkExample(t *testing.T) {
+	if !match(t, "/a[b + 2 = 5]", "<a><b>0</b><b>3</b></a>") {
+		t.Error("want true: the second b satisfies the predicate")
+	}
+	if match(t, "/a[b + 2 = 5]", "<a><b>0</b><b>4</b></a>") {
+		t.Error("want false: no b satisfies")
+	}
+}
+
+// TestTheorem42Document: D = <a><c><e/><f/></c><b>6</b></a> matches
+// /a[c[.//e and f] and b > 5] (the Section 4.1 running example).
+func TestTheorem42Document(t *testing.T) {
+	q := "/a[c[.//e and f] and b > 5]"
+	if !match(t, q, "<a><c><e/><f/></c><b>6</b></a>") {
+		t.Error("D must match Q")
+	}
+	// Reordered children still match (the fooling-set documents D_T).
+	if !match(t, q, "<a><b>6</b><c><f/><e/></c></a>") {
+		t.Error("D_T must match Q")
+	}
+	// Dropping any frontier node breaks the match (the crossover
+	// documents D_{T,T'}).
+	for _, d := range []string{
+		"<a><b>6</b><c><f/><f/></c></a>", // e missing
+		"<a><b>6</b><c><e/></c></a>",     // f missing
+		"<a><c><e/><f/></c></a>",         // b missing
+	} {
+		if match(t, q, d) {
+			t.Errorf("%s must not match Q", d)
+		}
+	}
+}
+
+// TestRecursionExample is Section 4.2's example: //a[b and c] on the
+// document <a><a><b/><c/></a></a> (recursion depth 2).
+func TestRecursionExample(t *testing.T) {
+	if !match(t, "//a[b and c]", "<a><a><b/><c/></a></a>") {
+		t.Error("inner a has both b and c")
+	}
+	// The D_{s,t} shape: b on one level, c on another => no match.
+	if match(t, "//a[b and c]", "<a><b/><a><a/><c/></a></a>") {
+		t.Error("no single a has both b and c")
+	}
+	if !match(t, "//a[b and c]", "<a><b/><a><b/><a/><c/></a></a>") {
+		t.Error("middle a has both")
+	}
+}
+
+func TestSelectDocumentOrder(t *testing.T) {
+	q := query.MustParse("/a/b")
+	d := tree.MustParse("<a><b>1</b><c><b>skip</b></c><b>2</b></a>")
+	got := EvalStrings(q, d)
+	if len(got) != 2 || got[0] != "1" || got[1] != "2" {
+		t.Errorf("EvalStrings = %v, want [1 2]", got)
+	}
+}
+
+func TestSelectDescendantOrder(t *testing.T) {
+	q := query.MustParse("//b")
+	d := tree.MustParse("<a><b>1<b>2</b></b><b>3</b></a>")
+	got := EvalStrings(q, d)
+	if len(got) != 3 || got[0] != "12" || got[1] != "2" || got[2] != "3" {
+		t.Errorf("EvalStrings = %v", got)
+	}
+}
+
+func TestAttributeAxis(t *testing.T) {
+	d := tree.MustParse(`<a id="7"><b id="9">x</b></a>`)
+	if !BoolEval(query.MustParse("/a/@id"), d) {
+		t.Error("@id should match")
+	}
+	if !BoolEval(query.MustParse("/a[@id = 7]/b"), d) {
+		t.Error("attribute predicate should match")
+	}
+	if BoolEval(query.MustParse("/a[@id = 8]"), d) {
+		t.Error("wrong attribute value must not match")
+	}
+	// Elements are not selected by the attribute axis and vice versa.
+	if BoolEval(query.MustParse("/a/@b"), d) {
+		t.Error("@b must not select the element b")
+	}
+	if BoolEval(query.MustParse("/a/id"), d) {
+		t.Error("child axis must not select the attribute id")
+	}
+}
+
+func TestNestedContexts(t *testing.T) {
+	// Predicate within a deeper succession: /a[c[.//e and f] and b > 5]/b
+	q := query.MustParse("/a[c[.//e and f] and b > 5]/b")
+	d := tree.MustParse("<a><c><x><e/></x><f/></c><b>6</b></a>")
+	got := EvalStrings(q, d)
+	if len(got) != 1 || got[0] != "6" {
+		t.Errorf("EvalStrings = %v, want [6]", got)
+	}
+	// Predicate fails => empty output.
+	d2 := tree.MustParse("<a><c><f/></c><b>6</b></a>")
+	if BoolEval(q, d2) {
+		t.Error("missing e: want no match")
+	}
+}
+
+func TestWildcardSelections(t *testing.T) {
+	// The paper's Q' example from Section 4.1:
+	// /a[c[.//* and f] and b > 5] — the wildcard matches any element.
+	q := "/a[c[.//* and f] and b > 5]"
+	if !match(t, q, "<a><c><f/></c><b>6</b></a>") {
+		t.Error("f itself matches .//*")
+	}
+	if match(t, q, "<a><c></c><b>6</b></a>") {
+		t.Error("empty c: no element for .//*")
+	}
+}
+
+func TestBoolEvalEvents(t *testing.T) {
+	q := query.MustParse("/a/b")
+	ev := sax.Wrap(sax.Element("a", sax.Element("b")...))
+	got, err := BoolEvalEvents(q, ev)
+	if err != nil || !got {
+		t.Errorf("BoolEvalEvents = %v, %v", got, err)
+	}
+	// Malformed stream reports an error.
+	if _, err := BoolEvalEvents(q, []sax.Event{sax.StartDoc()}); err == nil {
+		t.Error("malformed stream: want error")
+	}
+}
+
+func TestDeepRecursionSelect(t *testing.T) {
+	// Recursive document: //a[b] must find the one nested a with a b.
+	xml := "<a><a><a><b/></a></a></a>"
+	if !match(t, "//a[b]", xml) {
+		t.Error("nested match")
+	}
+	q := query.MustParse("//a")
+	d := tree.MustParse(xml)
+	if got := len(FullEval(q, d)); got != 3 {
+		t.Errorf("//a selects %d nodes, want 3", got)
+	}
+}
+
+func TestStringLengthPredicate(t *testing.T) {
+	if !match(t, "/a[string-length(b) = 3]", "<a><b>abc</b></a>") {
+		t.Error("len 3")
+	}
+	if match(t, "/a[string-length(b) = 3]", "<a><b>ab</b></a>") {
+		t.Error("len 2")
+	}
+}
+
+func TestEmptyQueryOutput(t *testing.T) {
+	// FULLEVAL returns nodes; EvalStrings their string values.
+	q := query.MustParse("/a/b")
+	d := tree.MustParse("<a><c/></a>")
+	if got := FullEval(q, d); len(got) != 0 {
+		t.Errorf("FullEval = %d nodes, want 0", len(got))
+	}
+}

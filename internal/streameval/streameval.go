@@ -1,0 +1,558 @@
+// Package streameval extends the Section 8 streaming filter to full-fledged
+// query evaluation: instead of a boolean, it emits the string values of the
+// nodes FULLEVAL(Q, D) selects (Definition 3.6), in document order, in a
+// single pass over the stream.
+//
+// The paper notes the extension in Section 1 ("the algorithm could be
+// extended to provide also a full-fledged evaluation of XPath queries
+// [22]"), and its follow-up work [5] proves that full evaluation — unlike
+// filtering — inherently requires buffering: an output candidate's fate can
+// depend on predicate evidence that arrives after the candidate has
+// streamed past (e.g. /a[c]/b on <a><b>1</b><c/></a>: the b value must be
+// held until the c confirms). This evaluator makes that buffering explicit
+// and measurable.
+//
+// Mechanics. Let u_1 … u_t be the query's main path (the root's succession
+// chain; u_t = OUT(Q)). While streaming, the evaluator maintains, for every
+// prefix i, the open document elements that structurally match u_1 … u_i
+// ("prefix instances"). Each instance with a predicate runs a dedicated
+// Section 8 sub-filter over its subtree to decide PREDICATE(u_i); the
+// sub-filter's monotone early decision (core.WouldMatchIfClosedNow) lets
+// predicates resolve as soon as their evidence is complete. An element
+// matching the full path becomes an output candidate: its string value is
+// buffered and a three-valued ancestry DAG query decides its fate — the
+// candidate is selected iff some chain of instances x_1 … x_t exists with
+// every predicate true (exactly the SELECT semantics for univariate
+// conjunctive queries). Candidates are emitted in FIFO (= document) order
+// as soon as their fate and that of every earlier candidate is decided.
+package streameval
+
+import (
+	"fmt"
+
+	"streamxpath/internal/core"
+	"streamxpath/internal/query"
+	"streamxpath/internal/sax"
+)
+
+// status is the three-valued resolution state of a predicate instance or a
+// candidate.
+type status uint8
+
+const (
+	pending status = iota
+	holds
+	fails
+)
+
+// instance is one open (or resolved) structural match of a main-path
+// prefix by a document element.
+type instance struct {
+	i      int // 1-based prefix index
+	level  int
+	filter *core.Filter // nil when u_i has no predicate
+	st     status
+	// chainSt caches the decided ancestry fate (see chain).
+	chainSt status
+	// parents are the possible chain predecessors (instances of prefix
+	// i-1 that were open ancestors satisfying the axis when this
+	// instance was created).
+	parents []*instance
+}
+
+// candidate is a buffered output node.
+type candidate struct {
+	inst *instance
+	buf  []byte
+	open bool
+	st   status
+}
+
+// Stats measures the evaluator's buffering — the quantity the follow-up
+// work [5] proves is unavoidable for full evaluation.
+type Stats struct {
+	// Events is the number of SAX events processed.
+	Events int
+	// Emitted and Dropped count decided candidates.
+	Emitted, Dropped int
+	// PeakPendingCandidates is the maximum number of simultaneously
+	// undecided output candidates.
+	PeakPendingCandidates int
+	// PeakBufferedBytes is the maximum total buffered candidate text.
+	PeakBufferedBytes int
+	// PeakInstances is the maximum number of live prefix instances.
+	PeakInstances int
+}
+
+// Evaluator streams one document and emits selected values.
+type Evaluator struct {
+	q    *query.Query
+	path []*query.Node // main path u_1..u_t
+	// pred[i] is the sub-query /*[PREDICATE(u_i)] used to instantiate
+	// per-instance filters, or nil.
+	pred []*query.Query
+
+	level      int
+	openInst   [][]*instance // per prefix: stack of open instances
+	candidates []*candidate  // FIFO in document order
+	results    []string
+	started    bool
+	finished   bool
+	stats      Stats
+
+	// Emit, if non-nil, receives each selected value as soon as it is
+	// decided (before Results is available). Useful for true streaming
+	// consumption.
+	Emit func(value string)
+}
+
+// Compile builds a streaming evaluator. The query must be supported by the
+// Section 8 filter (leaf-only-value-restricted univariate conjunctive) and
+// is additionally validated per main-path predicate.
+func Compile(q *query.Query) (*Evaluator, error) {
+	if _, err := core.Compile(q); err != nil {
+		return nil, err
+	}
+	e := &Evaluator{q: q}
+	for u := q.Root.Successor; u != nil; u = u.Successor {
+		e.path = append(e.path, u)
+		sub, err := subQueryFor(u)
+		if err != nil {
+			return nil, err
+		}
+		e.pred = append(e.pred, sub)
+	}
+	if len(e.path) == 0 {
+		return nil, fmt.Errorf("streameval: query selects the document root; nothing to stream")
+	}
+	e.Reset()
+	return e, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(q *query.Query) *Evaluator {
+	e, err := Compile(q)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// subQueryFor builds the sub-query /*[PREDICATE(u)] whose filter, run over
+// an element's subtree, decides whether the element satisfies u's
+// predicate. Returns nil when u has no predicate.
+func subQueryFor(u *query.Node) (*query.Query, error) {
+	if u.Pred == nil {
+		return nil, nil
+	}
+	// Clone u's predicate children under a fresh wildcard step. The
+	// clone shares no nodes with the original query.
+	root := &query.Node{Axis: query.AxisRoot}
+	star := &query.Node{Axis: query.AxisChild, NTest: query.Wildcard, Parent: root}
+	root.Children = []*query.Node{star}
+	root.Successor = star
+	cloneMap := make(map[*query.Node]*query.Node)
+	for _, pc := range u.PredicateChildren() {
+		star.Children = append(star.Children, cloneSubtree(pc, star, cloneMap))
+	}
+	star.Pred = cloneExpr(u.Pred, cloneMap)
+	sub := &query.Query{Root: root, Source: "/*[" + u.Pred.String() + "]"}
+	if _, err := core.Compile(sub); err != nil {
+		return nil, fmt.Errorf("streameval: predicate of %s: %w", u.NTest, err)
+	}
+	return sub, nil
+}
+
+func cloneSubtree(n, parent *query.Node, m map[*query.Node]*query.Node) *query.Node {
+	c := &query.Node{Axis: n.Axis, NTest: n.NTest, Parent: parent}
+	m[n] = c
+	for _, ch := range n.Children {
+		cc := cloneSubtree(ch, c, m)
+		c.Children = append(c.Children, cc)
+		if n.Successor == ch {
+			c.Successor = cc
+		}
+	}
+	if n.Pred != nil {
+		c.Pred = cloneExpr(n.Pred, m)
+	}
+	return c
+}
+
+func cloneExpr(e *query.Expr, m map[*query.Node]*query.Node) *query.Expr {
+	c := &query.Expr{Kind: e.Kind, Op: e.Op, Const: e.Const}
+	if e.Child != nil {
+		c.Child = m[e.Child]
+	}
+	for _, a := range e.Args {
+		c.Args = append(c.Args, cloneExpr(a, m))
+	}
+	return c
+}
+
+// Reset prepares the evaluator for another document.
+func (e *Evaluator) Reset() {
+	e.level = 0
+	e.openInst = make([][]*instance, len(e.path)+1)
+	e.candidates = nil
+	e.results = nil
+	e.started = false
+	e.finished = false
+	e.stats = Stats{}
+}
+
+// Results returns the emitted values after endDocument, in document order.
+func (e *Evaluator) Results() []string { return e.results }
+
+// Stats returns the buffering statistics.
+func (e *Evaluator) Stats() Stats { return e.stats }
+
+// Process consumes one SAX event. Attribute lists on startElement events
+// are expanded into attribute child events, as in the filter.
+func (e *Evaluator) Process(ev sax.Event) error {
+	if ev.Kind == sax.StartElement && len(ev.Attrs) > 0 {
+		attrs := ev.Attrs
+		ev.Attrs = nil
+		if err := e.process(ev); err != nil {
+			return err
+		}
+		for _, a := range attrs {
+			for _, sub := range []sax.Event{
+				{Kind: sax.StartElement, Name: a.Name, Attribute: true},
+				{Kind: sax.Text, Data: a.Value},
+				{Kind: sax.EndElement, Name: a.Name, Attribute: true},
+			} {
+				if err := e.process(sub); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return e.process(ev)
+}
+
+func (e *Evaluator) process(ev sax.Event) error {
+	e.stats.Events++
+	switch ev.Kind {
+	case sax.StartDocument:
+		if e.started {
+			return fmt.Errorf("streameval: duplicate startDocument")
+		}
+		e.started = true
+	case sax.EndDocument:
+		if !e.started || e.finished {
+			return fmt.Errorf("streameval: unexpected endDocument")
+		}
+		e.finished = true
+		e.resolve()
+		e.flush()
+		if n := e.pendingCount(); n > 0 {
+			return fmt.Errorf("streameval: %d candidates undecided at endDocument", n)
+		}
+	case sax.StartElement:
+		if !e.started || e.finished {
+			return fmt.Errorf("streameval: startElement outside document")
+		}
+		if err := e.startElement(ev); err != nil {
+			return err
+		}
+	case sax.EndElement:
+		if !e.started || e.finished || e.level == 0 {
+			return fmt.Errorf("streameval: unmatched endElement")
+		}
+		if err := e.endElement(ev); err != nil {
+			return err
+		}
+	case sax.Text:
+		if !e.started || e.finished {
+			return fmt.Errorf("streameval: text outside document")
+		}
+		e.text(ev)
+	}
+	e.resolve()
+	e.flush()
+	e.note()
+	return nil
+}
+
+// feedOpenFilters forwards an event to every open instance's sub-filter.
+func (e *Evaluator) feedOpenFilters(ev sax.Event) error {
+	for i := 1; i <= len(e.path); i++ {
+		for _, inst := range e.openInst[i] {
+			if inst.filter != nil {
+				if err := inst.filter.Process(ev); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Evaluator) startElement(ev sax.Event) error {
+	elemLevel := e.level + 1
+	isAttr := ev.Attribute
+	// New prefix instances first (the element can extend chains through
+	// its ancestors), from the deepest prefix down so a single element
+	// extends each prefix at most once per ancestor set.
+	for i := len(e.path); i >= 1; i-- {
+		u := e.path[i-1]
+		if (u.Axis == query.AxisAttribute) != isAttr {
+			continue
+		}
+		if !u.IsWildcard() && u.NTest != ev.Name {
+			continue
+		}
+		parents := e.chainParents(i, elemLevel)
+		if parents == nil {
+			continue
+		}
+		inst := &instance{i: i, level: elemLevel, parents: parents}
+		if e.pred[i-1] != nil {
+			inst.filter = core.MustCompile(e.pred[i-1])
+			if err := inst.filter.Process(sax.StartDoc()); err != nil {
+				return err
+			}
+		}
+		e.openInst[i] = append(e.openInst[i], inst)
+		if i == len(e.path) {
+			e.candidates = append(e.candidates, &candidate{inst: inst, open: true})
+		}
+	}
+	// Feed the event to every open sub-filter (including the ones just
+	// created, whose scope starts at this element).
+	if err := e.feedOpenFilters(ev); err != nil {
+		return err
+	}
+	e.level = elemLevel
+	return nil
+}
+
+// chainParents returns the possible chain predecessors for a new instance
+// of prefix i at elemLevel, or nil if none exist (in which case the
+// element does not match the prefix). Prefix 1 chains to the document
+// root.
+func (e *Evaluator) chainParents(i, elemLevel int) []*instance {
+	u := e.path[i-1]
+	if i == 1 {
+		switch u.Axis {
+		case query.AxisChild, query.AxisAttribute:
+			if elemLevel != 1 {
+				return nil
+			}
+		}
+		return []*instance{} // non-nil empty: chains to the root
+	}
+	var out []*instance
+	for _, p := range e.openInst[i-1] {
+		switch u.Axis {
+		case query.AxisChild, query.AxisAttribute:
+			if p.level == elemLevel-1 {
+				out = append(out, p)
+			}
+		case query.AxisDescendant:
+			if p.level < elemLevel {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+func (e *Evaluator) text(ev sax.Event) {
+	for _, c := range e.candidates {
+		if c.open {
+			c.buf = append(c.buf, ev.Data...)
+		}
+	}
+	// Errors cannot occur for text events.
+	_ = e.feedOpenFilters(ev)
+}
+
+func (e *Evaluator) endElement(ev sax.Event) error {
+	closing := e.level
+	e.level--
+	if err := e.feedOpenFilters(ev); err != nil {
+		return err
+	}
+	// Close instances whose element ends now and finalize their
+	// predicate verdicts.
+	for i := 1; i <= len(e.path); i++ {
+		stack := e.openInst[i]
+		for len(stack) > 0 && stack[len(stack)-1].level == closing {
+			inst := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if inst.st == pending {
+				if inst.filter == nil {
+					inst.st = holds
+				} else {
+					if err := inst.filter.Process(sax.EndDoc()); err != nil {
+						return err
+					}
+					if inst.filter.Matched() {
+						inst.st = holds
+					} else {
+						inst.st = fails
+					}
+					inst.filter = nil // release
+				}
+			}
+		}
+		e.openInst[i] = stack
+	}
+	for _, c := range e.candidates {
+		if c.open && c.inst.level == closing {
+			c.open = false
+		}
+	}
+	return nil
+}
+
+// resolve propagates early predicate decisions and computes candidate
+// fates over the ancestry DAG.
+func (e *Evaluator) resolve() {
+	// Early-true: a sub-filter that would match if closed now is decided
+	// (conjunctive matching is monotone).
+	for i := 1; i <= len(e.path); i++ {
+		for _, inst := range e.openInst[i] {
+			if inst.st == pending && inst.filter != nil && inst.filter.WouldMatchIfClosedNow() {
+				inst.st = holds
+			}
+			if inst.st == pending && inst.filter == nil {
+				inst.st = holds
+			}
+		}
+	}
+	for _, c := range e.candidates {
+		if c.st != pending || c.open {
+			continue // value still accumulating; decide after close
+		}
+		c.st = chain(c.inst)
+	}
+}
+
+// chain computes the three-valued fate of an instance's ancestry: holds iff
+// some chain of instances to the root has every predicate true, fails iff
+// every chain has a failing predicate, pending otherwise. Because instance
+// statuses are monotone-final (pending → holds/fails, never back), a
+// decided chain value is final and cached on the instance; only pending
+// values are recomputed, keeping resolution near-linear overall.
+func chain(inst *instance) status {
+	if inst.chainSt != pending {
+		return inst.chainSt
+	}
+	var result status
+	switch {
+	case inst.st == fails:
+		result = fails
+	default:
+		parentSt := holds
+		if inst.i > 1 {
+			parentSt = fails
+			for _, p := range inst.parents {
+				switch chain(p) {
+				case holds:
+					parentSt = holds
+				case pending:
+					if parentSt == fails {
+						parentSt = pending
+					}
+				}
+				if parentSt == holds {
+					break
+				}
+			}
+		}
+		switch {
+		case parentSt == fails:
+			result = fails
+		case inst.st == pending || parentSt == pending:
+			result = pending
+		default:
+			result = holds
+		}
+	}
+	inst.chainSt = result
+	return result
+}
+
+// flush emits decided candidates in FIFO order, stopping at the first
+// undecided one (order preservation).
+func (e *Evaluator) flush() {
+	for len(e.candidates) > 0 {
+		c := e.candidates[0]
+		if c.st == pending {
+			return
+		}
+		e.candidates = e.candidates[1:]
+		if c.st == holds {
+			v := string(c.buf)
+			e.results = append(e.results, v)
+			e.stats.Emitted++
+			if e.Emit != nil {
+				e.Emit(v)
+			}
+		} else {
+			e.stats.Dropped++
+		}
+	}
+}
+
+func (e *Evaluator) pendingCount() int {
+	n := 0
+	for _, c := range e.candidates {
+		if c.st == pending {
+			n++
+		}
+	}
+	return n
+}
+
+// note updates peak statistics.
+func (e *Evaluator) note() {
+	if n := e.pendingCount(); n > e.stats.PeakPendingCandidates {
+		e.stats.PeakPendingCandidates = n
+	}
+	buffered := 0
+	for _, c := range e.candidates {
+		buffered += len(c.buf)
+	}
+	if buffered > e.stats.PeakBufferedBytes {
+		e.stats.PeakBufferedBytes = buffered
+	}
+	liveInst := 0
+	for i := range e.openInst {
+		liveInst += len(e.openInst[i])
+	}
+	if liveInst > e.stats.PeakInstances {
+		e.stats.PeakInstances = liveInst
+	}
+}
+
+// ProcessAll streams a full event sequence and returns the selected
+// values.
+func (e *Evaluator) ProcessAll(events []sax.Event) ([]string, error) {
+	for _, ev := range events {
+		if err := e.Process(ev); err != nil {
+			return nil, err
+		}
+	}
+	if !e.finished {
+		return nil, fmt.Errorf("streameval: stream ended before endDocument")
+	}
+	return e.results, nil
+}
+
+// EvalXML compiles and evaluates in one call.
+func EvalXML(q *query.Query, xml string) ([]string, error) {
+	e, err := Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	events, err := sax.Parse(xml)
+	if err != nil {
+		return nil, err
+	}
+	return e.ProcessAll(events)
+}

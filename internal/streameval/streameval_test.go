@@ -1,0 +1,262 @@
+package streameval
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"streamxpath/internal/query"
+	"streamxpath/internal/sax"
+	"streamxpath/internal/semantics"
+	"streamxpath/internal/tree"
+	"streamxpath/internal/workload"
+)
+
+func evalBoth(t *testing.T, qs, xml string) (streamed, reference []string) {
+	t.Helper()
+	q := query.MustParse(qs)
+	var err error
+	streamed, err = EvalXML(q, xml)
+	if err != nil {
+		t.Fatalf("EvalXML(%s, %s): %v", qs, xml, err)
+	}
+	reference = semantics.EvalStrings(q, tree.MustParse(xml))
+	return
+}
+
+func TestBasicEvaluation(t *testing.T) {
+	cases := []struct {
+		q, d string
+		want []string
+	}{
+		{"/a/b", "<a><b>1</b><b>2</b></a>", []string{"1", "2"}},
+		{"/a/b", "<a><c><b>skip</b></c><b>2</b></a>", []string{"2"}},
+		{"//b", "<a><b>1<b>2</b></b><b>3</b></a>", []string{"12", "2", "3"}},
+		{"/a[c]/b", "<a><b>1</b><c/><b>2</b></a>", []string{"1", "2"}},
+		{"/a[c]/b", "<a><b>1</b><b>2</b></a>", nil},
+		{"/a[b > 5]/b", "<a><b>3</b><b>9</b></a>", []string{"3", "9"}},
+		{"/a[b > 9]/b", "<a><b>3</b><b>9</b></a>", nil},
+		{"//item[keyword]/title", "<f><item><title>t1</title><keyword/></item><item><title>t2</title></item></f>", []string{"t1"}},
+		{"/a/*/b", "<a><x><b>1</b></x><b>no</b></a>", []string{"1"}},
+		{"/a//b[c]", "<a><x><b><c/>yes</b></x><b>no</b></a>", []string{"yes"}},
+	}
+	for _, c := range cases {
+		got, ref := evalBoth(t, c.q, c.d)
+		if !reflect.DeepEqual(got, c.want) && !(len(got) == 0 && len(c.want) == 0) {
+			t.Errorf("EvalXML(%s, %s) = %v, want %v", c.q, c.d, got, c.want)
+		}
+		if !reflect.DeepEqual(got, ref) && !(len(got) == 0 && len(ref) == 0) {
+			t.Errorf("%s on %s: streamed %v != reference %v", c.q, c.d, got, ref)
+		}
+	}
+}
+
+// TestBufferingScenario is the package comment's example: the b values
+// stream past before the confirming c arrives, so they must be buffered
+// (the follow-up work [5]'s inherent-buffering phenomenon).
+func TestBufferingScenario(t *testing.T) {
+	q := query.MustParse("/a[c]/b")
+	e := MustCompile(q)
+	var emitted []string
+	e.Emit = func(v string) { emitted = append(emitted, v) }
+	events := sax.MustParse("<a><b>1</b><b>2</b><c/><b>3</b></a>")
+	// Process up to (and including) the second </b>: nothing can be
+	// emitted yet — the predicate [c] is unresolved.
+	for _, ev := range events[:8] { // <$><a><b>1</b><b>2</b>
+		if err := e.Process(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(emitted) != 0 {
+		t.Fatalf("emitted %v before the predicate resolved", emitted)
+	}
+	if e.Stats().PeakPendingCandidates < 2 {
+		t.Errorf("peak pending = %d, want >= 2 (both b values buffered)", e.Stats().PeakPendingCandidates)
+	}
+	// The <c/> resolves the predicate: the buffered values flush.
+	for _, ev := range events[8:10] { // <c></c>
+		if err := e.Process(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(emitted) != 2 || emitted[0] != "1" || emitted[1] != "2" {
+		t.Fatalf("after <c/>: emitted %v, want [1 2] (early predicate resolution)", emitted)
+	}
+	// The rest streams through; b "3" arrives after the predicate is
+	// known, so it is emitted at its own close.
+	for _, ev := range events[10:] {
+		if err := e.Process(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(emitted) != 3 || emitted[2] != "3" {
+		t.Fatalf("final emitted %v, want [1 2 3]", emitted)
+	}
+}
+
+// TestDropScenario: candidates whose predicate never confirms are dropped
+// at document end.
+func TestDropScenario(t *testing.T) {
+	q := query.MustParse("/a[c]/b")
+	e := MustCompile(q)
+	got, err := e.ProcessAll(sax.MustParse("<a><b>1</b><b>2</b></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+	if e.Stats().Dropped != 2 || e.Stats().Emitted != 0 {
+		t.Errorf("stats = %+v", e.Stats())
+	}
+}
+
+// TestRecursiveChains: descendant axes with nested prefix matches — a c
+// reachable through two different a ancestors is still selected once, and
+// selection holds if ANY chain's predicates hold.
+func TestRecursiveChains(t *testing.T) {
+	cases := []struct {
+		q, d string
+		want []string
+	}{
+		// Inner a has no b; outer does: c selected via the outer chain.
+		{"//a[b]/c", "<a><b/><a><c>x</c></a></a>", nil}, // c is child of inner a only
+		{"//a[b]/c", "<a><b/><a><c>x</c><b/></a></a>", []string{"x"}},
+		{"//a/c", "<a><a><c>x</c></a></a>", []string{"x"}}, // selected once, not twice
+		{"//a//c", "<a><a><c>x</c></a></a>", []string{"x"}},
+		// Chain disambiguation: only the inner a satisfies [b]; its c qualifies.
+		{"//a[b]/c", "<a><a><b/><c>y</c></a><c>z</c></a>", []string{"y"}},
+	}
+	for _, c := range cases {
+		got, ref := evalBoth(t, c.q, c.d)
+		if !reflect.DeepEqual(got, ref) && !(len(got) == 0 && len(ref) == 0) {
+			t.Errorf("%s on %s: streamed %v != reference %v", c.q, c.d, got, ref)
+		}
+		if !reflect.DeepEqual(got, c.want) && !(len(got) == 0 && len(c.want) == 0) {
+			t.Errorf("%s on %s: got %v, want %v", c.q, c.d, got, c.want)
+		}
+	}
+}
+
+// TestAgainstReferenceRandomized: differential testing of the streaming
+// evaluator against FULLEVAL on random documents.
+func TestAgainstReferenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	queries := []*query.Query{
+		query.MustParse("/a/b"),
+		query.MustParse("//b"),
+		query.MustParse("/a[c]/b"),
+		query.MustParse("//a[b]/c"),
+		query.MustParse("/a[b > 5]/c"),
+		query.MustParse("//a[b and c]/e"),
+		query.MustParse("/a/*/b"),
+		query.MustParse("//a//b[c]"),
+		query.MustParse("/a[.//e]/b"),
+	}
+	names := []string{"a", "b", "c", "e", "x"}
+	texts := []string{"3", "6", "9", "v"}
+	evals := make([]*Evaluator, len(queries))
+	for i, q := range queries {
+		var err error
+		evals[i], err = Compile(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	for iter := 0; iter < 400; iter++ {
+		d := workload.RandomTree(rng, names, texts, 5, 3)
+		qi := rng.Intn(len(queries))
+		want := semantics.EvalStrings(queries[qi], d)
+		evals[qi].Reset()
+		got, err := evals[qi].ProcessAll(d.Events())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+			t.Fatalf("iter %d: %s:\nstreamed:  %v\nreference: %v\ndoc:\n%s",
+				iter, queries[qi], got, want, d.Outline())
+		}
+	}
+}
+
+func TestCompileRejects(t *testing.T) {
+	for _, src := range []string{
+		"/a[b or c]/d", // outside the streamable fragment
+		"/a[b = c]/d",  // multivariate
+	} {
+		if _, err := Compile(query.MustParse(src)); err == nil {
+			t.Errorf("Compile(%s): want error", src)
+		}
+	}
+}
+
+func TestEmptyStreamErrors(t *testing.T) {
+	e := MustCompile(query.MustParse("/a/b"))
+	if _, err := e.ProcessAll([]sax.Event{sax.StartDoc()}); err == nil {
+		t.Error("missing endDocument: want error")
+	}
+	e.Reset()
+	if err := e.Process(sax.Start("a")); err == nil {
+		t.Error("startElement before startDocument: want error")
+	}
+}
+
+func TestResetReuse(t *testing.T) {
+	e := MustCompile(query.MustParse("/a[c]/b"))
+	for i, c := range []struct {
+		d    string
+		want []string
+	}{
+		{"<a><b>1</b><c/></a>", []string{"1"}},
+		{"<a><b>1</b></a>", nil},
+		{"<a><c/><b>2</b></a>", []string{"2"}},
+	} {
+		e.Reset()
+		got, err := e.ProcessAll(sax.MustParse(c.d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, c.want) && !(len(got) == 0 && len(c.want) == 0) {
+			t.Errorf("run %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// TestBufferingGrowsWithDelay: the number of buffered candidates grows
+// with how long the confirming evidence is delayed — the measurable form
+// of [5]'s buffering lower bound.
+func TestBufferingGrowsWithDelay(t *testing.T) {
+	q := query.MustParse("/a[c]/b")
+	prev := 0
+	for _, n := range []int{1, 4, 16, 64} {
+		e := MustCompile(q)
+		root := tree.NewRoot()
+		a := root.AppendElement("a")
+		for i := 0; i < n; i++ {
+			a.AppendElement("b").AppendText("v")
+		}
+		a.AppendElement("c")
+		got, err := e.ProcessAll(root.Events())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: emitted %d", n, len(got))
+		}
+		peak := e.Stats().PeakPendingCandidates
+		if peak < n {
+			t.Errorf("n=%d: peak pending = %d, want >= %d", n, peak, n)
+		}
+		if peak <= prev {
+			t.Errorf("n=%d: buffering did not grow (%d <= %d)", n, peak, prev)
+		}
+		prev = peak
+	}
+}
+
+func TestAttributeValues(t *testing.T) {
+	got, ref := evalBoth(t, "/a/@id", `<a id="7"/>`)
+	if !reflect.DeepEqual(got, []string{"7"}) || !reflect.DeepEqual(ref, []string{"7"}) {
+		t.Errorf("attribute eval: streamed %v, reference %v", got, ref)
+	}
+}

@@ -1,0 +1,229 @@
+package tree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"streamxpath/internal/sax"
+)
+
+// FromEvents builds a document tree from a full SAX stream
+// (startDocument ... endDocument). Attribute lists on startElement events
+// become attribute-kind children, realizing the paper's folding of the
+// attribute axis into the child axis. Synthesized attribute events (from
+// sax.ExpandAttributes) are also recognized.
+func FromEvents(events []sax.Event) (*Node, error) {
+	root := NewRoot()
+	cur := root
+	started, ended := false, false
+	for i, e := range events {
+		if ended {
+			return nil, fmt.Errorf("tree: event %d (%v) after endDocument", i, e)
+		}
+		switch e.Kind {
+		case sax.StartDocument:
+			if started {
+				return nil, fmt.Errorf("tree: duplicate startDocument at event %d", i)
+			}
+			started = true
+		case sax.EndDocument:
+			if !started {
+				return nil, fmt.Errorf("tree: endDocument before startDocument")
+			}
+			if cur != root {
+				return nil, fmt.Errorf("tree: endDocument with open element <%s>", cur.Name)
+			}
+			ended = true
+		case sax.StartElement:
+			if !started {
+				return nil, fmt.Errorf("tree: startElement before startDocument")
+			}
+			kind := KindElement
+			if e.Attribute {
+				kind = KindAttribute
+			}
+			el := &Node{Kind: kind, Name: e.Name}
+			cur.Append(el)
+			for _, a := range e.Attrs {
+				el.Append(NewAttribute(a.Name, a.Value))
+			}
+			cur = el
+		case sax.EndElement:
+			if cur == root {
+				return nil, fmt.Errorf("tree: unmatched endElement </%s> at event %d", e.Name, i)
+			}
+			if cur.Name != e.Name {
+				return nil, fmt.Errorf("tree: endElement </%s> does not match open <%s>", e.Name, cur.Name)
+			}
+			cur = cur.Parent
+		case sax.Text:
+			if cur == root {
+				return nil, fmt.Errorf("tree: text outside the document element at event %d", i)
+			}
+			cur.Append(NewText(e.Data))
+		}
+	}
+	if !started {
+		return nil, fmt.Errorf("tree: empty event stream")
+	}
+	if !ended {
+		return nil, fmt.Errorf("tree: missing endDocument")
+	}
+	return root, nil
+}
+
+// Events serializes the subtree rooted at n back to a SAX stream. For a
+// root node the stream is wrapped in startDocument/endDocument; for any
+// other node the bare element segment is returned (the D_x notation of the
+// paper's constructions).
+func (n *Node) Events() []sax.Event {
+	var out []sax.Event
+	if n.Kind == KindRoot {
+		out = append(out, sax.StartDoc())
+		for _, c := range n.Children {
+			out = c.appendEvents(out)
+		}
+		out = append(out, sax.EndDoc())
+		return out
+	}
+	return n.appendEvents(out)
+}
+
+func (n *Node) appendEvents(out []sax.Event) []sax.Event {
+	switch n.Kind {
+	case KindText:
+		return append(out, sax.TextEvent(n.Text))
+	case KindElement, KindAttribute:
+		out = append(out, sax.Event{Kind: sax.StartElement, Name: n.Name, Attribute: n.Kind == KindAttribute})
+		for _, c := range n.Children {
+			out = c.appendEvents(out)
+		}
+		return append(out, sax.Event{Kind: sax.EndElement, Name: n.Name, Attribute: n.Kind == KindAttribute})
+	default: // nested root: flatten children
+		for _, c := range n.Children {
+			out = c.appendEvents(out)
+		}
+		return out
+	}
+}
+
+// EventSpans serializes the tree rooted at n (as Events does) and
+// additionally reports, for every non-text node, the half-open index range
+// [start, end) of its events within the stream: span[0] is the index of the
+// node's startElement (or startDocument) and span[1] is one past its
+// endElement (endDocument). The lower-bound constructions of Section 7 use
+// these spans to cut the canonical document's stream at specific nodes.
+func (n *Node) EventSpans() ([]sax.Event, map[*Node][2]int) {
+	events := n.Events()
+	spans := make(map[*Node][2]int)
+	// Re-walk the tree in step with the event stream. For a non-root n
+	// the first startElement is n itself, so walk from a sentinel parent
+	// whose only child is n.
+	var cursor []*Node // path of open nodes
+	var childPos []int
+	if n.Kind == KindRoot {
+		cursor = append(cursor, n)
+		childPos = append(childPos, 0)
+		spans[n] = [2]int{0, len(events)}
+	} else {
+		sentinel := &Node{Kind: KindRoot, Children: []*Node{n}}
+		cursor = append(cursor, sentinel)
+		childPos = append(childPos, 0)
+	}
+	for i, e := range events {
+		switch e.Kind {
+		case sax.StartElement:
+			cur := cursor[len(cursor)-1]
+			// Advance past text children.
+			for childPos[len(childPos)-1] < len(cur.Children) &&
+				cur.Children[childPos[len(childPos)-1]].Kind == KindText {
+				childPos[len(childPos)-1]++
+			}
+			child := cur.Children[childPos[len(childPos)-1]]
+			childPos[len(childPos)-1]++
+			spans[child] = [2]int{i, -1}
+			cursor = append(cursor, child)
+			childPos = append(childPos, 0)
+		case sax.EndElement:
+			done := cursor[len(cursor)-1]
+			sp := spans[done]
+			sp[1] = i + 1
+			spans[done] = sp
+			cursor = cursor[:len(cursor)-1]
+			childPos = childPos[:len(childPos)-1]
+		}
+	}
+	return events, spans
+}
+
+// Parse builds a document tree directly from XML text.
+func Parse(xml string) (*Node, error) {
+	events, err := sax.Parse(xml)
+	if err != nil {
+		return nil, err
+	}
+	return FromEvents(events)
+}
+
+// MustParse is Parse that panics on error; for tests and fixed examples.
+func MustParse(xml string) *Node {
+	d, err := Parse(xml)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ParseReader builds a document tree from an XML byte stream.
+func ParseReader(r io.Reader) (*Node, error) {
+	tok := sax.NewTokenizer(r)
+	var events []sax.Event
+	for {
+		e, err := tok.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, e)
+	}
+	return FromEvents(events)
+}
+
+// XML renders the subtree as an XML string (same as String but returning an
+// error instead of embedding it). Non-root subtrees are wrapped in an
+// implicit document so the serializer accepts them.
+func (n *Node) XML() (string, error) {
+	ev := n.Events()
+	if n.Kind != KindRoot {
+		ev = sax.Wrap(ev)
+	}
+	return sax.SerializeString(ev)
+}
+
+// Outline renders an indented one-line-per-node outline of the subtree,
+// useful in test failure messages.
+func (n *Node) Outline() string {
+	var b strings.Builder
+	n.outline(&b, 0)
+	return b.String()
+}
+
+func (n *Node) outline(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	switch n.Kind {
+	case KindRoot:
+		b.WriteString("$\n")
+	case KindText:
+		fmt.Fprintf(b, "%q\n", n.Text)
+	case KindAttribute:
+		fmt.Fprintf(b, "@%s\n", n.Name)
+	default:
+		fmt.Fprintf(b, "%s\n", n.Name)
+	}
+	for _, c := range n.Children {
+		c.outline(b, depth+1)
+	}
+}

@@ -1,0 +1,254 @@
+package tree
+
+import "fmt"
+
+// HomKind selects the strength of a document homomorphism (Definition 6.1).
+type HomKind uint8
+
+const (
+	// Structural homomorphisms preserve roots, parent-child relationships
+	// and names only.
+	Structural HomKind = iota
+	// Weak homomorphisms additionally preserve string values of leaves.
+	Weak
+	// Full homomorphisms preserve string values of every node.
+	Full
+)
+
+// String names the homomorphism strength.
+func (k HomKind) String() string {
+	switch k {
+	case Structural:
+		return "structural"
+	case Weak:
+		return "weak"
+	default:
+		return "full"
+	}
+}
+
+// Hom is a mapping from the nodes of one subtree to the nodes of another.
+// Only non-text nodes participate; text nodes are carried implicitly by the
+// string-value conditions.
+type Hom map[*Node]*Node
+
+// IsInternal reports whether n has at least one non-text child. "Leaf" in
+// the homomorphism conditions means an element with no element/attribute
+// children (text children do not make a node internal).
+func IsInternal(n *Node) bool {
+	for _, c := range n.Children {
+		if c.Kind != KindText {
+			return true
+		}
+	}
+	return false
+}
+
+// LeadingText returns the content of a text-node child of n preceding all
+// its other children, if one exists (Definition 6.18's condition).
+func LeadingText(n *Node) (string, bool) {
+	if len(n.Children) > 0 && n.Children[0].Kind == KindText {
+		return n.Children[0].Text, true
+	}
+	return "", false
+}
+
+// nonTextChildren returns the element/attribute children of n.
+func nonTextChildren(n *Node) []*Node {
+	out := make([]*Node, 0, len(n.Children))
+	for _, c := range n.Children {
+		if c.Kind != KindText {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// VerifyHom checks that xi is a homomorphism of the given strength from the
+// subtree at x to the subtree at x2 (Definition 6.1): root preservation,
+// tree-relationship preservation, name preservation, and (per strength)
+// value preservation.
+func VerifyHom(xi Hom, x, x2 *Node, kind HomKind) error {
+	if xi[x] != x2 {
+		return fmt.Errorf("tree: root preservation fails: ξ(x) != x'")
+	}
+	var check func(n *Node) error
+	check = func(n *Node) error {
+		img, ok := xi[n]
+		if !ok {
+			return fmt.Errorf("tree: node %s has no image", n.Name)
+		}
+		if img.Name != n.Name || img.Kind != n.Kind {
+			return fmt.Errorf("tree: name preservation fails at %s -> %s", n.Name, img.Name)
+		}
+		if n != x {
+			pimg, ok := xi[n.Parent]
+			if !ok || img.Parent != pimg {
+				return fmt.Errorf("tree: tree-relationship preservation fails at %s", n.Name)
+			}
+		}
+		switch kind {
+		case Full:
+			if img.StrVal() != n.StrVal() {
+				return fmt.Errorf("tree: value preservation fails at %s: %q != %q", n.Name, n.StrVal(), img.StrVal())
+			}
+		case Weak:
+			if !IsInternal(n) && img.StrVal() != n.StrVal() {
+				return fmt.Errorf("tree: leaf value preservation fails at %s: %q != %q", n.Name, n.StrVal(), img.StrVal())
+			}
+		}
+		for _, c := range nonTextChildren(n) {
+			if err := check(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return check(x)
+}
+
+// VerifyInternalNodePreserving checks the extra conditions of
+// Definition 6.18 on a weak homomorphism xi from the subtree at x: internal
+// nodes map to internal nodes, and leading text-node children are preserved
+// exactly (present with identical content, or absent on both sides).
+func VerifyInternalNodePreserving(xi Hom, x *Node) error {
+	var check func(n *Node) error
+	check = func(n *Node) error {
+		img := xi[n]
+		if img == nil {
+			return fmt.Errorf("tree: node %s has no image", n.Name)
+		}
+		if IsInternal(n) {
+			if !IsInternal(img) {
+				return fmt.Errorf("tree: internal node %s maps to a leaf", n.Name)
+			}
+			lt, ok := LeadingText(n)
+			lt2, ok2 := LeadingText(img)
+			if ok != ok2 || (ok && lt != lt2) {
+				return fmt.Errorf("tree: leading text child not preserved at %s", n.Name)
+			}
+		}
+		for _, c := range nonTextChildren(n) {
+			if err := check(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return check(x)
+}
+
+// Homomorphic reports whether the subtree at x is homomorphic (at the given
+// strength) to the subtree at x2, and returns a witness mapping when it is.
+// Because homomorphisms need not be injective, the search decomposes
+// per-child: ξ exists iff roots agree and every child of x embeds into some
+// child of x2.
+func Homomorphic(x, x2 *Node, kind HomKind) (Hom, bool) {
+	xi := make(Hom)
+	if !embed(x, x2, kind, xi) {
+		return nil, false
+	}
+	return xi, true
+}
+
+func embed(n, target *Node, kind HomKind, xi Hom) bool {
+	if n.Name != target.Name || n.Kind != target.Kind {
+		return false
+	}
+	switch kind {
+	case Full:
+		if n.StrVal() != target.StrVal() {
+			return false
+		}
+	case Weak:
+		if !IsInternal(n) && n.StrVal() != target.StrVal() {
+			return false
+		}
+	}
+	mark := len(xi) // no rollback needed: failures below never leave partial entries
+	_ = mark
+	xi[n] = target
+	for _, c := range nonTextChildren(n) {
+		found := false
+		for _, t := range nonTextChildren(target) {
+			// Trial embedding into a scratch map so failures don't pollute xi.
+			scratch := make(Hom)
+			if embed(c, t, kind, scratch) {
+				for k, v := range scratch {
+					xi[k] = v
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			delete(xi, n)
+			return false
+		}
+	}
+	return true
+}
+
+// Isomorphic reports whether the subtrees at x and x2 are isomorphic
+// (Definition 6.5): a bijective homomorphism exists. Child order may differ;
+// a backtracking perfect matching is computed between child lists.
+func Isomorphic(x, x2 *Node, kind HomKind) (Hom, bool) {
+	xi := make(Hom)
+	if !iso(x, x2, kind, xi) {
+		return nil, false
+	}
+	return xi, true
+}
+
+func iso(n, target *Node, kind HomKind, xi Hom) bool {
+	if n.Name != target.Name || n.Kind != target.Kind {
+		return false
+	}
+	switch kind {
+	case Full:
+		if n.StrVal() != target.StrVal() {
+			return false
+		}
+	case Weak:
+		if !IsInternal(n) && n.StrVal() != target.StrVal() {
+			return false
+		}
+	}
+	cs, ts := nonTextChildren(n), nonTextChildren(target)
+	if len(cs) != len(ts) {
+		return false
+	}
+	xi[n] = target
+	used := make([]bool, len(ts))
+	var match func(i int) bool
+	match = func(i int) bool {
+		if i == len(cs) {
+			return true
+		}
+		for j := range ts {
+			if used[j] {
+				continue
+			}
+			scratch := make(Hom)
+			if iso(cs[i], ts[j], kind, scratch) {
+				used[j] = true
+				for k, v := range scratch {
+					xi[k] = v
+				}
+				if match(i + 1) {
+					return true
+				}
+				used[j] = false
+				for k := range scratch {
+					delete(xi, k)
+				}
+			}
+		}
+		return false
+	}
+	if !match(0) {
+		delete(xi, n)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,334 @@
+// Package tree implements the document data model of Section 3.1.1: rooted
+// trees whose nodes have a KIND (root, element, attribute, or text), a NAME,
+// and a STRVAL (the concatenation of the text contents of text-node
+// descendants in document order).
+//
+// Documents convert losslessly to and from the SAX event streams of
+// internal/sax; the tree form is what the reference evaluator
+// (internal/semantics), the matching machinery (internal/match) and the
+// canonical-document builder (internal/canonical) operate on, while the
+// streaming algorithms consume events directly.
+//
+// The package also provides the document-side graph notions the paper's
+// proofs use: depth, frontier size (Definition 4.1), and document
+// homomorphisms (Definition 6.1) in their three strengths (full, weak,
+// structural) plus isomorphisms (Definition 6.5).
+package tree
+
+import (
+	"fmt"
+	"strings"
+
+	"streamxpath/internal/sax"
+)
+
+// Kind identifies a document node kind per Section 3.1.1.
+type Kind uint8
+
+// The four node kinds. Exactly one node, the root, has KindRoot; text and
+// attribute nodes are always leaves.
+const (
+	KindRoot Kind = iota
+	KindElement
+	KindAttribute
+	KindText
+)
+
+// String returns the paper's name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRoot:
+		return "root"
+	case KindElement:
+		return "element"
+	case KindAttribute:
+		return "attribute"
+	case KindText:
+		return "text"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Node is a document node. Name is set for element and attribute nodes
+// (root and text nodes are unnamed); Text is the text content of text
+// nodes.
+type Node struct {
+	Kind     Kind
+	Name     string
+	Text     string
+	Parent   *Node
+	Children []*Node
+}
+
+// NewRoot returns a fresh document root.
+func NewRoot() *Node { return &Node{Kind: KindRoot} }
+
+// NewElement returns a detached element node.
+func NewElement(name string) *Node { return &Node{Kind: KindElement, Name: name} }
+
+// NewText returns a detached text node.
+func NewText(data string) *Node { return &Node{Kind: KindText, Text: data} }
+
+// NewAttribute returns a detached attribute node with the given text child.
+func NewAttribute(name, val string) *Node {
+	a := &Node{Kind: KindAttribute, Name: name}
+	a.Append(NewText(val))
+	return a
+}
+
+// Append attaches child as the last child of n and returns child.
+func (n *Node) Append(child *Node) *Node {
+	child.Parent = n
+	n.Children = append(n.Children, child)
+	return child
+}
+
+// AppendElement creates, attaches and returns a new element child.
+func (n *Node) AppendElement(name string) *Node { return n.Append(NewElement(name)) }
+
+// AppendText creates and attaches a new text child, returning n for
+// chaining.
+func (n *Node) AppendText(data string) *Node {
+	n.Append(NewText(data))
+	return n
+}
+
+// IsLeaf reports whether n has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Root returns the root of the tree containing n.
+func (n *Node) Root() *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// StrVal returns STRVAL(n): the concatenation of the text contents of the
+// text-node descendants of n in document order (pre-order traversal).
+func (n *Node) StrVal() string {
+	var b strings.Builder
+	n.appendStrVal(&b)
+	return b.String()
+}
+
+func (n *Node) appendStrVal(b *strings.Builder) {
+	if n.Kind == KindText {
+		b.WriteString(n.Text)
+		return
+	}
+	for _, c := range n.Children {
+		c.appendStrVal(b)
+	}
+}
+
+// IsAncestorOf reports whether n is a proper ancestor of m.
+func (n *Node) IsAncestorOf(m *Node) bool {
+	for p := m.Parent; p != nil; p = p.Parent {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}
+
+// IsChildOf reports whether n is a child of m.
+func (n *Node) IsChildOf(m *Node) bool { return n.Parent == m }
+
+// Path returns PATH(n): the sequence of nodes from the root to n inclusive.
+func (n *Node) Path() []*Node {
+	var rev []*Node
+	for p := n; p != nil; p = p.Parent {
+		rev = append(rev, p)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Level returns the number of proper ancestors of n (the root has level 0).
+func (n *Node) Level() int {
+	l := 0
+	for p := n.Parent; p != nil; p = p.Parent {
+		l++
+	}
+	return l
+}
+
+// Walk visits n and all its descendants in document order (pre-order),
+// stopping early if f returns false.
+func (n *Node) Walk(f func(*Node) bool) bool {
+	if !f(n) {
+		return false
+	}
+	for _, c := range n.Children {
+		if !c.Walk(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// Nodes returns n and all its descendants in document order.
+func (n *Node) Nodes() []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) bool {
+		out = append(out, m)
+		return true
+	})
+	return out
+}
+
+// Size returns the total node count of the subtree rooted at n, excluding
+// text nodes.
+func (n *Node) Size() int {
+	count := 0
+	n.Walk(func(m *Node) bool {
+		if m.Kind != KindText {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// Depth returns the document depth: the length of the longest root-to-leaf
+// path, counting element/attribute nodes (text nodes and the root marker do
+// not contribute). The document <a><b/></a> has depth 2, matching the
+// paper's statement that D_i in Theorem 4.6 has depth max{i+1, 2}.
+func (n *Node) Depth() int {
+	if n.Kind != KindRoot && n.Kind != KindText {
+		d := 0
+		for _, c := range n.Children {
+			if cd := c.Depth(); cd > d {
+				d = cd
+			}
+		}
+		return d + 1
+	}
+	d := 0
+	for _, c := range n.Children {
+		if cd := c.Depth(); cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// FrontierAt returns F(x) for a document node: x together with all of its
+// super-siblings (siblings of x and of its ancestors), per Definition 4.1.
+// Text nodes are ignored, as the paper's remark specifies.
+func FrontierAt(x *Node) []*Node {
+	var out []*Node
+	if x.Kind != KindText {
+		out = append(out, x)
+	}
+	for cur := x; cur.Parent != nil; cur = cur.Parent {
+		for _, sib := range cur.Parent.Children {
+			if sib != cur && sib.Kind != KindText {
+				out = append(out, sib)
+			}
+		}
+	}
+	return out
+}
+
+// FrontierSize returns FS(T) = max over nodes x of |F(x)| (Definition 4.1).
+func FrontierSize(root *Node) int {
+	best := 0
+	root.Walk(func(x *Node) bool {
+		if x.Kind == KindText {
+			return true
+		}
+		if n := len(FrontierAt(x)); n > best {
+			best = n
+		}
+		return true
+	})
+	return best
+}
+
+// MaxFrontierNode returns a node achieving FS(T), preferring the first in
+// document order.
+func MaxFrontierNode(root *Node) *Node {
+	var best *Node
+	bestN := -1
+	root.Walk(func(x *Node) bool {
+		if x.Kind == KindText {
+			return true
+		}
+		if n := len(FrontierAt(x)); n > bestN {
+			bestN = n
+			best = x
+		}
+		return true
+	})
+	return best
+}
+
+// FindFirst returns the first node (in document order) within the subtree of
+// n for which pred returns true, or nil.
+func (n *Node) FindFirst(pred func(*Node) bool) *Node {
+	var found *Node
+	n.Walk(func(m *Node) bool {
+		if pred(m) {
+			found = m
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// FindAllNamed returns all element/attribute nodes named name within the
+// subtree of n, in document order.
+func (n *Node) FindAllNamed(name string) []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) bool {
+		if (m.Kind == KindElement || m.Kind == KindAttribute) && m.Name == name {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}
+
+// Clone returns a deep copy of the subtree rooted at n, detached from any
+// parent.
+func (n *Node) Clone() *Node {
+	c := &Node{Kind: n.Kind, Name: n.Name, Text: n.Text}
+	for _, ch := range n.Children {
+		c.Append(ch.Clone())
+	}
+	return c
+}
+
+// Equal reports deep structural equality of two subtrees, including names,
+// kinds, text contents, and child order.
+func (n *Node) Equal(m *Node) bool {
+	if n.Kind != m.Kind || n.Name != m.Name || n.Text != m.Text || len(n.Children) != len(m.Children) {
+		return false
+	}
+	for i := range n.Children {
+		if !n.Children[i].Equal(m.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the subtree as XML-ish text for debugging and test
+// diagnostics.
+func (n *Node) String() string {
+	ev := n.Events()
+	if n.Kind != KindRoot {
+		ev = sax.Wrap(ev)
+	}
+	s, err := sax.SerializeString(ev)
+	if err != nil {
+		return fmt.Sprintf("<!invalid tree: %v>", err)
+	}
+	return s
+}

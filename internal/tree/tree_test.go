@@ -1,0 +1,375 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+
+	"streamxpath/internal/sax"
+)
+
+func TestParseAndStrVal(t *testing.T) {
+	d := MustParse("<a><b>hello</b><c>world</c></a>")
+	if d.Kind != KindRoot {
+		t.Fatalf("root kind = %v", d.Kind)
+	}
+	a := d.Children[0]
+	if a.Name != "a" || a.Kind != KindElement {
+		t.Fatalf("first child = %v %q", a.Kind, a.Name)
+	}
+	if got := a.StrVal(); got != "helloworld" {
+		t.Errorf("StrVal(a) = %q, want helloworld", got)
+	}
+	if got := a.Children[0].StrVal(); got != "hello" {
+		t.Errorf("StrVal(b) = %q", got)
+	}
+}
+
+func TestStrValDocumentOrder(t *testing.T) {
+	// STRVAL concatenates text descendants in pre-order.
+	d := MustParse("<a>x<b>y</b>z</a>")
+	if got := d.Children[0].StrVal(); got != "xyz" {
+		t.Errorf("StrVal = %q, want xyz", got)
+	}
+}
+
+func TestEventsRoundTrip(t *testing.T) {
+	inputs := []string{
+		"<a/>",
+		"<a><b>6</b></a>",
+		"<a><c><e/><f/></c><b>6</b></a>",
+		"<a>dear<b>sir</b>or<b>madam</b></a>",
+	}
+	for _, in := range inputs {
+		d := MustParse(in)
+		ev := d.Events()
+		d2, err := FromEvents(ev)
+		if err != nil {
+			t.Fatalf("%s: FromEvents(Events()) error: %v", in, err)
+		}
+		if !d.Equal(d2) {
+			t.Errorf("%s: round trip mismatch:\n%s\nvs\n%s", in, d.Outline(), d2.Outline())
+		}
+	}
+}
+
+func TestAttributesBecomeChildren(t *testing.T) {
+	d := MustParse(`<a id="7"><b/></a>`)
+	a := d.Children[0]
+	if len(a.Children) != 2 {
+		t.Fatalf("children of a = %d, want 2 (attribute + element)", len(a.Children))
+	}
+	attr := a.Children[0]
+	if attr.Kind != KindAttribute || attr.Name != "id" || attr.StrVal() != "7" {
+		t.Errorf("attribute child = %v %q %q", attr.Kind, attr.Name, attr.StrVal())
+	}
+}
+
+func TestFromEventsErrors(t *testing.T) {
+	bad := [][]sax.Event{
+		{},
+		{sax.StartDoc()},
+		{sax.StartDoc(), sax.Start("a"), sax.EndDoc()},
+		{sax.StartDoc(), sax.End("a"), sax.EndDoc()},
+		{sax.StartDoc(), sax.Start("a"), sax.End("b"), sax.EndDoc()},
+		{sax.StartDoc(), sax.EndDoc(), sax.Start("a")},
+		{sax.Start("a"), sax.End("a")},
+		{sax.StartDoc(), sax.TextEvent("x"), sax.EndDoc()},
+		{sax.StartDoc(), sax.StartDoc(), sax.EndDoc()},
+	}
+	for i, ev := range bad {
+		if _, err := FromEvents(ev); err == nil {
+			t.Errorf("case %d: want error, got none", i)
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	cases := []struct {
+		xml  string
+		want int
+	}{
+		{"<a/>", 1},
+		{"<a><b/></a>", 2},
+		{"<a><b/><c><d/></c></a>", 3},
+		{"<a>text only</a>", 1},
+		{"<a><Z><Z/></Z><b/><Z><Z/></Z></a>", 3}, // D_2 from Theorem 4.6 shape
+	}
+	for _, c := range cases {
+		if got := MustParse(c.xml).Depth(); got != c.want {
+			t.Errorf("Depth(%s) = %d, want %d", c.xml, got, c.want)
+		}
+	}
+}
+
+// Theorem 4.6's D_i has depth max{i+1, 2}.
+func TestDepthTheorem46Family(t *testing.T) {
+	for i := 0; i <= 6; i++ {
+		z := strings.Repeat("<Z>", i)
+		zc := strings.Repeat("</Z>", i)
+		xml := "<a>" + z + zc + "<b></b>" + z + zc + "</a>"
+		want := i + 1
+		if want < 2 {
+			want = 2
+		}
+		if got := MustParse(xml).Depth(); got != want {
+			t.Errorf("D_%d depth = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestFrontier(t *testing.T) {
+	// The document from Theorem 4.2's proof:
+	// <a><c><e/><f/></c><b>6</b></a>. The frontier at e is {e, f, b}.
+	d := MustParse("<a><c><e/><f/></c><b>6</b></a>")
+	e := d.FindAllNamed("e")[0]
+	fr := FrontierAt(e)
+	names := map[string]bool{}
+	for _, n := range fr {
+		names[n.Name] = true
+	}
+	if len(fr) != 3 || !names["e"] || !names["f"] || !names["b"] {
+		t.Errorf("frontier at e = %v, want {e,f,b}", names)
+	}
+	if got := FrontierSize(d); got != 3 {
+		t.Errorf("FrontierSize = %d, want 3", got)
+	}
+	if got := MaxFrontierNode(d); got.Name != "e" && got.Name != "f" {
+		t.Errorf("MaxFrontierNode = %s", got.Name)
+	}
+}
+
+func TestFrontierIgnoresTextNodes(t *testing.T) {
+	d := MustParse("<a>t1<b/>t2<c/>t3</a>")
+	if got := FrontierSize(d); got != 2 {
+		t.Errorf("FrontierSize = %d, want 2 (text nodes ignored)", got)
+	}
+}
+
+func TestPathAndLevel(t *testing.T) {
+	d := MustParse("<a><b><c/></b></a>")
+	c := d.FindAllNamed("c")[0]
+	p := c.Path()
+	if len(p) != 4 || p[0].Kind != KindRoot || p[3] != c {
+		t.Fatalf("Path = %d nodes", len(p))
+	}
+	if c.Level() != 3 {
+		t.Errorf("Level(c) = %d, want 3", c.Level())
+	}
+	if !d.IsAncestorOf(c) || c.IsAncestorOf(d) || c.IsAncestorOf(c) {
+		t.Error("IsAncestorOf misbehaves")
+	}
+	if !p[2].IsChildOf(p[1]) {
+		t.Error("IsChildOf misbehaves")
+	}
+	if c.Root() != d {
+		t.Error("Root misbehaves")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	d := MustParse("<a><b>6</b><c><e/></c></a>")
+	c := d.Clone()
+	if !d.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Children[0].Children[0].Children[0].Text = "7"
+	if d.Equal(c) {
+		t.Fatal("mutation of clone affected equality check")
+	}
+	if d.Children[0].Children[0].StrVal() != "6" {
+		t.Fatal("mutating clone changed original")
+	}
+}
+
+func TestSize(t *testing.T) {
+	d := MustParse("<a><b>6</b><c><e/></c></a>")
+	// root, a, b, c, e = 5 non-text nodes
+	if got := d.Size(); got != 5 {
+		t.Errorf("Size = %d, want 5", got)
+	}
+}
+
+func TestHomomorphismPaperExample(t *testing.T) {
+	// The example after Definition 6.1:
+	// D' = <a><b>hello</b><c>world</c></a>
+	// D  = <a><c>world</c><c>world</c><b>hello</b></a>
+	// D is weakly homomorphic to D' but not (fully) homomorphic, because
+	// the string value of the "a" node is not preserved.
+	dp := MustParse("<a><b>hello</b><c>world</c></a>")
+	d := MustParse("<a><c>world</c><c>world</c><b>hello</b></a>")
+	x, x2 := d.Children[0], dp.Children[0]
+	xi, ok := Homomorphic(x, x2, Weak)
+	if !ok {
+		t.Fatal("want weak homomorphism D -> D'")
+	}
+	if err := VerifyHom(xi, x, x2, Weak); err != nil {
+		t.Fatalf("witness does not verify: %v", err)
+	}
+	if _, ok := Homomorphic(x, x2, Full); ok {
+		t.Error("full homomorphism should not exist (STRVAL(a) differs)")
+	}
+	if _, ok := Homomorphic(x, x2, Structural); !ok {
+		t.Error("structural homomorphism should exist")
+	}
+}
+
+func TestHomomorphismNameMismatch(t *testing.T) {
+	d := MustParse("<a><b/></a>")
+	dp := MustParse("<a><c/></a>")
+	if _, ok := Homomorphic(d.Children[0], dp.Children[0], Structural); ok {
+		t.Error("child b cannot map into a document with only c children")
+	}
+}
+
+func TestHomomorphismNonInjective(t *testing.T) {
+	// Two identical children can both map onto a single target child.
+	d := MustParse("<a><b>x</b><b>x</b></a>")
+	dp := MustParse("<a><b>x</b></a>")
+	if _, ok := Homomorphic(d.Children[0], dp.Children[0], Weak); !ok {
+		t.Error("non-injective weak homomorphism should exist")
+	}
+	if _, ok := Isomorphic(d.Children[0], dp.Children[0], Structural); ok {
+		t.Error("isomorphism should not exist (different child counts)")
+	}
+}
+
+func TestIsomorphismOrderInsensitive(t *testing.T) {
+	d := MustParse("<a><b>1</b><c>2</c></a>")
+	dp := MustParse("<a><c>2</c><b>1</b></a>")
+	xi, ok := Isomorphic(d.Children[0], dp.Children[0], Weak)
+	if !ok {
+		t.Fatal("want weak isomorphism (child order may differ)")
+	}
+	if err := VerifyHom(xi, d.Children[0], dp.Children[0], Weak); err != nil {
+		t.Fatalf("isomorphism witness fails hom check: %v", err)
+	}
+	// A *full* isomorphism does not exist: STRVAL of the "a" node is "12"
+	// on one side and "21" on the other, and full homomorphisms preserve
+	// string values of every node.
+	if _, ok := Isomorphic(d.Children[0], dp.Children[0], Full); ok {
+		t.Error("full isomorphism should fail on parent STRVAL")
+	}
+}
+
+func TestIsomorphismBacktracking(t *testing.T) {
+	// Two b-children with different subtree shapes force the matcher to
+	// backtrack: the first candidate pairing fails.
+	d := MustParse("<a><b><x/></b><b><y/></b></a>")
+	dp := MustParse("<a><b><y/></b><b><x/></b></a>")
+	if _, ok := Isomorphic(d.Children[0], dp.Children[0], Structural); !ok {
+		t.Error("want isomorphism via backtracking")
+	}
+}
+
+func TestInternalNodePreserving(t *testing.T) {
+	d := MustParse("<a>P<b/></a>")
+	dp := MustParse("<a>P<b/><b/></a>")
+	xi, ok := Homomorphic(d.Children[0], dp.Children[0], Weak)
+	if !ok {
+		t.Fatal("want weak homomorphism")
+	}
+	if err := VerifyInternalNodePreserving(xi, d.Children[0]); err != nil {
+		t.Errorf("should be internal node preserving: %v", err)
+	}
+	// Now a target whose leading text differs.
+	dp2 := MustParse("<a>Q<b/></a>")
+	xi2, ok := Homomorphic(d.Children[0], dp2.Children[0], Weak)
+	if !ok {
+		t.Fatal("want weak homomorphism to dp2")
+	}
+	if err := VerifyInternalNodePreserving(xi2, d.Children[0]); err == nil {
+		t.Error("leading text differs: want verification failure")
+	}
+}
+
+func TestLeadingText(t *testing.T) {
+	d := MustParse("<a>hi<b/></a>")
+	if lt, ok := LeadingText(d.Children[0]); !ok || lt != "hi" {
+		t.Errorf("LeadingText = %q, %v", lt, ok)
+	}
+	d2 := MustParse("<a><b/>hi</a>")
+	if _, ok := LeadingText(d2.Children[0]); ok {
+		t.Error("text after element child is not leading")
+	}
+}
+
+func TestBuilderHelpers(t *testing.T) {
+	r := NewRoot()
+	a := r.AppendElement("a")
+	a.AppendElement("b").AppendText("6")
+	a.Append(NewAttribute("id", "9"))
+	s, err := a.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "<b>6</b>") {
+		t.Errorf("XML = %q", s)
+	}
+	if a.Children[1].Kind != KindAttribute || a.Children[1].StrVal() != "9" {
+		t.Error("attribute helper misbehaves")
+	}
+	if a.IsLeaf() || !a.Children[1].Children[0].IsLeaf() {
+		t.Error("IsLeaf misbehaves")
+	}
+}
+
+func TestFindFirst(t *testing.T) {
+	d := MustParse("<a><b/><c/><b/></a>")
+	n := d.FindFirst(func(m *Node) bool { return m.Name == "c" })
+	if n == nil || n.Name != "c" {
+		t.Error("FindFirst failed")
+	}
+	if d.FindFirst(func(m *Node) bool { return m.Name == "zzz" }) != nil {
+		t.Error("FindFirst should return nil when absent")
+	}
+	if got := len(d.FindAllNamed("b")); got != 2 {
+		t.Errorf("FindAllNamed(b) = %d, want 2", got)
+	}
+}
+
+func TestParseReader(t *testing.T) {
+	d, err := ParseReader(strings.NewReader("<a><b>6</b></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Children[0].StrVal() != "6" {
+		t.Error("ParseReader content mismatch")
+	}
+}
+
+func TestEventSpans(t *testing.T) {
+	d := MustParse("<a><b>6</b><c><e/></c></a>")
+	events, spans := d.EventSpans()
+	if sp := spans[d]; sp[0] != 0 || sp[1] != len(events) {
+		t.Errorf("root span = %v", sp)
+	}
+	b := d.FindAllNamed("b")[0]
+	sp := spans[b]
+	if events[sp[0]].Kind != sax.StartElement || events[sp[0]].Name != "b" {
+		t.Errorf("b span start = %v", events[sp[0]])
+	}
+	if events[sp[1]-1].Kind != sax.EndElement || events[sp[1]-1].Name != "b" {
+		t.Errorf("b span end = %v", events[sp[1]-1])
+	}
+	// Reconstructing the subtree from the span matches b's own events.
+	sub := events[sp[0]:sp[1]]
+	want := b.Events()
+	if len(sub) != len(want) {
+		t.Fatalf("span length %d, want %d", len(sub), len(want))
+	}
+	for i := range sub {
+		if sub[i].String() != want[i].String() {
+			t.Errorf("span event %d = %v, want %v", i, sub[i], want[i])
+		}
+	}
+	// Non-root subject.
+	cNode := d.FindAllNamed("c")[0]
+	ev2, spans2 := cNode.EventSpans()
+	if sp := spans2[cNode]; sp[0] != 0 || sp[1] != len(ev2) {
+		t.Errorf("non-root self span = %v", sp)
+	}
+	e := d.FindAllNamed("e")[0]
+	if sp := spans2[e]; ev2[sp[0]].Name != "e" {
+		t.Errorf("nested span in non-root walk broken")
+	}
+}

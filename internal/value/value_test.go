@@ -1,0 +1,321 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseNumber(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"6", 6, true},
+		{"-5", -5, true},
+		{"3.25", 3.25, true},
+		{".5", 0.5, true},
+		{"5.", 5, true},
+		{"-0.0", 0, true},
+		{"  12 ", 12, true},
+		{"29", 29, true},
+		{"", 0, false},
+		{"hello", 0, false},
+		{"1e5", 0, false}, // scientific notation rejected by design
+		{"1E5", 0, false},
+		{"+5", 0, false}, // unary plus is not in the Number production
+		{"--5", 0, false},
+		{"1.2.3", 0, false},
+		{"5-", 0, false},
+		{".", 0, false},
+		{"-", 0, false},
+		{"12a", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseNumber(c.in)
+		if ok != c.ok {
+			t.Errorf("ParseNumber(%q) ok = %v, want %v", c.in, ok, c.ok)
+			continue
+		}
+		if ok && got != c.want {
+			t.Errorf("ParseNumber(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsNumericPrefix(t *testing.T) {
+	yes := []string{"", "-", "1", "12", "12.", "12.3", "-0.", ".", "-."}
+	no := []string{"a", "1a", "1.2.", "--", "1-", " 1", "h", "1..2"}
+	for _, p := range yes {
+		if !IsNumericPrefix(p) {
+			t.Errorf("IsNumericPrefix(%q) = false, want true", p)
+		}
+	}
+	for _, p := range no {
+		if IsNumericPrefix(p) {
+			t.Errorf("IsNumericPrefix(%q) = true, want false", p)
+		}
+	}
+}
+
+// Every valid number string's prefixes must all be numeric prefixes.
+func TestNumericPrefixConsistency(t *testing.T) {
+	f := func(n int16, frac uint8) bool {
+		s := FormatNumber(float64(n) + float64(frac)/100)
+		for i := 0; i <= len(s); i++ {
+			if !IsNumericPrefix(s[:i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCasts(t *testing.T) {
+	if got := ToNumber(String_("6")); got != 6 {
+		t.Errorf("ToNumber(\"6\") = %v", got)
+	}
+	if got := ToNumber(String_("x")); !math.IsNaN(got) {
+		t.Errorf("ToNumber(\"x\") = %v, want NaN", got)
+	}
+	if got := ToNumber(Bool(true)); got != 1 {
+		t.Errorf("ToNumber(true) = %v", got)
+	}
+	if got := ToString(Number(5)); got != "5" {
+		t.Errorf("ToString(5) = %q", got)
+	}
+	if got := ToString(Number(5.5)); got != "5.5" {
+		t.Errorf("ToString(5.5) = %q", got)
+	}
+	if got := ToString(Number(math.NaN())); got != "NaN" {
+		t.Errorf("ToString(NaN) = %q", got)
+	}
+	if got := ToString(Bool(false)); got != "false" {
+		t.Errorf("ToString(false) = %q", got)
+	}
+}
+
+func TestEBV(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Bool(true), true},
+		{Bool(false), false},
+		{Number(0), false},
+		{Number(1), true},
+		{Number(math.NaN()), false},
+		{String_(""), false},
+		{String_("x"), true},
+		{String_("false"), true}, // non-empty string is true
+	}
+	for _, c := range cases {
+		if got := EBV(c.v); got != c.want {
+			t.Errorf("EBV(%v %v) = %v, want %v", c.v.Kind(), c.v, got, c.want)
+		}
+	}
+	if EBVSeq(nil) {
+		t.Error("EBVSeq(empty) = true")
+	}
+	if !EBVSeq(Sequence{Number(0)}) {
+		t.Error("EBVSeq(non-empty) = false; sequences are existential")
+	}
+}
+
+func TestCompareNumeric(t *testing.T) {
+	cases := []struct {
+		op   CompOp
+		a, b Value
+		want bool
+	}{
+		{OpEq, Number(5), Number(5), true},
+		{OpEq, String_("6"), Number(6), true},
+		{OpNe, String_("6"), Number(5), true},
+		{OpLt, Number(3), Number(5), true},
+		{OpLe, Number(5), Number(5), true},
+		{OpGt, String_("6"), Number(5), true},
+		{OpGe, Number(4), Number(5), false},
+		// NaN poisons every comparison, even !=.
+		{OpNe, String_("hello"), Number(5), false},
+		{OpEq, String_("hello"), Number(5), false},
+		{OpGt, String_("hello"), Number(5), false},
+		// string-string equality is textual
+		{OpEq, String_("ab"), String_("ab"), true},
+		{OpEq, String_("ab"), String_("ba"), false},
+		{OpNe, String_("ab"), String_("ba"), true},
+		// string-string ordering is numeric (and NaN-poisoned)
+		{OpLt, String_("2"), String_("10"), true},
+		{OpLt, String_("a"), String_("b"), false},
+		// booleans compare as booleans under =
+		{OpEq, Bool(true), Number(7), true}, // EBV(7)=true
+		{OpEq, Bool(false), String_(""), true},
+	}
+	for _, c := range cases {
+		if got := Compare(c.op, c.a, c.b); got != c.want {
+			t.Errorf("Compare(%s, %v, %v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompOpNegateFlip(t *testing.T) {
+	ops := []CompOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	for _, op := range ops {
+		if op.Negate().Negate() != op {
+			t.Errorf("%s: Negate not involutive", op)
+		}
+		if op.Flip().Flip() != op {
+			t.Errorf("%s: Flip not involutive", op)
+		}
+	}
+	// Semantic check via quick: a op b == b flip(op) a, and
+	// a op b == !(a negate(op) b) for non-NaN numbers.
+	f := func(a, b int32) bool {
+		x, y := Number(float64(a)), Number(float64(b))
+		for _, op := range ops {
+			if Compare(op, x, y) != Compare(op.Flip(), y, x) {
+				return false
+			}
+			if Compare(op, x, y) == Compare(op.Negate(), x, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArith(t *testing.T) {
+	cases := []struct {
+		op   ArithOp
+		a, b float64
+		want float64
+	}{
+		{OpAdd, 2, 3, 5},
+		{OpSub, 2, 3, -1},
+		{OpMul, 2, 3, 6},
+		{OpDiv, 7, 2, 3.5},
+		{OpIDiv, 7, 2, 3},
+		{OpIDiv, -7, 2, -3},
+		{OpMod, 7, 2, 1},
+		{OpMod, -7, 2, -1},
+	}
+	for _, c := range cases {
+		got := Arith(c.op, Number(c.a), Number(c.b))
+		if got.Num() != c.want {
+			t.Errorf("Arith(%s, %v, %v) = %v, want %v", c.op, c.a, c.b, got.Num(), c.want)
+		}
+	}
+	if v := Arith(OpIDiv, Number(1), Number(0)); !math.IsNaN(v.Num()) {
+		t.Errorf("1 idiv 0 = %v, want NaN", v.Num())
+	}
+	if v := Arith(OpMod, Number(1), Number(0)); !math.IsNaN(v.Num()) {
+		t.Errorf("1 mod 0 = %v, want NaN", v.Num())
+	}
+	if v := Arith(OpAdd, String_("b"), Number(2)); !math.IsNaN(v.Num()) {
+		t.Errorf("\"b\" + 2 = %v, want NaN", v.Num())
+	}
+	// The paper's remark example: b + 2 = 5 with b = 3.
+	if v := Arith(OpAdd, String_("3"), Number(2)); v.Num() != 5 {
+		t.Errorf("\"3\" + 2 = %v, want 5", v.Num())
+	}
+	if Neg(Number(4)).Num() != -4 {
+		t.Error("Neg(4) != -4")
+	}
+}
+
+func TestCallStringFuncs(t *testing.T) {
+	cases := []struct {
+		fn   string
+		args []Value
+		want Value
+	}{
+		{"string-length", []Value{String_("hello")}, Number(5)},
+		{"string-length", []Value{String_("")}, Number(0)},
+		{"contains", []Value{String_("xABy"), String_("AB")}, True},
+		{"contains", []Value{String_("xAy"), String_("AB")}, False},
+		{"starts-with", []Value{String_("ABc"), String_("AB")}, True},
+		{"starts-with", []Value{String_("cAB"), String_("AB")}, False},
+		{"ends-with", []Value{String_("cAB"), String_("AB")}, True},
+		{"fn:ends-with", []Value{String_("ABc"), String_("AB")}, False},
+		{"concat", []Value{String_("a"), String_("b"), Number(3)}, String_("ab3")},
+		{"substring", []Value{String_("12345"), Number(2), Number(3)}, String_("234")},
+		{"normalize-space", []Value{String_("  a  b ")}, String_("a b")},
+		{"number", []Value{String_("42")}, Number(42)},
+		{"string", []Value{Number(42)}, String_("42")},
+		{"floor", []Value{Number(2.7)}, Number(2)},
+		{"ceiling", []Value{Number(2.2)}, Number(3)},
+		{"round", []Value{Number(2.5)}, Number(3)},
+	}
+	for _, c := range cases {
+		got, err := Call(c.fn, c.args)
+		if err != nil {
+			t.Errorf("Call(%s): %v", c.fn, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("Call(%s, %v) = %v, want %v", c.fn, c.args, got, c.want)
+		}
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	if _, err := Call("nope", nil); err == nil {
+		t.Error("unknown function: want error")
+	}
+	if _, err := Call("contains", []Value{String_("a")}); err == nil {
+		t.Error("arity mismatch: want error")
+	}
+	if _, err := Call("concat", nil); err == nil {
+		t.Error("concat with 0 args: want error")
+	}
+}
+
+func TestLookupFunc(t *testing.T) {
+	sig, ok := LookupFunc("fn:contains")
+	if !ok || sig.Name != "contains" || !sig.BoolOutput {
+		t.Errorf("LookupFunc(fn:contains) = %+v, %v", sig, ok)
+	}
+	if _, ok := LookupFunc("position"); ok {
+		t.Error("position() must not be supported (excluded by the grammar)")
+	}
+}
+
+func TestFormatNumberRoundTrip(t *testing.T) {
+	f := func(n int32) bool {
+		s := FormatNumber(float64(n))
+		got, ok := ParseNumber(s)
+		return ok && got == float64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubstringEdge(t *testing.T) {
+	// XPath 1.0 edge semantics.
+	if got, _ := Call("substring", []Value{String_("12345"), Number(0), Number(3)}); got.Str() != "12" {
+		t.Errorf("substring('12345',0,3) = %q, want \"12\"", got.Str())
+	}
+	if got, _ := Call("substring", []Value{String_("12345"), Number(7), Number(3)}); got.Str() != "" {
+		t.Errorf("substring out of range = %q, want empty", got.Str())
+	}
+}
+
+func TestSequenceEqual(t *testing.T) {
+	a := Sequence{Number(1), String_("x")}
+	b := Sequence{Number(1), String_("x")}
+	c := Sequence{Number(1)}
+	if !a.Equal(b) || a.Equal(c) || c.Equal(a) {
+		t.Error("Sequence.Equal misbehaves")
+	}
+	if got := a.Strings(); got[0] != "1" || got[1] != "x" {
+		t.Errorf("Strings() = %v", got)
+	}
+}

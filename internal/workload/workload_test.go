@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamxpath/internal/fragment"
+	"streamxpath/internal/match"
+	"streamxpath/internal/query"
+	"streamxpath/internal/semantics"
+)
+
+func TestDeep(t *testing.T) {
+	d := Deep(10)
+	if got := d.Depth(); got != 12 { // a + 10 Zs + b
+		t.Errorf("Depth = %d, want 12", got)
+	}
+	if !semantics.BoolEval(query.MustParse("/a//b"), d) {
+		t.Error("/a//b must match Deep")
+	}
+	if semantics.BoolEval(query.MustParse("/a/b"), Deep(1)) {
+		t.Error("/a/b must not match Deep(1)")
+	}
+	if !semantics.BoolEval(query.MustParse("/a/b"), Deep(0)) {
+		t.Error("/a/b must match Deep(0)")
+	}
+}
+
+func TestRecursive(t *testing.T) {
+	q := query.MustParse("//a[b and c]")
+	// Only level 1 has both.
+	d := Recursive(3, func(i int) bool { return i <= 1 }, func(i int) bool { return i >= 1 })
+	if !semantics.BoolEval(q, d) {
+		t.Error("level 1 has b and c")
+	}
+	d2 := Recursive(3, func(i int) bool { return i == 0 }, func(i int) bool { return i == 2 })
+	if semantics.BoolEval(q, d2) {
+		t.Error("no level has both")
+	}
+	full := FullyRecursive(4)
+	r, err := match.RecursionDepth(q, full, q.Root.Children[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 4 {
+		t.Errorf("recursion depth = %d, want 4", r)
+	}
+}
+
+func TestWideAndFrontier(t *testing.T) {
+	d := Wide(5)
+	if len(d.Children[0].Children) != 5 {
+		t.Error("Wide fanout")
+	}
+	for _, fs := range []int{1, 2, 5, 9} {
+		q := FrontierQuery(fs)
+		if got := fragment.FrontierSize(q); got != fs {
+			t.Errorf("FrontierQuery(%d) has FS %d", fs, got)
+		}
+		if !fragment.IsRedundancyFree(q) {
+			t.Errorf("FrontierQuery(%d) not redundancy-free", fs)
+		}
+		if !semantics.BoolEval(q, FrontierDoc(fs)) {
+			t.Errorf("FrontierDoc(%d) must match", fs)
+		}
+	}
+}
+
+func TestStarChainQuery(t *testing.T) {
+	q := StarChainQuery(3)
+	if q.String() == "" || q.Size() != 6 { // root + a + 3 stars + b
+		t.Errorf("StarChainQuery(3): size %d", q.Size())
+	}
+}
+
+func TestNewsFeed(t *testing.T) {
+	d := NewsFeed([]NewsItem{{Title: "t", Keyword: "go", Priority: 5, Body: "b"}})
+	if !semantics.BoolEval(query.MustParse(`//item[keyword = "go"]`), d) {
+		t.Error("keyword query must match")
+	}
+	if !semantics.BoolEval(query.MustParse(`//item[priority > 3 and .//p]`), d) {
+		t.Error("priority query must match")
+	}
+	if semantics.BoolEval(query.MustParse(`//item[keyword = "rust"]`), d) {
+		t.Error("wrong keyword must not match")
+	}
+	rng := rand.New(rand.NewSource(1))
+	feed := RandomNewsFeed(rng, 20)
+	if got := len(feed.FindAllNamed("item")); got != 20 {
+		t.Errorf("items = %d", got)
+	}
+}
+
+func TestRandomRedundancyFreeQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 30; i++ {
+		q := RandomRedundancyFreeQuery(rng, 6)
+		r := fragment.Classify(q)
+		if !r.RedundancyFree() {
+			t.Errorf("generated query %s not redundancy-free: %v", q, r.Issues())
+		}
+	}
+}
+
+func TestRandomTreeShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := RandomTree(rng, []string{"a", "b"}, []string{"1"}, 3, 2)
+	if d.Depth() > 4 {
+		t.Errorf("depth %d exceeds maxDepth+1", d.Depth())
+	}
+	if len(Events(d)) == 0 {
+		t.Error("Events helper broken")
+	}
+}

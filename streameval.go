@@ -1,0 +1,93 @@
+package streamxpath
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"streamxpath/internal/sax"
+	"streamxpath/internal/streameval"
+)
+
+// StreamEvaluator performs full query evaluation in a single streaming
+// pass: it emits the string values of the nodes the query selects, in
+// document order, buffering each candidate only until its governing
+// predicates resolve. (Filtering needs no buffering; full evaluation
+// inherently does — the value of /a[c]/b's first b cannot be released
+// until the c arrives. The evaluator's Stats expose that buffering.)
+type StreamEvaluator struct {
+	e *streameval.Evaluator
+}
+
+// NewStreamEvaluator compiles the streaming evaluator. The query must be
+// within the streamable fragment and must select element or attribute
+// values (not the document root).
+func (q *Query) NewStreamEvaluator() (*StreamEvaluator, error) {
+	e, err := streameval.Compile(q.q)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamEvaluator{e: e}, nil
+}
+
+// OnValue registers a callback invoked with each selected value as soon as
+// its fate is decided — before the document ends, whenever the predicates
+// allow. Pass nil to unregister.
+func (s *StreamEvaluator) OnValue(fn func(value string)) { s.e.Emit = fn }
+
+// EvaluateReader streams a document and returns the selected values in
+// document order.
+func (s *StreamEvaluator) EvaluateReader(r io.Reader) ([]string, error) {
+	s.e.Reset()
+	tok := sax.NewTokenizer(r)
+	for {
+		ev, err := tok.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := s.e.Process(ev); err != nil {
+			return nil, err
+		}
+	}
+	if res := s.e.Results(); res != nil {
+		return res, nil
+	}
+	if s.e.Stats().Events == 0 {
+		return nil, fmt.Errorf("streamxpath: empty document stream")
+	}
+	return nil, nil
+}
+
+// EvaluateString is EvaluateReader over a string.
+func (s *StreamEvaluator) EvaluateString(xml string) ([]string, error) {
+	return s.EvaluateReader(strings.NewReader(xml))
+}
+
+// EvalStats reports the streaming evaluator's buffering on the last
+// document.
+type EvalStats struct {
+	// Events is the number of SAX events processed.
+	Events int
+	// Emitted and Dropped count the decided output candidates.
+	Emitted, Dropped int
+	// PeakPendingValues is the maximum number of values simultaneously
+	// buffered awaiting predicate resolution.
+	PeakPendingValues int
+	// PeakBufferedBytes is the maximum total buffered text.
+	PeakBufferedBytes int
+}
+
+// Stats returns the buffering statistics of the last document.
+func (s *StreamEvaluator) Stats() EvalStats {
+	st := s.e.Stats()
+	return EvalStats{
+		Events:            st.Events,
+		Emitted:           st.Emitted,
+		Dropped:           st.Dropped,
+		PeakPendingValues: st.PeakPendingCandidates,
+		PeakBufferedBytes: st.PeakBufferedBytes,
+	}
+}

@@ -413,53 +413,149 @@ func BenchmarkStreamEvalBuffering(b *testing.B) {
 	}
 }
 
-// BenchmarkFilterSetVsIndividual: the dissemination workload — one
-// document, many subscriptions. FilterSet tokenizes once and early-exits
-// matched filters; the individual path re-parses per subscription.
-func BenchmarkFilterSetVsIndividual(b *testing.B) {
-	subs := make(map[string]string)
-	for i := 0; i < 50; i++ {
-		subs[fmt.Sprintf("s%d", i)] = fmt.Sprintf(`//item[priority > %d]`, i%10)
+// --- the dissemination benchmark family (E22) ---
+//
+// One document, many standing subscriptions. The "engine" arms run the
+// shared multi-query engine behind FilterSet; the "fanout" arms replicate
+// the seed's per-filter loop (tokenize once, feed every event to every
+// filter, monotone early exit per filter) so future PRs can track the
+// shared-evaluation speedup in BENCH_*.json. Subscription topologies:
+//
+//   - shared:   //catalog/item/f<i> — all subscriptions share a two-step
+//     prefix; per-event cost of the engine depends on the distinct active
+//     states, not the subscription count.
+//   - disjoint: //p<i>/c<i> — nothing shared; the engine's worst case.
+//   - predshared: //catalog/item[priority > k]/f<i> — shared predicated
+//     steps exercising the trie route.
+
+// disseminationSubs builds a subscription workload.
+func disseminationSubs(topology string, n int) []string {
+	subs := make([]string, n)
+	for i := range subs {
+		switch topology {
+		case "shared":
+			subs[i] = fmt.Sprintf("//catalog/item/f%d", i)
+		case "disjoint":
+			subs[i] = fmt.Sprintf("//p%d/c%d", i, i)
+		case "predshared":
+			subs[i] = fmt.Sprintf("//catalog/item[priority > %d]/f%d", i%10, i%(n/10+1))
+		}
 	}
-	rng := rand.New(rand.NewSource(22))
-	docEvents := workload.RandomNewsFeed(rng, 200).Events()
-	var docXML strings.Builder
-	if err := sax.Serialize(&docXML, docEvents); err != nil {
+	return subs
+}
+
+// disseminationDoc builds the feed document: a catalog of items carrying
+// a few of the subscribed leaf names, so a small fraction of
+// subscriptions match.
+func disseminationDoc(items int) string {
+	var b strings.Builder
+	b.WriteString("<catalog>")
+	for j := 0; j < items; j++ {
+		fmt.Fprintf(&b, "<item><priority>%d</priority><f%d/><f%d/></item>", j%12, j, j+items)
+	}
+	b.WriteString("</catalog>")
+	return b.String()
+}
+
+// seedFanout replicates the seed FilterSet.MatchReader: one tokenizer
+// pass fanned out to every subscription's standalone filter.
+func seedFanout(b *testing.B, filters []*core.Filter, doc string) int {
+	for _, f := range filters {
+		f.Reset()
+	}
+	done := make([]bool, len(filters))
+	tok := sax.NewTokenizer(strings.NewReader(doc))
+	for {
+		e, err := tok.Next()
+		if err != nil {
+			break
+		}
+		for i, f := range filters {
+			if done[i] && e.Kind != sax.EndDocument {
+				continue
+			}
+			if err := f.Process(e); err != nil {
+				b.Fatal(err)
+			}
+			if !done[i] && f.WouldMatchIfClosedNow() {
+				done[i] = true
+			}
+		}
+	}
+	matched := 0
+	for _, f := range filters {
+		if f.Matched() {
+			matched++
+		}
+	}
+	return matched
+}
+
+func benchEngine(b *testing.B, subs []string, doc string) {
+	s := streamxpath.NewFilterSet()
+	for i, src := range subs {
+		if err := s.Add(fmt.Sprintf("s%d", i), src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := s.MatchString(doc); err != nil { // compile + warm transition tables
 		b.Fatal(err)
 	}
-	doc := docXML.String()
+	events := len(sax.MustParse(doc))
+	b.ResetTimer()
+	var matched int
+	for i := 0; i < b.N; i++ {
+		ids, err := s.MatchString(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		matched = len(ids)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+	b.ReportMetric(float64(matched), "matched")
+}
 
-	b.Run("filterset", func(b *testing.B) {
-		s := streamxpath.NewFilterSet()
-		for id, q := range subs {
-			if err := s.Add(id, q); err != nil {
-				b.Fatal(err)
-			}
+func benchFanout(b *testing.B, subs []string, doc string) {
+	var filters []*core.Filter
+	for _, src := range subs {
+		f, err := core.Compile(query.MustParse(src))
+		if err != nil {
+			b.Fatal(err)
 		}
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, err := s.MatchString(doc); err != nil {
-				b.Fatal(err)
-			}
+		filters = append(filters, f)
+	}
+	events := len(sax.MustParse(doc))
+	b.ResetTimer()
+	var matched int
+	for i := 0; i < b.N; i++ {
+		matched = seedFanout(b, filters, doc)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+	b.ReportMetric(float64(matched), "matched")
+}
+
+// BenchmarkFilterSet is the full dissemination matrix: subscription count
+// × prefix topology × engine/fanout.
+func BenchmarkFilterSet(b *testing.B) {
+	doc := disseminationDoc(40)
+	for _, topology := range []string{"shared", "disjoint", "predshared"} {
+		for _, n := range []int{100, 1000, 10000} {
+			subs := disseminationSubs(topology, n)
+			b.Run(fmt.Sprintf("%s/subs=%d/engine", topology, n), func(b *testing.B) {
+				benchEngine(b, subs, doc)
+			})
+			b.Run(fmt.Sprintf("%s/subs=%d/fanout", topology, n), func(b *testing.B) {
+				benchFanout(b, subs, doc)
+			})
 		}
-	})
-	b.Run("individual", func(b *testing.B) {
-		var filters []*streamxpath.Filter
-		for _, qs := range subs {
-			q := streamxpath.MustCompile(qs)
-			f, err := q.NewFilter()
-			if err != nil {
-				b.Fatal(err)
-			}
-			filters = append(filters, f)
-		}
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			for _, f := range filters {
-				if _, err := f.MatchString(doc); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}
-	})
+	}
+}
+
+// BenchmarkDissemination is the compact engine-vs-fanout pair (1k shared
+// subscriptions) run as the CI smoke benchmark.
+func BenchmarkDissemination(b *testing.B) {
+	subs := disseminationSubs("shared", 1000)
+	doc := disseminationDoc(40)
+	b.Run("engine", func(b *testing.B) { benchEngine(b, subs, doc) })
+	b.Run("fanout", func(b *testing.B) { benchFanout(b, subs, doc) })
 }

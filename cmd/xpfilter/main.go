@@ -1,4 +1,4 @@
-// Command xpfilter filters XML documents against a Forward XPath query in
+// Command xpfilter filters XML documents against Forward XPath queries in
 // a single streaming pass, printing one line per input with the match
 // result and (with -stats) the filter's memory statistics.
 //
@@ -7,9 +7,18 @@
 //	xpfilter -q '/news/item[priority > 5]' file1.xml file2.xml
 //	cat doc.xml | xpfilter -q '//a[b and c]'
 //	xpfilter -q '/a/b' -analyze
+//	xpfilter -subs subscriptions.txt feed1.xml feed2.xml
+//
+// With -subs, the file names one standing subscription per line (either
+// "id <tab-or-space> query" or a bare query, identified by its own text),
+// all compiled into one shared dissemination engine; each input document
+// is matched against every subscription in a single pass and the matching
+// ids are printed. -stats then reports the engine's shared-structure
+// sizes.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -20,16 +29,39 @@ import (
 
 func main() {
 	var (
-		querySrc = flag.String("q", "", "Forward XPath query (required)")
+		querySrc = flag.String("q", "", "Forward XPath query")
+		subsFile = flag.String("subs", "", "file of standing subscriptions (one per line); match all in one pass")
 		stats    = flag.Bool("stats", false, "print per-document memory statistics")
 		analyze  = flag.Bool("analyze", false, "print query analysis and exit")
 		evaluate = flag.Bool("eval", false, "print selected node values instead of a boolean (in-memory evaluation)")
 	)
 	flag.Parse()
-	if *querySrc == "" {
-		fmt.Fprintln(os.Stderr, "xpfilter: -q query is required")
+	if (*querySrc == "") == (*subsFile == "") {
+		fmt.Fprintln(os.Stderr, "xpfilter: exactly one of -q or -subs is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *subsFile != "" && (*analyze || *evaluate) {
+		fmt.Fprintln(os.Stderr, "xpfilter: -analyze and -eval apply to a single -q query, not -subs")
+		os.Exit(2)
+	}
+	files := flag.Args()
+	if len(files) == 0 {
+		files = []string{"-"}
+	}
+	if *subsFile != "" {
+		set, err := loadSubscriptions(*subsFile)
+		if err != nil {
+			fatal(err)
+		}
+		exit := 0
+		for _, name := range files {
+			if err := runSet(set, name, *stats); err != nil {
+				fmt.Fprintf(os.Stderr, "xpfilter: %s: %v\n", name, err)
+				exit = 1
+			}
+		}
+		os.Exit(exit)
 	}
 	q, err := streamxpath.Compile(*querySrc)
 	if err != nil {
@@ -39,10 +71,6 @@ func main() {
 		printAnalysis(q)
 		return
 	}
-	files := flag.Args()
-	if len(files) == 0 {
-		files = []string{"-"}
-	}
 	exit := 0
 	for _, name := range files {
 		if err := runOne(q, name, *stats, *evaluate); err != nil {
@@ -51,6 +79,73 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// loadSubscriptions reads a subscription file into a FilterSet.
+func loadSubscriptions(path string) (*streamxpath.FilterSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	set := streamxpath.NewFilterSet()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	bare := map[string]bool{}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var id, query string
+		if strings.HasPrefix(line, "/") {
+			// Bare query: use the query text as the id. Explicit ids
+			// cannot start with "/", so auto ids never collide with them;
+			// repeated bare queries get a line-number suffix.
+			id, query = line, line
+			if bare[id] {
+				id = fmt.Sprintf("%s#%d", line, lineNo)
+			}
+			bare[id] = true
+		} else {
+			i := strings.IndexAny(line, " \t")
+			if i < 0 {
+				return nil, fmt.Errorf("%s:%d: want %q or a bare query starting with /", path, lineNo, "id query")
+			}
+			id, query = line[:i], strings.TrimSpace(line[i:])
+		}
+		if err := set.Add(id, query); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// runSet matches one document against every subscription.
+func runSet(set *streamxpath.FilterSet, name string, stats bool) error {
+	in := os.Stdin
+	if name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	ids, err := set.MatchReader(in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d/%d matched: %s\n", name, len(ids), set.Len(), strings.Join(ids, " "))
+	if stats {
+		s := set.Stats()
+		fmt.Printf("  %s\n", s)
+	}
+	return nil
 }
 
 func runOne(q *streamxpath.Query, name string, stats, evaluate bool) error {

@@ -5,61 +5,68 @@ import (
 	"io"
 	"strings"
 
-	"streamxpath/internal/core"
+	"streamxpath/internal/engine"
 	"streamxpath/internal/sax"
 )
 
-// FilterSet matches one document stream against many standing queries in a
-// single pass — the selective-dissemination workload of the paper's
-// introduction (ref [1]). The document is tokenized once; each event is
-// fanned out to the subscriptions' filters. A filter whose match has
-// become definitive (conjunctive matching is monotone, so a provisional
-// match is final) stops receiving events, which makes broad subscriptions
-// cheap on large documents.
+// FilterSet matches one document stream against many standing queries in
+// a single pass — the selective-dissemination workload of the paper's
+// introduction (ref [1]). Subscriptions are compiled into ONE shared
+// evaluation engine (internal/engine): queries are canonicalized into
+// step keys and merged into prefix-sharing indexes — a combined NFA for
+// linear path queries and a shared frontier trie for predicated ones — so
+// per-event cost tracks the amount of distinct active structure, not the
+// subscription count. A thousand subscriptions sharing a //catalog/item
+// prefix pay for that prefix once.
 //
-// A FilterSet is not safe for concurrent use; create one per goroutine
-// (compiled queries are shared safely by recompiling per set).
+// Per subscription the engine preserves the standalone Filter's
+// semantics: answers are identical to running each query through its own
+// core filter, and a subscription whose match has become definitive
+// (conjunctive matching is monotone, so a provisional match is final)
+// stops consuming events.
+//
+// Add and Remove may be called between documents; the shared indexes are
+// rebuilt lazily before the next document starts. A FilterSet is not safe
+// for concurrent use; create one per goroutine.
 type FilterSet struct {
-	ids     []string
-	filters []*core.Filter
+	e *engine.Engine
 }
 
 // NewFilterSet returns an empty set.
-func NewFilterSet() *FilterSet { return &FilterSet{} }
+func NewFilterSet() *FilterSet { return &FilterSet{e: engine.New()} }
 
-// Add compiles a subscription under the given id. Ids must be unique.
+// Add compiles a subscription under the given id and merges it into the
+// shared engine. Ids must be unique. Queries outside the streamable
+// fragment (see Query.NewFilter) are rejected.
 func (s *FilterSet) Add(id, querySrc string) error {
-	for _, existing := range s.ids {
-		if existing == id {
-			return fmt.Errorf("streamxpath: duplicate subscription id %q", id)
-		}
-	}
 	q, err := Compile(querySrc)
 	if err != nil {
 		return err
 	}
-	f, err := core.Compile(q.q)
-	if err != nil {
+	if err := s.e.Add(id, q.q); err != nil {
 		return fmt.Errorf("streamxpath: subscription %q: %w", id, err)
 	}
-	s.ids = append(s.ids, id)
-	s.filters = append(s.filters, f)
 	return nil
 }
 
-// Len returns the number of subscriptions.
-func (s *FilterSet) Len() int { return len(s.ids) }
+// Remove deregisters a subscription, reporting whether it existed.
+func (s *FilterSet) Remove(id string) bool { return s.e.Remove(id) }
 
-// MatchReader streams one document past every subscription and returns the
-// ids that match, in insertion order.
+// Len returns the number of subscriptions.
+func (s *FilterSet) Len() int { return s.e.Len() }
+
+// IDs returns the subscription ids in insertion order.
+func (s *FilterSet) IDs() []string { return s.e.IDs() }
+
+// Reset prepares the set for the next document and applies any pending
+// Add/Remove calls. MatchReader resets implicitly; Reset exists for
+// callers driving the engine event by event across documents.
+func (s *FilterSet) Reset() { s.e.Reset() }
+
+// MatchReader streams one document past every subscription and returns
+// the ids that match, in insertion order. The result is non-nil even when
+// empty.
 func (s *FilterSet) MatchReader(r io.Reader) ([]string, error) {
-	for _, f := range s.filters {
-		f.Reset()
-	}
-	// done[i] marks filters with a definitive positive answer; they stop
-	// receiving events (monotone early exit). Negative answers are only
-	// definitive at endDocument.
-	done := make([]bool, len(s.filters))
 	tok := sax.NewTokenizer(r)
 	sawEnd := false
 	for {
@@ -73,31 +80,26 @@ func (s *FilterSet) MatchReader(r io.Reader) ([]string, error) {
 		if e.Kind == sax.EndDocument {
 			sawEnd = true
 		}
-		for i, f := range s.filters {
-			if done[i] && e.Kind != sax.EndDocument {
-				continue
-			}
-			if err := f.Process(e); err != nil {
-				return nil, fmt.Errorf("streamxpath: subscription %q: %w", s.ids[i], err)
-			}
-			if !done[i] && f.WouldMatchIfClosedNow() {
-				done[i] = true
-			}
+		if err := s.e.Process(e); err != nil {
+			return nil, fmt.Errorf("streamxpath: %w", err)
 		}
 	}
 	if !sawEnd {
 		return nil, fmt.Errorf("streamxpath: document ended prematurely")
 	}
-	var out []string
-	for i, f := range s.filters {
-		if f.Matched() {
-			out = append(out, s.ids[i])
-		}
-	}
-	return out, nil
+	return s.e.MatchedIDs(), nil
 }
 
 // MatchString is MatchReader over a string.
 func (s *FilterSet) MatchString(xml string) ([]string, error) {
 	return s.MatchReader(strings.NewReader(xml))
 }
+
+// FilterSetStats reports the size of the shared structures and the work
+// of the last document — how much evaluation the subscriptions actually
+// share. SpineSteps/SharedStates is the prefix-sharing factor.
+type FilterSetStats = engine.Stats
+
+// Stats returns the engine statistics. Pending Add/Remove calls are
+// compiled first.
+func (s *FilterSet) Stats() FilterSetStats { return s.e.Stats() }

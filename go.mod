@@ -1,0 +1,3 @@
+module streamxpath
+
+go 1.22

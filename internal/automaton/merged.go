@@ -1,0 +1,254 @@
+package automaton
+
+import (
+	"sort"
+
+	"streamxpath/internal/query"
+)
+
+// MergedNFA is a combined position automaton for MANY linear path queries
+// at once: a prefix-sharing trie over location steps, in the style of the
+// YFilter family of dissemination engines. Queries that agree on their
+// first k steps (same node test, same axis — compared via the canonical
+// step keys of internal/query) share k trie states, so the per-event work
+// of the shared evaluation depends on the number of distinct active
+// states, not on the number of subscriptions. Accepting states carry
+// output sets: the ids of the subscriptions whose final step they are.
+//
+// Like the single-query NFA, the merged automaton covers the /, //, *
+// fragment; predicates and attribute axes are routed by internal/engine to
+// the frontier-based shared matcher instead.
+type MergedNFA struct {
+	states  []mstate
+	outputs int // number of Add calls accepted
+}
+
+// mstate is one trie state: the step that enters it plus its children.
+type mstate struct {
+	ntest      string
+	descendant bool
+	children   []int
+	// hasDescChild caches whether any child is reached by a descendant
+	// step; only then may the state survive a non-matching element (the
+	// "gap" of //).
+	hasDescChild bool
+	// outputs are the subscription ids accepted when this state is
+	// entered by a direct match (not retained across a gap).
+	outputs []int
+}
+
+// NewMergedNFA returns an automaton containing only the root state.
+func NewMergedNFA() *MergedNFA {
+	return &MergedNFA{states: []mstate{{}}} // state 0: the query root $
+}
+
+// Add merges a linear (predicate-free, attribute-free) path query into the
+// trie and records out as the id accepted at its final state. It returns
+// an error for queries outside the /, //, * fragment.
+func (m *MergedNFA) Add(q *query.Query, out int) error {
+	if _, err := FromQuery(q); err != nil {
+		return err
+	}
+	cur := 0
+	for u := q.Root.Successor; u != nil; u = u.Successor {
+		desc := u.Axis == query.AxisDescendant
+		next := -1
+		for _, c := range m.states[cur].children {
+			if m.states[c].ntest == u.NTest && m.states[c].descendant == desc {
+				next = c
+				break
+			}
+		}
+		if next < 0 {
+			next = len(m.states)
+			m.states = append(m.states, mstate{ntest: u.NTest, descendant: desc})
+			m.states[cur].children = append(m.states[cur].children, next)
+			if desc {
+				m.states[cur].hasDescChild = true
+			}
+		}
+		cur = next
+	}
+	m.states[cur].outputs = append(m.states[cur].outputs, out)
+	m.outputs++
+	return nil
+}
+
+// Size returns the number of trie states (including the root) — the
+// shared-structure measure reported by engine statistics.
+func (m *MergedNFA) Size() int { return len(m.states) }
+
+// Outputs returns the number of accepted Add calls.
+func (m *MergedNFA) Outputs() int { return m.outputs }
+
+// An active item is a trie state in one of two modes. A "fresh" state was
+// entered by matching its own step at the current element; all its
+// children are enabled for the next level. A "looping" state is retained
+// across a gap element absorbed by a descendant-axis child; only its
+// descendant-axis children remain enabled — a child-axis child must match
+// exactly one level below the fresh occurrence, so enabling it from a
+// looping state would accept /-steps at descendant depth (the classic
+// merged-trie unsoundness). Items are encoded as state*2 | loopingBit.
+const loopingBit = 1
+
+// step computes the successor item set on reading an element name.
+func (m *MergedNFA) step(items []int, name string) []int {
+	next := map[int]bool{}
+	for _, it := range items {
+		id, looping := it>>1, it&loopingBit != 0
+		st := &m.states[id]
+		for _, ci := range st.children {
+			c := &m.states[ci]
+			if looping && !c.descendant {
+				continue
+			}
+			if c.ntest == query.Wildcard || c.ntest == name {
+				next[ci<<1] = true
+			}
+		}
+		if st.hasDescChild {
+			next[id<<1|loopingBit] = true
+		}
+	}
+	out := make([]int, 0, len(next))
+	for it := range next {
+		out = append(out, it)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// start returns the initial item set: the root, fresh.
+func (m *MergedNFA) start() []int { return []int{0} }
+
+// emitted returns the output ids accepted on entering an item set: the
+// outputs of its fresh states.
+func (m *MergedNFA) emitted(items []int) []int {
+	var out []int
+	for _, it := range items {
+		if it&loopingBit == 0 {
+			out = append(out, m.states[it>>1].outputs...)
+		}
+	}
+	return out
+}
+
+// SharedRunner evaluates a MergedNFA over a document with a stack of
+// interned item sets and lazily memoized (set, name) transitions — one
+// hash probe per element once warm, independent of subscription count.
+// Matches latch into Matched; the transition table persists across Reset
+// as a long-running dissemination engine's would.
+type SharedRunner struct {
+	m       *MergedNFA
+	sets    [][]int
+	emit    [][]int // per set id: outputs accepted on entry
+	index   map[string]int
+	trans   map[[2]int]int
+	syms    map[string]int
+	stack   []int
+	depth   int // levels processed while short-circuited
+	Matched []bool
+	left    int // outputs not yet matched
+	stats   DFAStats
+}
+
+// NewSharedRunner returns a runner over the merged automaton. The
+// automaton must not be modified afterwards.
+func NewSharedRunner(m *MergedNFA) *SharedRunner {
+	r := &SharedRunner{
+		m:     m,
+		index: make(map[string]int),
+		trans: make(map[[2]int]int),
+		syms:  make(map[string]int),
+	}
+	r.Reset()
+	return r
+}
+
+// Reset clears the per-document state (stack and matches) but keeps the
+// memoized transition table.
+func (r *SharedRunner) Reset() {
+	r.stack = r.stack[:0]
+	r.depth = 0
+	r.Matched = make([]bool, r.m.outputs)
+	r.left = r.m.outputs
+	r.stats.PeakStack = 0
+}
+
+func (r *SharedRunner) intern(items []int) int {
+	k := stateSet(items).key()
+	if id, ok := r.index[k]; ok {
+		return id
+	}
+	id := len(r.sets)
+	r.sets = append(r.sets, items)
+	r.index[k] = id
+	r.emit = append(r.emit, r.m.emitted(items))
+	r.stats.States = len(r.sets)
+	return id
+}
+
+func (r *SharedRunner) symbol(name string) int {
+	if id, ok := r.syms[name]; ok {
+		return id
+	}
+	id := len(r.syms)
+	r.syms[name] = id
+	r.stats.Symbols = len(r.syms)
+	return id
+}
+
+// StartDocument begins a document.
+func (r *SharedRunner) StartDocument() {
+	r.stack = append(r.stack[:0], r.intern(r.m.start()))
+}
+
+// StartElement processes a startElement(name) event, latching any outputs
+// accepted by the transition. Once every output has matched the runner
+// only counts depth (the per-subscription monotone early exit, applied to
+// the whole shared index).
+func (r *SharedRunner) StartElement(name string) {
+	if r.left == 0 || len(r.stack) == 0 {
+		r.depth++
+		return
+	}
+	top := r.stack[len(r.stack)-1]
+	key := [2]int{top, r.symbol(name)}
+	nextID, ok := r.trans[key]
+	if !ok {
+		nextID = r.intern(r.m.step(r.sets[top], name))
+		r.trans[key] = nextID
+		r.stats.Transitions = len(r.trans)
+	}
+	for _, out := range r.emit[nextID] {
+		if !r.Matched[out] {
+			r.Matched[out] = true
+			r.left--
+		}
+	}
+	r.stack = append(r.stack, nextID)
+	if len(r.stack) > r.stats.PeakStack {
+		r.stats.PeakStack = len(r.stack)
+	}
+}
+
+// EndElement processes an endElement event.
+func (r *SharedRunner) EndElement() {
+	if r.depth > 0 {
+		r.depth--
+		return
+	}
+	if len(r.stack) > 1 {
+		r.stack = r.stack[:len(r.stack)-1]
+	}
+}
+
+// AllMatched reports whether every output has latched (so callers may stop
+// feeding elements entirely).
+func (r *SharedRunner) AllMatched() bool { return r.left == 0 }
+
+// MatchedCount returns the number of outputs latched so far.
+func (r *SharedRunner) MatchedCount() int { return r.m.outputs - r.left }
+
+// Stats returns the lazy-determinization memory accounting.
+func (r *SharedRunner) Stats() DFAStats { return r.stats }

@@ -1,0 +1,126 @@
+package automaton
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"streamxpath/internal/query"
+	"streamxpath/internal/sax"
+	"streamxpath/internal/workload"
+)
+
+// runMerged feeds a SAX stream to a SharedRunner and returns the match
+// vector.
+func runMerged(r *SharedRunner, events []sax.Event) []bool {
+	for _, e := range events {
+		switch e.Kind {
+		case sax.StartDocument:
+			r.StartDocument()
+		case sax.StartElement:
+			r.StartElement(e.Name)
+		case sax.EndElement:
+			r.EndElement()
+		}
+	}
+	return r.Matched
+}
+
+// TestMergedChildAxisPrecision is the classic merged-trie soundness trap:
+// //a/b and //a//c share the state for //a, and the descendant-axis child
+// c keeps that state alive across gap elements — which must NOT re-enable
+// the child-axis edge to b at deeper levels.
+func TestMergedChildAxisPrecision(t *testing.T) {
+	m := NewMergedNFA()
+	for i, src := range []string{"//a/b", "//a//c"} {
+		if err := m.Add(query.MustParse(src), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewSharedRunner(m)
+	got := runMerged(r, sax.MustParse("<a><x><b/></x></a>"))
+	if got[0] {
+		t.Errorf("//a/b matched <a><x><b/></x></a>: b is not a child of a")
+	}
+	if got[1] {
+		t.Errorf("//a//c matched a document with no c")
+	}
+	r.Reset()
+	got = runMerged(r, sax.MustParse("<a><b/><x><c/></x></a>"))
+	if !got[0] || !got[1] {
+		t.Errorf("direct matches lost: got %v, want [true true]", got)
+	}
+}
+
+func TestMergedPrefixSharing(t *testing.T) {
+	m := NewMergedNFA()
+	for i := 0; i < 100; i++ {
+		q := query.MustParse(fmt.Sprintf("//catalog/item/f%d", i))
+		if err := m.Add(q, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// root + catalog + item + 100 leaves.
+	if got, want := m.Size(), 103; got != want {
+		t.Errorf("merged trie size = %d, want %d (shared prefix)", got, want)
+	}
+}
+
+func TestMergedRejectsOutsideFragment(t *testing.T) {
+	m := NewMergedNFA()
+	for _, src := range []string{"/a[b]", "/a/@id", "/a[b > 5]/c"} {
+		if err := m.Add(query.MustParse(src), 0); err == nil {
+			t.Errorf("Add(%q) accepted; want error", src)
+		}
+	}
+	if m.Outputs() != 0 {
+		t.Errorf("rejected queries counted as outputs: %d", m.Outputs())
+	}
+}
+
+// TestMergedEquivalentToIndividual cross-checks the merged runner against
+// one LazyDFA per query on random documents.
+func TestMergedEquivalentToIndividual(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	names := []string{"a", "b", "c", "x"}
+	steps := []string{"a", "b", "c", "x", "*"}
+	for trial := 0; trial < 300; trial++ {
+		nq := 1 + rng.Intn(6)
+		var sources []string
+		m := NewMergedNFA()
+		for i := 0; i < nq; i++ {
+			depth := 1 + rng.Intn(4)
+			src := ""
+			for j := 0; j < depth; j++ {
+				if rng.Intn(2) == 0 {
+					src += "/"
+				} else {
+					src += "//"
+				}
+				src += steps[rng.Intn(len(steps))]
+			}
+			sources = append(sources, src)
+			if err := m.Add(query.MustParse(src), i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		doc := workload.RandomTree(rng, names, nil, 1+rng.Intn(5), 3).Events()
+		r := NewSharedRunner(m)
+		got := runMerged(r, doc)
+		for i, src := range sources {
+			nfa, err := FromQuery(query.MustParse(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := NewLazyDFA(nfa)
+			want, err := d.ProcessAll(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i] != want {
+				t.Fatalf("trial %d: query %q: merged=%v individual=%v\nqueries: %v",
+					trial, src, got[i], want, sources)
+			}
+		}
+	}
+}

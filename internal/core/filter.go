@@ -44,7 +44,6 @@ import (
 	"io"
 	"strings"
 
-	"streamxpath/internal/fragment"
 	"streamxpath/internal/query"
 	"streamxpath/internal/sax"
 )
@@ -81,16 +80,11 @@ type pending struct {
 	Start int
 }
 
-// Filter is a compiled streaming filter for one query. A Filter processes
-// one document at a time; Reset prepares it for the next document.
+// Filter is a compiled streaming filter for one query: streaming run
+// state over an immutable Program. A Filter processes one document at a
+// time; Reset prepares it for the next document.
 type Filter struct {
-	q     *query.Query
-	nodes []*query.Node       // depth-first order; index = node id
-	ids   map[*query.Node]int // node -> id (for snapshots)
-	sets  map[*query.Node]query.Set
-	// restricted marks value-restricted leaves (the only ones that need
-	// buffering).
-	restricted map[*query.Node]bool
+	prog *Program
 
 	// Streaming state.
 	level    int // level of the innermost open element (doc root = 0)
@@ -119,46 +113,21 @@ type Options struct {
 }
 
 // Compile validates that q is a leaf-only-value-restricted univariate
-// conjunctive query (the fragment the Section 8 algorithm supports) and
-// precomputes the truth sets of its leaves.
+// conjunctive query (the fragment the Section 8 algorithm supports),
+// precomputes the truth sets of its leaves, and returns a ready filter.
+// Compile is NewProgram followed by NewFilter; callers instantiating many
+// filters for one query should hold the Program instead.
 func Compile(q *query.Query) (*Filter, error) {
 	return CompileOpts(q, Options{})
 }
 
 // CompileOpts is Compile with explicit Options.
 func CompileOpts(q *query.Query, opts Options) (*Filter, error) {
-	if c := fragment.Conjunctive(q); !c.OK {
-		return nil, fmt.Errorf("core: query not conjunctive: %s", c.Reason)
-	}
-	if c := fragment.Univariate(q); !c.OK {
-		return nil, fmt.Errorf("core: query not univariate: %s", c.Reason)
-	}
-	if c := fragment.LeafOnlyValueRestricted(q); !c.OK {
-		return nil, fmt.Errorf("core: query not leaf-only-value-restricted: %s", c.Reason)
-	}
-	if err := checkNoConstantAtoms(q); err != nil {
+	p, err := NewProgramOpts(q, opts)
+	if err != nil {
 		return nil, err
 	}
-	f := &Filter{
-		q:          q,
-		ids:        make(map[*query.Node]int),
-		sets:       make(map[*query.Node]query.Set),
-		restricted: make(map[*query.Node]bool),
-	}
-	for i, u := range q.Nodes() {
-		f.nodes = append(f.nodes, u)
-		f.ids[u] = i
-		s, err := query.TruthSetOf(u)
-		if err != nil {
-			return nil, err
-		}
-		f.sets[u] = s
-		if u.IsLeaf() && (opts.BufferAllLeaves || !s.IsAll()) {
-			f.restricted[u] = true
-		}
-	}
-	f.Reset()
-	return f, nil
+	return p.NewFilter(), nil
 }
 
 // MustCompile is Compile that panics on error.
@@ -170,26 +139,11 @@ func MustCompile(q *query.Query) *Filter {
 	return f
 }
 
-// checkNoConstantAtoms rejects atomic predicates with no variables (e.g.
-// [5 > 3]); the filter's per-child conjunction rule has nowhere to hang
-// them. (They are degenerate: constant-true atoms are no-ops and
-// constant-false atoms make the query unsatisfiable.)
-func checkNoConstantAtoms(q *query.Query) error {
-	for _, u := range q.Nodes() {
-		if u.Pred == nil {
-			continue
-		}
-		for _, p := range u.Pred.AtomicPredicates() {
-			if len(p.PathLeaves()) == 0 {
-				return fmt.Errorf("core: constant atomic predicate %s is not supported", p)
-			}
-		}
-	}
-	return nil
-}
-
 // Query returns the compiled query.
-func (f *Filter) Query() *query.Query { return f.q }
+func (f *Filter) Query() *query.Query { return f.prog.q }
+
+// Program returns the immutable compile product the filter runs off.
+func (f *Filter) Program() *Program { return f.prog }
 
 // Reset clears the streaming state so the filter can process another
 // document. Statistics are also reset.
@@ -280,7 +234,7 @@ func (f *Filter) process(e sax.Event) error {
 // immediately with tuples for the root's children at level 1.
 func (f *Filter) startDocument() {
 	f.started = true
-	f.root = &Tuple{Ref: f.q.Root, Level: 0}
+	f.root = &Tuple{Ref: f.prog.q.Root, Level: 0}
 	f.openScope(f.root, 0)
 }
 
@@ -316,7 +270,7 @@ func (f *Filter) startElement(name string, isAttr bool) {
 			continue
 		}
 		if t.Ref.IsLeaf() {
-			if f.restricted[t.Ref] {
+			if f.prog.restricted[t.Ref] {
 				f.pendings = append(f.pendings, pending{Tup: t, Level: elemLevel, Start: len(f.buf)})
 				f.refCount++
 			} else {
@@ -385,7 +339,7 @@ func (f *Filter) endElement() {
 			break
 		}
 		f.pendings = f.pendings[:len(f.pendings)-1]
-		if !p.Tup.Matched && f.sets[p.Tup.Ref].Contains(string(f.buf[p.Start:])) {
+		if !p.Tup.Matched && f.prog.sets[p.Tup.Ref].Contains(string(f.buf[p.Start:])) {
 			p.Tup.Matched = true
 		}
 		f.refCount--

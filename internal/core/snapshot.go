@@ -63,7 +63,7 @@ func (f *Filter) Snapshot() []byte {
 	out = binary.AppendUvarint(out, uint64(f.level))
 	out = binary.AppendUvarint(out, uint64(len(tuples)))
 	for _, t := range tuples {
-		out = binary.AppendUvarint(out, uint64(f.ids[t.Ref]))
+		out = binary.AppendUvarint(out, uint64(f.prog.ids[t.Ref]))
 		out = binary.AppendUvarint(out, uint64(t.Level))
 		m := byte(0)
 		if t.Matched {
@@ -143,7 +143,7 @@ func (f *Filter) Restore(snap []byte) error {
 		if err != nil {
 			return err
 		}
-		if int(id) >= len(f.nodes) {
+		if int(id) >= len(f.prog.nodes) {
 			return fmt.Errorf("core: snapshot node id %d out of range", id)
 		}
 		lv, err := r.uvarint()
@@ -154,7 +154,7 @@ func (f *Filter) Restore(snap []byte) error {
 		if err != nil {
 			return err
 		}
-		tuples[i] = &Tuple{Ref: f.nodes[id], Level: int(lv), Matched: m == 1}
+		tuples[i] = &Tuple{Ref: f.prog.nodes[id], Level: int(lv), Matched: m == 1}
 	}
 	pick := func() (*Tuple, error) {
 		i, err := r.uvarint()

@@ -1,0 +1,367 @@
+// Package engine implements a shared multi-query dissemination engine: it
+// compiles all standing subscriptions of a FilterSet into ONE evaluation
+// structure and matches a document stream against every subscription in a
+// single pass, with per-event work governed by how much structure the
+// subscriptions share rather than by how many there are — the selective
+// dissemination workload of the paper's introduction (ref [1]) at the
+// scale its Section 1 motivates.
+//
+// Subscriptions are canonicalized into step keys (query.StepKey) and
+// routed to one of two shared indexes:
+//
+//   - Linear predicate-free queries (the /, //, * fragment) go to a
+//     combined NFA (automaton.MergedNFA): a prefix-sharing trie over
+//     location steps with subscription-id output sets on accepting
+//     states, evaluated with a lazily determinized shared runner — one
+//     memoized hash probe per element once warm, independent of
+//     subscription count.
+//
+//   - Everything else the Section 8 algorithm can stream (conjunctive
+//     univariate leaf-only-value-restricted queries, validated per
+//     subscription by core.NewProgram) goes to a prefix-sharing trie of
+//     spine steps whose per-step predicate subtrees run the paper's
+//     frontier algorithm — tuples, candidate scopes, and text buffering
+//     exactly as in internal/core, but with structurally identical steps
+//     evaluated once for all subscriptions that contain them. Matches
+//     reached below a predicated step commit conditionally and resolve
+//     when the predicate's candidate scope closes, preserving
+//     per-subscription answers byte-identical to a standalone
+//     core.Filter.
+//
+// Each subscription's match latches monotonically (conjunctive matching
+// is monotone, Section 8.1), and fully matched shared states stop
+// accepting candidates — the per-filter early exit of the old fan-out
+// FilterSet, applied to shared state.
+package engine
+
+import (
+	"fmt"
+
+	"streamxpath/internal/automaton"
+	"streamxpath/internal/core"
+	"streamxpath/internal/query"
+	"streamxpath/internal/sax"
+)
+
+// Route identifies which shared index evaluates a subscription.
+type Route uint8
+
+const (
+	// RouteNFA: linear predicate-free queries on the merged automaton.
+	RouteNFA Route = iota
+	// RouteTrie: predicated queries on the shared frontier trie.
+	RouteTrie
+)
+
+// subscription is one standing query.
+type subscription struct {
+	id    string
+	q     *query.Query
+	prog  *core.Program
+	route Route
+	out   int // index in the route's result vector (assigned at compile)
+}
+
+// Engine matches one document stream at a time against all subscriptions.
+// Add and Remove may be called between documents; the shared indexes are
+// rebuilt lazily before the next document starts. An Engine is not safe
+// for concurrent use.
+type Engine struct {
+	subs  []*subscription
+	byID  map[string]int
+	dirty bool
+
+	nfa    *automaton.MergedNFA
+	runner *automaton.SharedRunner
+	tr     *trie
+	mt     *matcher
+
+	started  bool
+	finished bool
+	level    int
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{byID: map[string]int{}, dirty: true}
+}
+
+// Add registers a subscription under the given id. It returns an error
+// for duplicate ids and for queries outside the streamable fragment (the
+// same validation a standalone core.Filter performs). The subscription
+// takes effect at the next document (the next StartDocument or Reset).
+func (e *Engine) Add(id string, q *query.Query) error {
+	if _, dup := e.byID[id]; dup {
+		return fmt.Errorf("engine: duplicate subscription id %q", id)
+	}
+	prog, err := core.NewProgram(q)
+	if err != nil {
+		return err
+	}
+	e.byID[id] = len(e.subs)
+	e.subs = append(e.subs, &subscription{id: id, q: q, prog: prog})
+	e.dirty = true
+	return nil
+}
+
+// Remove deregisters a subscription, reporting whether it existed. The
+// removal takes effect at the next document.
+func (e *Engine) Remove(id string) bool {
+	i, ok := e.byID[id]
+	if !ok {
+		return false
+	}
+	e.subs = append(e.subs[:i], e.subs[i+1:]...)
+	delete(e.byID, id)
+	for j := i; j < len(e.subs); j++ {
+		e.byID[e.subs[j].id] = j
+	}
+	e.dirty = true
+	return true
+}
+
+// Len returns the number of subscriptions.
+func (e *Engine) Len() int { return len(e.subs) }
+
+// IDs returns the subscription ids in insertion order.
+func (e *Engine) IDs() []string {
+	out := make([]string, len(e.subs))
+	for i, s := range e.subs {
+		out[i] = s.id
+	}
+	return out
+}
+
+// compile rebuilds the shared indexes from the current subscriptions.
+func (e *Engine) compile() {
+	e.nfa = automaton.NewMergedNFA()
+	e.tr = newTrie()
+	for _, s := range e.subs {
+		if err := e.nfa.Add(s.q, e.nfa.Outputs()); err == nil {
+			s.route = RouteNFA
+			s.out = e.nfa.Outputs() - 1
+			continue
+		}
+		s.route = RouteTrie
+		s.out = e.tr.add(s.q, s.prog)
+	}
+	e.runner = automaton.NewSharedRunner(e.nfa)
+	e.mt = newMatcher(e.tr)
+	e.dirty = false
+}
+
+// Reset prepares the engine for the next document, applying any pending
+// Add/Remove calls. Compiled shared indexes (and the NFA runner's
+// memoized transition table) survive across documents.
+func (e *Engine) Reset() {
+	if e.dirty {
+		e.compile()
+	} else {
+		e.runner.Reset()
+		e.mt.reset()
+	}
+	e.started = false
+	e.finished = false
+	e.level = 0
+}
+
+// Process consumes one SAX event. Attribute lists on startElement events
+// are expanded inline into attribute child events, as in core (the
+// paper's folding of the attribute axis into the child axis).
+func (e *Engine) Process(ev sax.Event) error {
+	if err := e.process(ev); err != nil {
+		return err
+	}
+	if ev.Kind == sax.StartElement && len(ev.Attrs) > 0 {
+		for _, a := range ev.Attrs {
+			sub := []sax.Event{
+				{Kind: sax.StartElement, Name: a.Name, Attribute: true},
+				{Kind: sax.Text, Data: a.Value},
+				{Kind: sax.EndElement, Name: a.Name, Attribute: true},
+			}
+			for _, se := range sub {
+				if err := e.process(se); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) process(ev sax.Event) error {
+	switch ev.Kind {
+	case sax.StartDocument:
+		if e.started && !e.finished {
+			return fmt.Errorf("engine: duplicate startDocument")
+		}
+		e.Reset()
+		e.started = true
+		e.runner.StartDocument()
+		e.mt.startDocument()
+	case sax.EndDocument:
+		if !e.started || e.finished {
+			return fmt.Errorf("engine: unexpected endDocument")
+		}
+		e.mt.endDocument()
+		e.finished = true
+	case sax.StartElement:
+		if !e.started || e.finished {
+			return fmt.Errorf("engine: startElement outside document")
+		}
+		e.level++
+		if !ev.Attribute {
+			// Attribute pseudo-elements are invisible to the NFA route:
+			// its queries have no attribute steps, and an attribute must
+			// never satisfy a child-axis node test.
+			e.runner.StartElement(ev.Name)
+		}
+		e.mt.startElement(ev.Name, ev.Attribute)
+	case sax.EndElement:
+		if !e.started || e.finished {
+			return fmt.Errorf("engine: endElement outside document")
+		}
+		if e.level == 0 {
+			return fmt.Errorf("engine: unmatched endElement </%s>", ev.Name)
+		}
+		e.level--
+		if !ev.Attribute {
+			e.runner.EndElement()
+		}
+		e.mt.endElement()
+	case sax.Text:
+		if !e.started || e.finished {
+			return fmt.Errorf("engine: text outside document")
+		}
+		e.mt.text(ev.Data)
+	}
+	return nil
+}
+
+// ProcessAll streams a pre-materialized event sequence.
+func (e *Engine) ProcessAll(events []sax.Event) error {
+	for _, ev := range events {
+		if err := e.Process(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finished reports whether endDocument has been processed.
+func (e *Engine) Finished() bool { return e.finished }
+
+// Matched reports subscription id's verdict for the current (or last)
+// document. Because matching is monotone, a true answer mid-stream is
+// already definitive.
+func (e *Engine) Matched(id string) bool {
+	i, ok := e.byID[id]
+	if !ok || e.dirty {
+		return false
+	}
+	return e.matchedSub(e.subs[i])
+}
+
+func (e *Engine) matchedSub(s *subscription) bool {
+	if s.route == RouteNFA {
+		return e.runner.Matched[s.out]
+	}
+	return e.mt.matched[s.out]
+}
+
+// MatchedIDs returns the ids matched by the current (or last) document,
+// in subscription insertion order. The slice is non-nil even when empty.
+func (e *Engine) MatchedIDs() []string {
+	out := make([]string, 0)
+	if e.dirty {
+		return out
+	}
+	for _, s := range e.subs {
+		if e.matchedSub(s) {
+			out = append(out, s.id)
+		}
+	}
+	return out
+}
+
+// MatchedCount returns the number of subscriptions already definitively
+// matched — usable mid-stream thanks to monotonicity.
+func (e *Engine) MatchedCount() int {
+	if e.dirty {
+		return 0
+	}
+	return e.runner.MatchedCount() + e.mt.matchedCount
+}
+
+// Stats reports the size of the shared structures and the work done on
+// the last document — the engine-level analog of core.Stats.
+type Stats struct {
+	// Subscriptions is the number of standing subscriptions; NFARouted +
+	// TrieRouted = Subscriptions.
+	Subscriptions int
+	NFARouted     int
+	TrieRouted    int
+
+	// SpineSteps is the total number of location steps across all
+	// subscriptions (before sharing); SharedStates is the number of
+	// states actually materialized (merged-NFA states plus trie spine
+	// nodes). Their ratio is the prefix-sharing factor.
+	SpineSteps   int
+	SharedStates int
+	// PredNodes counts the predicate-subtree nodes of the trie (each
+	// evaluated once per candidate regardless of how many subscriptions
+	// share its step).
+	PredNodes int
+
+	// DFAStates/DFATransitions are the merged runner's lazily
+	// materialized deterministic states and memoized transitions.
+	DFAStates      int
+	DFATransitions int
+
+	// Per-document work and peaks of the trie matcher.
+	Events          int
+	TupleVisits     int
+	PeakTuples      int
+	PeakScopes      int
+	PeakBufferBytes int
+	MaxLevel        int
+}
+
+// Stats returns the current statistics. With pending Add/Remove calls the
+// indexes are compiled first (clearing any in-progress document state).
+func (e *Engine) Stats() Stats {
+	if e.dirty {
+		e.compile()
+	}
+	st := Stats{Subscriptions: len(e.subs)}
+	nfaSteps := 0
+	for _, s := range e.subs {
+		if s.route == RouteNFA {
+			st.NFARouted++
+			nfaSteps += s.q.Size() - 1 // all nodes except the root are steps
+		} else {
+			st.TrieRouted++
+		}
+	}
+	st.SpineSteps = nfaSteps + e.tr.steps
+	st.SharedStates = (e.nfa.Size() - 1) + len(e.tr.spineNodes)
+	st.PredNodes = e.tr.predNodes
+	ds := e.runner.Stats()
+	st.DFAStates = ds.States
+	st.DFATransitions = ds.Transitions
+	ms := e.mt.stats
+	st.Events = ms.Events
+	st.TupleVisits = ms.TupleVisits
+	st.PeakTuples = ms.PeakTuples
+	st.PeakScopes = ms.PeakScopes
+	st.PeakBufferBytes = ms.PeakBufferBytes
+	st.MaxLevel = ms.MaxLevel
+	return st
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("subs=%d (nfa=%d trie=%d) steps=%d shared=%d predNodes=%d dfa=%d/%d events=%d visits=%d peakTuples=%d",
+		s.Subscriptions, s.NFARouted, s.TrieRouted, s.SpineSteps, s.SharedStates, s.PredNodes,
+		s.DFAStates, s.DFATransitions, s.Events, s.TupleVisits, s.PeakTuples)
+}

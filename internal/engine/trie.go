@@ -1,0 +1,521 @@
+package engine
+
+import (
+	"streamxpath/internal/core"
+	"streamxpath/internal/query"
+)
+
+// nodeKind distinguishes the two roles a trie node can play.
+type nodeKind uint8
+
+const (
+	// kindSpine marks a step of some subscription's root succession. Spine
+	// nodes are shared by every subscription whose query begins with the
+	// same canonical step keys; they carry terminal subscription sets and
+	// are evaluated top-down (reaching one commits its terminals, gated on
+	// the predicates of the steps along the way).
+	kindSpine nodeKind = iota
+	// kindPred marks a node inside a predicate subtree. Predicate nodes
+	// follow the paper's Section 8 conjunction rule exactly as in
+	// internal/core: a candidate scope resolves to a real match iff every
+	// child tuple matched, and value-restricted leaves buffer candidate
+	// text for truth-set evaluation at endElement.
+	kindPred
+)
+
+// tnode is one node of the shared query index: a location step (spine) or
+// a predicate-subtree node, unified across all subscriptions that contain
+// a structurally identical step at the same prefix (see query.StepKey).
+type tnode struct {
+	kind  nodeKind
+	axis  query.Axis
+	ntest string
+
+	// conj are the conjunctive children: for a spine node, the roots of
+	// its predicate subtrees; for a predicate node, all of its children
+	// (predicate children and successor alike). A candidate resolves its
+	// conjunctive obligations at endElement.
+	conj []*tnode
+	// succ are the spine continuations — the distinct next steps of the
+	// subscriptions passing through this node. Unlike conj they are NOT
+	// conjunctive with one another: each belongs to different
+	// subscriptions, and its subtree succeeds or fails independently.
+	succ      []*tnode
+	succIndex map[string]*tnode
+
+	// Truth-set machinery for predicate leaves, taken from the owning
+	// subscription's core.Program (identical canonical steps have
+	// identical truth sets, so the first subscription's program serves
+	// all sharers).
+	set        query.Set
+	restricted bool
+
+	// terminals are the indexes of the subscriptions whose OUT node this
+	// spine node is: reaching it (with all predicates on the way
+	// satisfied) matches them.
+	terminals []int
+
+	// through counts the subscriptions whose spine passes through this
+	// node; remaining is the per-document count of those not yet matched.
+	// When remaining hits zero the node stops accepting candidates — the
+	// per-subscription monotone early exit, applied to shared state.
+	through   int
+	remaining int
+}
+
+// trie is the compiled shared index for the predicate-capable route: a
+// prefix-sharing trie over canonical step keys with predicate subtrees
+// hanging off spine nodes.
+type trie struct {
+	root       *tnode
+	spineNodes []*tnode
+	// paths[i] is subscription i's spine path root→OUT (used to maintain
+	// the remaining counters on a match).
+	paths [][]*tnode
+	// steps counts spine steps added before sharing; len(spineNodes) is
+	// the count after. Their ratio is the prefix-sharing factor reported
+	// by Stats.
+	steps     int
+	predNodes int
+}
+
+func newTrie() *trie {
+	return &trie{root: &tnode{kind: kindSpine, axis: query.AxisRoot, succIndex: map[string]*tnode{}}}
+}
+
+// add merges one subscription's query into the trie and returns its index
+// in the matcher's result vector. prog supplies the fragment-checked truth
+// sets and value-restriction marks of the query's nodes (the reusable
+// compile product of internal/core).
+func (t *trie) add(q *query.Query, prog *core.Program) int {
+	idx := len(t.paths)
+	var path []*tnode
+	cur := t.root
+	for u := q.Root.Successor; u != nil; u = u.Successor {
+		key := query.StepKey(u)
+		child := cur.succIndex[key]
+		if child == nil {
+			child = &tnode{
+				kind:      kindSpine,
+				axis:      u.Axis,
+				ntest:     u.NTest,
+				succIndex: map[string]*tnode{},
+			}
+			for _, pc := range u.PredicateChildren() {
+				child.conj = append(child.conj, t.buildPred(pc, prog))
+			}
+			cur.succIndex[key] = child
+			cur.succ = append(cur.succ, child)
+			t.spineNodes = append(t.spineNodes, child)
+		}
+		t.steps++
+		child.through++
+		path = append(path, child)
+		cur = child
+	}
+	cur.terminals = append(cur.terminals, idx)
+	t.paths = append(t.paths, path)
+	return idx
+}
+
+// buildPred compiles one predicate-subtree node. Predicate subtrees are
+// built once per distinct spine step: a second subscription sharing the
+// step (equal StepKey, which covers the whole predicate) reuses the first
+// one's subtree, truth sets included.
+func (t *trie) buildPred(v *query.Node, prog *core.Program) *tnode {
+	n := &tnode{
+		kind:       kindPred,
+		axis:       v.Axis,
+		ntest:      v.NTest,
+		set:        prog.TruthSet(v),
+		restricted: prog.Restricted(v),
+	}
+	t.predNodes++
+	for _, c := range v.Children {
+		n.conj = append(n.conj, t.buildPred(c, prog))
+	}
+	return n
+}
+
+// tuple is one frontier entry of the shared matcher: a trie node awaiting
+// a candidate match within the candidate scope that created it. It is the
+// multi-query generalization of core.Tuple; origin links it back to its
+// creating scope, which is how a commit finds the predicate scopes that
+// gate it (only trie-ancestor scopes may gate a subscription — an
+// unrelated subscription's open predicate scope must not).
+type tuple struct {
+	node    *tnode
+	level   int
+	origin  *scope
+	matched bool // predicate nodes only; latches like core.Tuple.Matched
+	slot    int  // index in its frontier bucket, -1 when parked/removed
+}
+
+// scope is an open candidate match of an internal trie node, generalizing
+// core's scope: children[:nconj] are the conjunctive obligations resolved
+// at endElement; the rest are spine continuations. commits holds the
+// subscriptions whose match is conditional on this scope's predicates
+// resolving true (only scopes with nconj > 0 ever hold commits).
+type scope struct {
+	tup      *tuple
+	level    int
+	children []*tuple
+	nconj    int
+	commits  []int
+}
+
+// pendingVal is an open candidate of a value-restricted predicate leaf,
+// buffering the candidate element's text exactly as core's pending does.
+type pendingVal struct {
+	tup   *tuple
+	level int
+	start int
+}
+
+// matchStats instruments the shared matcher.
+type matchStats struct {
+	// Events counts SAX events dispatched to the trie matcher.
+	Events int
+	// TupleVisits counts frontier tuples examined across all startElement
+	// events — the engine's per-event work measure. With shared prefixes
+	// this grows with the number of distinct active steps, not with the
+	// subscription count.
+	TupleVisits int
+	// Peaks, as in core.Stats.
+	PeakTuples      int
+	PeakScopes      int
+	PeakPendings    int
+	PeakBufferBytes int
+	MaxLevel        int
+}
+
+// matcher is the streaming run state over a trie: a name-indexed frontier
+// of tuples, a stack of candidate scopes, pending text buffers, and the
+// per-subscription match vector. One matcher evaluates every trie-routed
+// subscription in a single document pass.
+type matcher struct {
+	tr *trie
+
+	// buckets index the frontier by node test so startElement(name) only
+	// touches tuples that can pass the name test: buckets[name] plus the
+	// wildcard bucket. This is what makes per-event cost proportional to
+	// the active-state count instead of the subscription count.
+	buckets map[string][]*tuple
+	size    int
+
+	scopes   []*scope
+	pendings []pendingVal
+	buf      []byte
+	refCount int
+	level    int
+
+	matched      []bool
+	matchedCount int
+
+	cands []*tuple // scratch, reused across startElement calls
+	stats matchStats
+}
+
+func newMatcher(t *trie) *matcher {
+	m := &matcher{tr: t, buckets: map[string][]*tuple{}}
+	m.reset()
+	return m
+}
+
+// reset prepares the matcher for the next document.
+func (m *matcher) reset() {
+	for k, b := range m.buckets {
+		m.buckets[k] = b[:0]
+	}
+	m.size = 0
+	m.scopes = m.scopes[:0]
+	m.pendings = m.pendings[:0]
+	m.buf = m.buf[:0]
+	m.refCount = 0
+	m.level = 0
+	if len(m.matched) != len(m.tr.paths) {
+		m.matched = make([]bool, len(m.tr.paths))
+	} else {
+		for i := range m.matched {
+			m.matched[i] = false
+		}
+	}
+	m.matchedCount = 0
+	for _, n := range m.tr.spineNodes {
+		n.remaining = n.through
+	}
+	m.stats = matchStats{}
+}
+
+func (m *matcher) frAdd(t *tuple) {
+	b := m.buckets[t.node.ntest]
+	t.slot = len(b)
+	m.buckets[t.node.ntest] = append(b, t)
+	m.size++
+	if m.size > m.stats.PeakTuples {
+		m.stats.PeakTuples = m.size
+	}
+}
+
+func (m *matcher) frRemove(t *tuple) {
+	b := m.buckets[t.node.ntest]
+	last := len(b) - 1
+	if t.slot != last {
+		b[t.slot] = b[last]
+		b[t.slot].slot = t.slot
+	}
+	m.buckets[t.node.ntest] = b[:last]
+	t.slot = -1
+	m.size--
+}
+
+// startDocument opens the root scope: the document root is the sole
+// candidate for the query root, shared by every subscription.
+func (m *matcher) startDocument() {
+	m.stats.Events++
+	root := &tuple{node: m.tr.root, level: 0, slot: -1}
+	m.openScope(root, 0)
+	// Degenerate empty-spine subscriptions match any document.
+	m.deliver(m.tr.root.terminals, nil)
+}
+
+// dead reports that a tuple can never accept another candidate: matched
+// predicate tuples latch, and a spine step whose subscriptions have all
+// matched has nothing left to prove. Dead tuples are evicted from the
+// frontier lazily, on first touch, so fully satisfied shared state stops
+// costing per-event work (the shared form of the monotone early exit).
+func dead(t *tuple) bool {
+	return t.matched || (t.node.kind == kindSpine && t.node.remaining == 0)
+}
+
+// candidate reports whether the element starting at elemLevel is a
+// candidate match for a live tuple t (the multi-query analog of core's
+// check; the name test is implied by the bucket the tuple came from).
+func (m *matcher) candidate(t *tuple, isAttr bool, elemLevel int) bool {
+	n := t.node
+	if (n.axis == query.AxisAttribute) != isAttr {
+		return false
+	}
+	if n.axis == query.AxisDescendant {
+		return elemLevel >= t.level
+	}
+	return elemLevel == t.level
+}
+
+// startElement selects candidates from the name and wildcard buckets, then
+// processes them: predicate leaves start buffering or match on existence,
+// reached terminals commit their subscriptions, and internal nodes open
+// candidate scopes (child-axis owners are parked for the scope's duration,
+// as in core).
+func (m *matcher) startElement(name string, isAttr bool) {
+	m.stats.Events++
+	elemLevel := m.level + 1
+	m.level = elemLevel
+	if elemLevel > m.stats.MaxLevel {
+		m.stats.MaxLevel = elemLevel
+	}
+	// Collect first: opening scopes mutates the buckets, and freshly
+	// inserted child tuples must not be considered for this same element.
+	// Dead tuples are evicted as they are touched.
+	cands := m.cands[:0]
+	keys := [2]string{name, query.Wildcard}
+	if name == query.Wildcard {
+		keys[1] = "" // never a node test; avoids scanning the bucket twice
+	}
+	for _, key := range keys {
+		for i := 0; i < len(m.buckets[key]); {
+			t := m.buckets[key][i]
+			m.stats.TupleVisits++
+			if dead(t) {
+				m.frRemove(t) // swaps the last tuple into slot i; rescan it
+				continue
+			}
+			if m.candidate(t, isAttr, elemLevel) {
+				cands = append(cands, t)
+			}
+			i++
+		}
+	}
+	for _, t := range cands {
+		n := t.node
+		if dead(t) {
+			// An earlier candidate of this same element already satisfied
+			// every subscription this tuple serves.
+			continue
+		}
+		if len(n.conj) == 0 && len(n.succ) == 0 {
+			// Leaf: a predicate leaf buffers (value-restricted) or
+			// matches on existence; a spine leaf is a pure terminal whose
+			// subscriptions commit now, gated only by ancestor scopes.
+			if n.kind == kindPred {
+				if n.restricted {
+					m.pendings = append(m.pendings, pendingVal{tup: t, level: elemLevel, start: len(m.buf)})
+					m.refCount++
+					if len(m.pendings) > m.stats.PeakPendings {
+						m.stats.PeakPendings = len(m.pendings)
+					}
+				} else {
+					t.matched = true
+				}
+			} else {
+				m.deliver(n.terminals, t.origin)
+			}
+			continue
+		}
+		// Internal node. A terminal whose own step carries no predicates
+		// commits immediately (its continuation children serve other
+		// subscriptions); with predicates the commit waits for the scope
+		// to resolve at endElement.
+		if n.kind == kindSpine && len(n.terminals) > 0 && len(n.conj) == 0 {
+			m.deliver(n.terminals, t.origin)
+		}
+		if n.axis == query.AxisChild {
+			m.frRemove(t) // parked until the scope closes (Fig. 20 lines 10-11)
+		}
+		m.openScope(t, elemLevel)
+	}
+	m.cands = cands[:0]
+}
+
+// openScope inserts the conjunctive children and the still-needed spine
+// continuations of t's node into the frontier.
+func (m *matcher) openScope(t *tuple, level int) {
+	sc := &scope{tup: t, level: level}
+	for _, c := range t.node.conj {
+		ct := &tuple{node: c, level: level + 1, origin: sc, slot: -1}
+		sc.children = append(sc.children, ct)
+		m.frAdd(ct)
+	}
+	sc.nconj = len(sc.children)
+	for _, c := range t.node.succ {
+		if c.remaining == 0 {
+			continue // all subscriptions through this continuation matched
+		}
+		ct := &tuple{node: c, level: level + 1, origin: sc, slot: -1}
+		sc.children = append(sc.children, ct)
+		m.frAdd(ct)
+	}
+	m.scopes = append(m.scopes, sc)
+	if len(m.scopes) > m.stats.PeakScopes {
+		m.stats.PeakScopes = len(m.scopes)
+	}
+}
+
+// text appends character data to the shared buffer if any value-restricted
+// leaf candidate (of any subscription) is consuming it. The text is
+// buffered once no matter how many subscriptions wait on it.
+func (m *matcher) text(data string) {
+	m.stats.Events++
+	if m.refCount > 0 {
+		m.buf = append(m.buf, data...)
+		if len(m.buf) > m.stats.PeakBufferBytes {
+			m.stats.PeakBufferBytes = len(m.buf)
+		}
+	}
+}
+
+// endElement resolves the pending leaf candidates and candidate scopes of
+// the closing level, innermost first (they form suffixes of their stacks,
+// as in core).
+func (m *matcher) endElement() {
+	m.stats.Events++
+	closing := m.level
+	m.level--
+	for len(m.pendings) > 0 {
+		p := m.pendings[len(m.pendings)-1]
+		if p.level != closing {
+			break
+		}
+		m.pendings = m.pendings[:len(m.pendings)-1]
+		if !p.tup.matched && p.tup.node.set.Contains(string(m.buf[p.start:])) {
+			p.tup.matched = true
+		}
+		m.refCount--
+		if m.refCount == 0 {
+			m.buf = m.buf[:0]
+		}
+	}
+	for len(m.scopes) > 0 {
+		sc := m.scopes[len(m.scopes)-1]
+		if sc.level != closing {
+			break
+		}
+		m.scopes = m.scopes[:len(m.scopes)-1]
+		m.closeScope(sc)
+	}
+}
+
+// closeScope resolves a candidate scope. For predicate nodes this is
+// core's conjunction rule (real match iff every child matched, OR-ed
+// across sibling candidates). For spine nodes the conjunctive children
+// gate the scope's conditional commits: if they all matched, the commits
+// (plus the node's own terminals, when predicated) propagate to the next
+// predicate scope up the trie-ancestor chain — or to the global match
+// vector if none is open.
+func (m *matcher) closeScope(sc *scope) {
+	conjOK := true
+	for i, c := range sc.children {
+		if i < sc.nconj && !c.matched {
+			conjOK = false
+		}
+		if c.slot >= 0 {
+			m.frRemove(c)
+		}
+	}
+	n := sc.tup.node
+	if n.kind == kindPred {
+		if conjOK {
+			sc.tup.matched = true
+		}
+	} else if conjOK && sc.nconj > 0 {
+		outs := sc.commits
+		outs = append(outs, n.terminals...)
+		m.deliver(outs, sc.tup.origin)
+	}
+	// A parked child-axis owner returns to the frontier for sibling
+	// candidates (Fig. 21 lines 23-27). The root tuple (origin nil) stays
+	// out, as do owners that can never accept another candidate: matched
+	// predicate tuples (the flag latches) and spine steps whose
+	// subscriptions have all matched.
+	if n.axis == query.AxisChild && sc.tup.origin != nil && !sc.tup.matched &&
+		!(n.kind == kindSpine && n.remaining == 0) {
+		m.frAdd(sc.tup)
+	}
+}
+
+// deliver routes matched subscriptions to the nearest trie-ancestor scope
+// whose predicates are still unresolved; with none open, the matches are
+// final and latch globally (decrementing the remaining counters that
+// drive the shared early exit).
+func (m *matcher) deliver(outs []int, from *scope) {
+	if len(outs) == 0 {
+		return
+	}
+	for s := from; s != nil; s = s.tup.origin {
+		if s.nconj > 0 {
+			s.commits = append(s.commits, outs...)
+			return
+		}
+	}
+	for _, sub := range outs {
+		if m.matched[sub] {
+			continue
+		}
+		m.matched[sub] = true
+		m.matchedCount++
+		for _, n := range m.tr.paths[sub] {
+			n.remaining--
+		}
+	}
+}
+
+// endDocument closes every remaining scope bottom-up; afterwards matched
+// holds the final per-subscription verdicts.
+func (m *matcher) endDocument() {
+	m.stats.Events++
+	for len(m.scopes) > 0 {
+		sc := m.scopes[len(m.scopes)-1]
+		m.scopes = m.scopes[:len(m.scopes)-1]
+		m.closeScope(sc)
+	}
+}

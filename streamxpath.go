@@ -13,6 +13,12 @@
 //   - an in-memory reference evaluator implementing the paper's exact
 //     selection semantics (Definitions 3.1-3.6), used for full evaluation
 //     and as a correctness oracle;
+//   - a multi-query dissemination engine (FilterSet): thousands of
+//     standing subscriptions compiled into one shared prefix-sharing
+//     index — a combined NFA for linear queries, a shared frontier trie
+//     for predicated ones — matched against each document in a single
+//     pass with per-event cost governed by structure sharing rather than
+//     subscription count;
 //   - query analysis: frontier size (the paper's lower-bound quantity),
 //     membership in Redundancy-free XPath and the other fragments the
 //     paper's theorems quantify over;
@@ -33,6 +39,13 @@
 //	    ok, _ := f.MatchString(doc)
 //	    ...
 //	}
+//
+// or, for many standing queries over a document stream:
+//
+//	s := streamxpath.NewFilterSet()
+//	s.Add("alice", `//item[keyword = "go"]`)
+//	s.Add("bob", `//item[priority > 8]`)
+//	ids, _ := s.MatchString(doc) // matched subscription ids, one pass
 package streamxpath
 
 import (

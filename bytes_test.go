@@ -1,0 +1,261 @@
+package streamxpath
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"streamxpath/internal/sax"
+	"streamxpath/internal/workload"
+)
+
+// randomDissemDoc builds a random catalog document exercising elements,
+// attributes, text predicates and entity-bearing text.
+func randomDissemDoc(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("<catalog>")
+	for j := 0; j < 1+rng.Intn(6); j++ {
+		fmt.Fprintf(&b, `<item id="%d"><priority>%d</priority>`, rng.Intn(5), rng.Intn(10))
+		for k := 0; k < rng.Intn(4); k++ {
+			fmt.Fprintf(&b, "<f%d>v%d</f%d>", k, rng.Intn(4), k)
+		}
+		if rng.Intn(3) == 0 {
+			fmt.Fprintf(&b, "<note>a &amp; b %d</note>", rng.Intn(3))
+		}
+		b.WriteString("</item>")
+	}
+	b.WriteString("</catalog>")
+	return b.String()
+}
+
+// TestMatchBytesEquivalenceRandomized proves the interned byte-slice
+// path produces match results identical to the legacy string path, for
+// both FilterSet and the standalone Filter, across randomized
+// subscription sets and documents — the differential acceptance test of
+// this PR's refactor.
+func TestMatchBytesEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1712))
+	templates := []func() string{
+		func() string { return fmt.Sprintf("//catalog/item/f%d", rng.Intn(6)) },
+		func() string { return fmt.Sprintf("/catalog//item[priority > %d]", rng.Intn(8)) },
+		func() string { return fmt.Sprintf(`//item[f%d = "v%d"]`, rng.Intn(4), rng.Intn(4)) },
+		func() string {
+			return fmt.Sprintf("//item[f%d and priority < %d]/f%d", rng.Intn(4), rng.Intn(8), rng.Intn(4))
+		},
+		func() string { return "//*[priority]" },
+		func() string { return fmt.Sprintf(`//item[@id = "%d"]`, rng.Intn(5)) },
+		func() string { return fmt.Sprintf(`//item[contains(note, "b %d")]`, rng.Intn(3)) },
+		func() string { return "//catalog/*/f1" },
+	}
+	for trial := 0; trial < 60; trial++ {
+		s := NewFilterSet()
+		srcs := map[string]string{}
+		for i := 0; i < 2+rng.Intn(8); i++ {
+			id := fmt.Sprintf("s%d", i)
+			srcs[id] = templates[rng.Intn(len(templates))]()
+			if err := s.Add(id, srcs[id]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Several documents per set: MatchBytes must stay correct across
+		// Reset/reuse, interleaved with the string path.
+		for d := 0; d < 4; d++ {
+			doc := randomDissemDoc(rng)
+			viaBytes, err := s.MatchBytes([]byte(doc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotBytes := strings.Join(viaBytes, ",")
+			viaString, err := s.MatchString(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotBytes != strings.Join(viaString, ",") {
+				t.Fatalf("trial %d doc %d: MatchBytes=%v MatchString=%v\ndoc: %s\nsubs: %v",
+					trial, d, gotBytes, viaString, doc, srcs)
+			}
+			for id, src := range srcs {
+				f, err := MustCompile(src).NewFilter()
+				if err != nil {
+					t.Fatal(err)
+				}
+				fb, err := f.MatchBytes([]byte(doc))
+				if err != nil {
+					t.Fatal(err)
+				}
+				fs, err := f.MatchString(doc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fb != fs {
+					t.Fatalf("trial %d: %s (%s): Filter.MatchBytes=%v MatchString=%v\ndoc: %s",
+						trial, id, src, fb, fs, doc)
+				}
+				inSet := false
+				for _, got := range viaBytes {
+					if got == id {
+						inSet = true
+					}
+				}
+				if inSet != fb {
+					t.Fatalf("trial %d: %s (%s): set=%v standalone=%v\ndoc: %s",
+						trial, id, src, inSet, fb, doc)
+				}
+			}
+		}
+	}
+}
+
+// TestMatchBytesRandomTrees runs the byte path against serialized random
+// trees with the randomized query generator, cross-checking the string
+// path on the same filter instance.
+func TestMatchBytesRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	names := []string{"a", "b", "c"}
+	texts := []string{"v", "5", "12", ""}
+	for trial := 0; trial < 80; trial++ {
+		q := workload.RandomRedundancyFreeQuery(rng, 2+rng.Intn(6))
+		pub, err := Compile(q.String())
+		if err != nil {
+			t.Fatalf("reparse of generated query %s: %v", q, err)
+		}
+		f, err := pub.NewFilter()
+		if err != nil {
+			continue // outside the streamable fragment
+		}
+		d := workload.RandomTree(rng, names, texts, 5, 3)
+		doc, err := sax.SerializeString(d.Events())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := f.MatchString(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.MatchBytes([]byte(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: query %s doc %s: bytes=%v string=%v", trial, q, doc, got, want)
+		}
+	}
+}
+
+// TestFilterSetMatchBytesZeroAlloc is the acceptance criterion of the
+// interned-symbol pipeline: steady-state matching of a predicate-free
+// (linear) subscription set through FilterSet.MatchBytes performs zero
+// allocations — per event and per document.
+func TestFilterSetMatchBytesZeroAlloc(t *testing.T) {
+	s := NewFilterSet()
+	for i := 0; i < 200; i++ {
+		if err := s.Add(fmt.Sprintf("s%d", i), fmt.Sprintf("//catalog/item/f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("<catalog>")
+	for j := 0; j < 40; j++ {
+		fmt.Fprintf(&b, "<item><priority>%d</priority><f%d/><f%d/></item>", j%12, j, j+40)
+	}
+	b.WriteString("</catalog>")
+	doc := []byte(b.String())
+
+	// Warm up: compile the shared index, materialize the lazy DFA rows,
+	// grow every scratch buffer.
+	for i := 0; i < 3; i++ {
+		ids, err := s.MatchBytes(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ids) != 80 {
+			t.Fatalf("matched %d subscriptions, want 80", len(ids))
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := s.MatchBytes(doc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state linear MatchBytes: %v allocs/run, want 0", allocs)
+	}
+}
+
+// TestFilterMatchBytesSteadyStateAllocs: the standalone Filter's byte
+// path must also be allocation-free once warm on a predicate-free query.
+func TestFilterMatchBytesSteadyStateAllocs(t *testing.T) {
+	f, err := MustCompile("//catalog/item/f3").NewFilter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []byte("<catalog><item><f1/><f2/></item><item><f3>v</f3></item><item><f4/></item></catalog>")
+	for i := 0; i < 3; i++ {
+		ok, err := f.MatchBytes(doc)
+		if err != nil || !ok {
+			t.Fatalf("MatchBytes = %v, %v; want true", ok, err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := f.MatchBytes(doc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Filter.MatchBytes: %v allocs/run, want 0", allocs)
+	}
+}
+
+// TestFilterSetRecoversFromMalformedDoc: a document that fails
+// mid-stream (never reaching endDocument) must not wedge the engine —
+// the next Match call starts fresh, on both the byte and reader paths.
+func TestFilterSetRecoversFromMalformedDoc(t *testing.T) {
+	s := NewFilterSet()
+	if err := s.Add("a", "//item"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MatchBytes([]byte("<news><item>")); err == nil {
+		t.Fatal("malformed document should error")
+	}
+	got, err := s.MatchBytes([]byte("<news><item/></news>"))
+	if err != nil {
+		t.Fatalf("MatchBytes after malformed doc: %v", err)
+	}
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("MatchBytes after malformed doc = %v, want [a]", got)
+	}
+	if _, err := s.MatchString("<news><item>"); err == nil {
+		t.Fatal("malformed document should error")
+	}
+	viaReader, err := s.MatchString("<news><item/></news>")
+	if err != nil {
+		t.Fatalf("MatchString after malformed doc: %v", err)
+	}
+	if len(viaReader) != 1 || viaReader[0] != "a" {
+		t.Fatalf("MatchString after malformed doc = %v, want [a]", viaReader)
+	}
+}
+
+// TestMatchBytesResultReuse documents the MatchBytes contract: the
+// returned slice is reused by the next call.
+func TestMatchBytesResultReuse(t *testing.T) {
+	s := NewFilterSet()
+	if err := s.Add("a", "//a"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.MatchBytes([]byte("<a/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("MatchBytes = %v, want [a]", got)
+	}
+	empty, err := s.MatchBytes([]byte("<b/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty == nil || len(empty) != 0 {
+		t.Fatalf("no matches: MatchBytes = %#v, want empty non-nil slice", empty)
+	}
+}

@@ -8,13 +8,18 @@
 //	cat doc.xml | xpfilter -q '//a[b and c]'
 //	xpfilter -q '/a/b' -analyze
 //	xpfilter -subs subscriptions.txt feed1.xml feed2.xml
+//	xpfilter -subs subscriptions.txt -bench 1000 feed.xml
 //
-// With -subs, the file names one standing subscription per line (either
-// "id <tab-or-space> query" or a bare query, identified by its own text),
-// all compiled into one shared dissemination engine; each input document
-// is matched against every subscription in a single pass and the matching
-// ids are printed. -stats then reports the engine's shared-structure
-// sizes.
+// File inputs are read into memory and matched through the interned-
+// symbol byte fast path (MatchBytes); stdin streams through the bounded-
+// memory tokenizer. With -subs, the file names one standing subscription
+// per line (either "id <tab-or-space> query" or a bare query, identified
+// by its own text), all compiled into one shared dissemination engine;
+// each input document is matched against every subscription in a single
+// pass and the matching ids are printed. -stats then reports the
+// engine's shared-structure sizes. -bench N re-matches each in-memory
+// document N times and reports events/sec and allocs/event of the warm
+// fast path.
 package main
 
 import (
@@ -22,9 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"streamxpath"
+	"streamxpath/internal/sax"
 )
 
 func main() {
@@ -34,6 +42,7 @@ func main() {
 		stats    = flag.Bool("stats", false, "print per-document memory statistics")
 		analyze  = flag.Bool("analyze", false, "print query analysis and exit")
 		evaluate = flag.Bool("eval", false, "print selected node values instead of a boolean (in-memory evaluation)")
+		bench    = flag.Int("bench", 0, "re-match each file N times; print events/sec and allocs/event")
 	)
 	flag.Parse()
 	if (*querySrc == "") == (*subsFile == "") {
@@ -56,7 +65,7 @@ func main() {
 		}
 		exit := 0
 		for _, name := range files {
-			if err := runSet(set, name, *stats); err != nil {
+			if err := runSet(set, name, *stats, *bench); err != nil {
 				fmt.Fprintf(os.Stderr, "xpfilter: %s: %v\n", name, err)
 				exit = 1
 			}
@@ -73,12 +82,50 @@ func main() {
 	}
 	exit := 0
 	for _, name := range files {
-		if err := runOne(q, name, *stats, *evaluate); err != nil {
+		if err := runOne(q, name, *stats, *evaluate, *bench); err != nil {
 			fmt.Fprintf(os.Stderr, "xpfilter: %s: %v\n", name, err)
 			exit = 1
 		}
 	}
 	os.Exit(exit)
+}
+
+// readInput loads a file argument into memory for the byte fast path;
+// "-" returns nil and the caller streams stdin instead.
+func readInput(name string) ([]byte, error) {
+	if name == "-" {
+		return nil, nil
+	}
+	return os.ReadFile(name)
+}
+
+// benchReport re-runs a warm match loop and prints events/sec and
+// allocs/event, the two numbers the interned-symbol pipeline is tuned
+// for.
+func benchReport(doc []byte, iters int, run func() error) error {
+	events, err := sax.ParseBytes(doc)
+	if err != nil {
+		return err
+	}
+	if err := run(); err != nil { // warm symbols, DFA rows, scratch
+		return err
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := run(); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	total := float64(len(events)) * float64(iters)
+	fmt.Printf("  bench: %d iters x %d events: %.2fM events/sec, %.4f allocs/event, %.1f ns/event\n",
+		iters, len(events), total/elapsed.Seconds()/1e6,
+		float64(m1.Mallocs-m0.Mallocs)/total, float64(elapsed.Nanoseconds())/total)
+	return nil
 }
 
 // loadSubscriptions reads a subscription file into a FilterSet.
@@ -125,18 +172,19 @@ func loadSubscriptions(path string) (*streamxpath.FilterSet, error) {
 	return set, nil
 }
 
-// runSet matches one document against every subscription.
-func runSet(set *streamxpath.FilterSet, name string, stats bool) error {
-	in := os.Stdin
-	if name != "-" {
-		f, err := os.Open(name)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		in = f
+// runSet matches one document against every subscription: files through
+// the byte fast path, stdin through the streaming tokenizer.
+func runSet(set *streamxpath.FilterSet, name string, stats bool, bench int) error {
+	doc, err := readInput(name)
+	if err != nil {
+		return err
 	}
-	ids, err := set.MatchReader(in)
+	var ids []string
+	if doc != nil {
+		ids, err = set.MatchBytes(doc)
+	} else {
+		ids, err = set.MatchReader(os.Stdin)
+	}
 	if err != nil {
 		return err
 	}
@@ -145,21 +193,30 @@ func runSet(set *streamxpath.FilterSet, name string, stats bool) error {
 		s := set.Stats()
 		fmt.Printf("  %s\n", s)
 	}
+	if bench > 0 {
+		if doc == nil {
+			return fmt.Errorf("-bench needs a file argument, not stdin")
+		}
+		return benchReport(doc, bench, func() error {
+			_, err := set.MatchBytes(doc)
+			return err
+		})
+	}
 	return nil
 }
 
-func runOne(q *streamxpath.Query, name string, stats, evaluate bool) error {
-	in := os.Stdin
-	if name != "-" {
-		f, err := os.Open(name)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		in = f
+func runOne(q *streamxpath.Query, name string, stats, evaluate bool, bench int) error {
+	doc, err := readInput(name)
+	if err != nil {
+		return err
 	}
 	if evaluate {
-		vals, err := q.EvaluateReader(in)
+		var vals []string
+		if doc != nil {
+			vals, err = q.Evaluate(string(doc))
+		} else {
+			vals, err = q.EvaluateReader(os.Stdin)
+		}
 		if err != nil {
 			return err
 		}
@@ -173,7 +230,12 @@ func runOne(q *streamxpath.Query, name string, stats, evaluate bool) error {
 	if err != nil {
 		return fmt.Errorf("query is not streamable (%v); use -eval", err)
 	}
-	matched, err := f.MatchReader(in)
+	var matched bool
+	if doc != nil {
+		matched, err = f.MatchBytes(doc)
+	} else {
+		matched, err = f.MatchReader(os.Stdin)
+	}
 	if err != nil {
 		return err
 	}
@@ -182,6 +244,15 @@ func runOne(q *streamxpath.Query, name string, stats, evaluate bool) error {
 		s := f.Stats()
 		fmt.Printf("  events=%d frontier=%d buffer=%dB depth=%d estBits=%d\n",
 			s.Events, s.PeakFrontierTuples, s.PeakBufferBytes, s.MaxDepth, s.EstimatedBits)
+	}
+	if bench > 0 {
+		if doc == nil {
+			return fmt.Errorf("-bench needs a file argument, not stdin")
+		}
+		return benchReport(doc, bench, func() error {
+			_, err := f.MatchBytes(doc)
+			return err
+		})
 	}
 	return nil
 }

@@ -30,6 +30,10 @@ import (
 // for concurrent use; create one per goroutine.
 type FilterSet struct {
 	e *engine.Engine
+	// tok and ids are the reusable tokenizer and result buffer of the
+	// MatchBytes fast path.
+	tok *sax.TokenizerBytes
+	ids []string
 }
 
 // NewFilterSet returns an empty set.
@@ -67,6 +71,10 @@ func (s *FilterSet) Reset() { s.e.Reset() }
 // the ids that match, in insertion order. The result is non-nil even when
 // empty.
 func (s *FilterSet) MatchReader(r io.Reader) ([]string, error) {
+	// Reset up front so a previous document that failed mid-stream (and
+	// never reached endDocument) cannot wedge the engine in its
+	// half-open state.
+	s.e.Reset()
 	tok := sax.NewTokenizer(r)
 	sawEnd := false
 	for {
@@ -93,6 +101,46 @@ func (s *FilterSet) MatchReader(r io.Reader) ([]string, error) {
 // MatchString is MatchReader over a string.
 func (s *FilterSet) MatchString(xml string) ([]string, error) {
 	return s.MatchReader(strings.NewReader(xml))
+}
+
+// MatchBytes matches one in-memory document through the interned-symbol
+// fast path: the tokenizer interns names into the engine's shared symbol
+// table and every matching layer dispatches on the resulting ids, so
+// steady-state matching of a predicate-free subscription set performs
+// zero allocations per event (and zero per document once warm). The
+// returned slice is reused by the next MatchBytes call — copy it if it
+// must outlive the call. It is non-nil even when empty.
+func (s *FilterSet) MatchBytes(doc []byte) ([]string, error) {
+	s.e.Reset() // recover from a document abandoned mid-stream
+	if s.tok == nil {
+		s.tok = sax.NewTokenizerBytes(doc, s.e.Symbols())
+	} else {
+		s.tok.Reset(doc)
+	}
+	sawEnd := false
+	for {
+		e, err := s.tok.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if e.Kind == sax.EndDocument {
+			sawEnd = true
+		}
+		if err := s.e.ProcessBytes(e); err != nil {
+			return nil, fmt.Errorf("streamxpath: %w", err)
+		}
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("streamxpath: document ended prematurely")
+	}
+	if s.ids == nil {
+		s.ids = make([]string, 0, 8)
+	}
+	s.ids = s.e.AppendMatchedIDs(s.ids[:0])
+	return s.ids, nil
 }
 
 // FilterSetStats reports the size of the shared structures and the work

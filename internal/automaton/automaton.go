@@ -132,7 +132,11 @@ type DFAStats struct {
 	States int
 	// Transitions is the number of memoized transition-table entries.
 	Transitions int
-	// Symbols is the number of distinct element names seen.
+	// Symbols is the number of distinct names known to the runner's
+	// alphabet: for LazyDFA, element names actually seen; for
+	// SharedRunner, the size of the symbol table it dispatches on (an
+	// engine-shared table also counts query node tests and names from
+	// prior documents). Refreshed when a transition is memoized.
 	Symbols int
 	// PeakStack is the maximum state-stack depth (the document depth).
 	PeakStack int

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"streamxpath/internal/query"
+	"streamxpath/internal/symtab"
 )
 
 // MergedNFA is a combined position automaton for MANY linear path queries
@@ -27,7 +28,11 @@ type MergedNFA struct {
 type mstate struct {
 	ntest      string
 	descendant bool
-	children   []int
+	// sym/wild are the interned form of ntest, assigned by Bind; all
+	// per-event matching compares symbols, never strings.
+	sym      symtab.Sym
+	wild     bool
+	children []int
 	// hasDescChild caches whether any child is reached by a descendant
 	// step; only then may the state survive a non-matching element (the
 	// "gap" of //).
@@ -74,6 +79,23 @@ func (m *MergedNFA) Add(q *query.Query, out int) error {
 	return nil
 }
 
+// Bind interns every state's node test into tab, enabling the symbol
+// step path. It must be called (by NewSharedRunner) after the last Add
+// and before the first event.
+func (m *MergedNFA) Bind(tab *symtab.Table) {
+	for i := range m.states {
+		st := &m.states[i]
+		switch st.ntest {
+		case query.Wildcard:
+			st.wild = true
+		case "":
+			// the root state; never matched by name
+		default:
+			st.sym = tab.Intern(st.ntest)
+		}
+	}
+}
+
 // Size returns the number of trie states (including the root) — the
 // shared-structure measure reported by engine statistics.
 func (m *MergedNFA) Size() int { return len(m.states) }
@@ -91,8 +113,10 @@ func (m *MergedNFA) Outputs() int { return m.outputs }
 // merged-trie unsoundness). Items are encoded as state*2 | loopingBit.
 const loopingBit = 1
 
-// step computes the successor item set on reading an element name.
-func (m *MergedNFA) step(items []int, name string) []int {
+// step computes the successor item set on reading an element with the
+// given interned name. It runs only when the runner memoizes a new
+// (set, symbol) transition; the steady state never reaches it.
+func (m *MergedNFA) step(items []int, sym symtab.Sym) []int {
 	next := map[int]bool{}
 	for _, it := range items {
 		id, looping := it>>1, it&loopingBit != 0
@@ -102,7 +126,7 @@ func (m *MergedNFA) step(items []int, name string) []int {
 			if looping && !c.descendant {
 				continue
 			}
-			if c.ntest == query.Wildcard || c.ntest == name {
+			if c.wild || c.sym == sym {
 				next[ci<<1] = true
 			}
 		}
@@ -134,17 +158,22 @@ func (m *MergedNFA) emitted(items []int) []int {
 }
 
 // SharedRunner evaluates a MergedNFA over a document with a stack of
-// interned item sets and lazily memoized (set, name) transitions — one
-// hash probe per element once warm, independent of subscription count.
-// Matches latch into Matched; the transition table persists across Reset
-// as a long-running dissemination engine's would.
+// interned item sets and lazily memoized (set, symbol) transitions held
+// in dense per-set rows indexed by the tokenizer-supplied symbol — one
+// bounds-checked array load per element once warm, no hashing, no
+// allocation, independent of subscription count. Matches latch into
+// Matched; the transition rows persist across Reset as a long-running
+// dissemination engine's would.
 type SharedRunner struct {
-	m       *MergedNFA
-	sets    [][]int
-	emit    [][]int // per set id: outputs accepted on entry
-	index   map[string]int
-	trans   map[[2]int]int
-	syms    map[string]int
+	m     *MergedNFA
+	tab   *symtab.Table
+	sets  [][]int
+	emit  [][]int // per set id: outputs accepted on entry
+	index map[string]int
+	// rows[set][sym] holds the memoized successor set id + 1; 0 means not
+	// yet computed. Rows grow lazily to the symbol table's size.
+	rows    [][]uint32
+	startID int // interned id of the initial item set
 	stack   []int
 	depth   int // levels processed while short-circuited
 	Matched []bool
@@ -152,25 +181,43 @@ type SharedRunner struct {
 	stats   DFAStats
 }
 
-// NewSharedRunner returns a runner over the merged automaton. The
-// automaton must not be modified afterwards.
+// NewSharedRunner returns a runner over the merged automaton with a
+// private symbol table. The automaton must not be modified afterwards.
 func NewSharedRunner(m *MergedNFA) *SharedRunner {
+	return NewSharedRunnerTab(m, nil)
+}
+
+// NewSharedRunnerTab returns a runner interning names into tab (nil for
+// a private table), binding the automaton's node tests to it. Callers
+// that tokenize with a shared table pass it here and feed the runner
+// symbols directly via StartElementSym.
+func NewSharedRunnerTab(m *MergedNFA, tab *symtab.Table) *SharedRunner {
+	if tab == nil {
+		tab = symtab.New()
+	}
+	m.Bind(tab)
 	r := &SharedRunner{
 		m:     m,
+		tab:   tab,
 		index: make(map[string]int),
-		trans: make(map[[2]int]int),
-		syms:  make(map[string]int),
 	}
+	r.startID = r.intern(m.start())
 	r.Reset()
 	return r
 }
 
 // Reset clears the per-document state (stack and matches) but keeps the
-// memoized transition table.
+// memoized transition rows. It does not allocate once warm.
 func (r *SharedRunner) Reset() {
 	r.stack = r.stack[:0]
 	r.depth = 0
-	r.Matched = make([]bool, r.m.outputs)
+	if len(r.Matched) == r.m.outputs {
+		for i := range r.Matched {
+			r.Matched[i] = false
+		}
+	} else {
+		r.Matched = make([]bool, r.m.outputs)
+	}
 	r.left = r.m.outputs
 	r.stats.PeakStack = 0
 }
@@ -184,41 +231,62 @@ func (r *SharedRunner) intern(items []int) int {
 	r.sets = append(r.sets, items)
 	r.index[k] = id
 	r.emit = append(r.emit, r.m.emitted(items))
+	r.rows = append(r.rows, nil)
 	r.stats.States = len(r.sets)
-	return id
-}
-
-func (r *SharedRunner) symbol(name string) int {
-	if id, ok := r.syms[name]; ok {
-		return id
-	}
-	id := len(r.syms)
-	r.syms[name] = id
-	r.stats.Symbols = len(r.syms)
 	return id
 }
 
 // StartDocument begins a document.
 func (r *SharedRunner) StartDocument() {
-	r.stack = append(r.stack[:0], r.intern(r.m.start()))
+	r.stack = append(r.stack[:0], r.startID)
 }
 
-// StartElement processes a startElement(name) event, latching any outputs
-// accepted by the transition. Once every output has matched the runner
-// only counts depth (the per-subscription monotone early exit, applied to
-// the whole shared index).
+// StartElement processes a startElement(name) event through the string
+// path: the name is interned (one map probe when warm) and handed to
+// StartElementSym.
 func (r *SharedRunner) StartElement(name string) {
+	r.StartElementSym(r.tab.Intern(name))
+}
+
+// StartElementSym processes a startElement event whose name was interned
+// by the tokenizer, latching any outputs accepted by the transition.
+// Once every output has matched the runner only counts depth (the
+// per-subscription monotone early exit, applied to the whole shared
+// index). Warm transitions touch no map and allocate nothing.
+func (r *SharedRunner) StartElementSym(sym symtab.Sym) {
 	if r.left == 0 || len(r.stack) == 0 {
 		r.depth++
 		return
 	}
 	top := r.stack[len(r.stack)-1]
-	key := [2]int{top, r.symbol(name)}
-	nextID, ok := r.trans[key]
-	if !ok {
-		nextID = r.intern(r.m.step(r.sets[top], name))
-		r.trans[key] = nextID
-		r.stats.Transitions = len(r.trans)
+	row := r.rows[top]
+	var nextID int
+	if int(sym) < len(row) && row[sym] != 0 {
+		nextID = int(row[sym]) - 1
+	} else {
+		nextID = r.intern(r.m.step(r.sets[top], sym))
+		row = r.rows[top]
+		if int(sym) >= len(row) {
+			// Grow only to the symbol actually observed (doubling to
+			// amortize), not to the full table: a long-running engine's
+			// shared table accumulates every name of every document, and
+			// sizing all rows to it would turn the memo into
+			// O(states x lifetime names) memory.
+			n := int(sym) + 1
+			if d := 2 * len(row); d > n {
+				n = d
+			}
+			if n > r.tab.Len() {
+				n = r.tab.Len()
+			}
+			grown := make([]uint32, n)
+			copy(grown, row)
+			row = grown
+			r.rows[top] = grown
+		}
+		row[sym] = uint32(nextID) + 1
+		r.stats.Transitions++
+		r.stats.Symbols = r.tab.Len() - 1
 	}
 	for _, out := range r.emit[nextID] {
 		if !r.Matched[out] {

@@ -1,0 +1,20 @@
+// Package bytestr provides a zero-copy read-only string view of a byte
+// slice, so hot paths that hold text in reusable byte buffers (the
+// tokenizer's scratch, the filters' text buffers) can evaluate string
+// predicates without allocating a copy per event.
+package bytestr
+
+import "unsafe"
+
+// String returns a string sharing b's storage. The caller must guarantee
+// that b is not mutated while the string is alive and that the callee does
+// not retain the string beyond the call — both hold for truth-set
+// Contains evaluations, which parse or compare and return. Use only on
+// such transient paths; anything that stores the value must copy with
+// string(b).
+func String(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}

@@ -44,8 +44,10 @@ import (
 	"io"
 	"strings"
 
+	"streamxpath/internal/bytestr"
 	"streamxpath/internal/query"
 	"streamxpath/internal/sax"
+	"streamxpath/internal/symtab"
 )
 
 // Tuple is one frontier entry: a query node awaiting (or having found) a
@@ -59,6 +61,14 @@ type Tuple struct {
 	Level int
 	// Matched records whether a real match has been found.
 	Matched bool
+
+	// sym/wild cache Ref's node test in interned form when the filter is
+	// bound to a symbol table (BindSymbols); the byte-event path matches
+	// on them instead of comparing name strings.
+	sym  symtab.Sym
+	wild bool
+	// drop marks the tuple for removal during a closeScope frontier sweep.
+	drop bool
 }
 
 // scope is an open candidate match of an internal query node: the element
@@ -86,6 +96,12 @@ type pending struct {
 type Filter struct {
 	prog *Program
 
+	// Symbol binding (BindSymbols): tab is the shared intern table and
+	// nodeSym the per-query-node symbols, consulted once per tuple
+	// creation so per-event matching is an integer compare.
+	tab     *symtab.Table
+	nodeSym map[*query.Node]symtab.Sym
+
 	// Streaming state.
 	level    int // level of the innermost open element (doc root = 0)
 	frontier []*Tuple
@@ -96,6 +112,13 @@ type Filter struct {
 	root     *Tuple
 	started  bool
 	finished bool
+
+	// Free lists: tuples and scope child slices are recycled across
+	// candidate scopes (and documents), so steady-state filtering does
+	// not allocate.
+	freeTuples   []*Tuple
+	freeChildren [][]*Tuple
+	opened       []*Tuple // scratch for startElement
 
 	stats Stats
 	// Trace, if non-nil, is invoked after each processed event (used by
@@ -145,9 +168,56 @@ func (f *Filter) Query() *query.Query { return f.prog.q }
 // Program returns the immutable compile product the filter runs off.
 func (f *Filter) Program() *Program { return f.prog }
 
+// BindSymbols interns the query's node tests into tab and switches the
+// filter's matching to symbol dispatch, enabling ProcessBytes. The table
+// must be the one the feeding tokenizer interns into. Bind before the
+// first event; rebinding mid-document is not supported.
+func (f *Filter) BindSymbols(tab *symtab.Table) {
+	f.tab = tab
+	f.nodeSym = make(map[*query.Node]symtab.Sym, len(f.prog.nodes))
+	for _, u := range f.prog.nodes {
+		if !u.IsRoot() && !u.IsWildcard() {
+			f.nodeSym[u] = tab.Intern(u.NTest)
+		}
+	}
+}
+
+// newTuple takes a tuple off the free list (or allocates one), caching
+// the node's interned symbol when the filter is bound.
+func (f *Filter) newTuple(v *query.Node, level int) *Tuple {
+	var t *Tuple
+	if k := len(f.freeTuples); k > 0 {
+		t = f.freeTuples[k-1]
+		f.freeTuples = f.freeTuples[:k-1]
+	} else {
+		t = &Tuple{}
+	}
+	*t = Tuple{Ref: v, Level: level}
+	if f.tab != nil {
+		if v.IsWildcard() {
+			t.wild = true
+		} else {
+			t.sym = f.nodeSym[v]
+		}
+	}
+	return t
+}
+
+func (f *Filter) freeTuple(t *Tuple) {
+	t.Ref = nil
+	f.freeTuples = append(f.freeTuples, t)
+}
+
 // Reset clears the streaming state so the filter can process another
 // document. Statistics are also reset.
 func (f *Filter) Reset() {
+	if f.root != nil {
+		// The root tuple is owned by no candidate scope, so closeScope
+		// never recycles it; doing so here keeps repeat matching
+		// allocation-free. (Tuples of an abandoned mid-stream document
+		// are left to the garbage collector.)
+		f.freeTuple(f.root)
+	}
 	f.level = 0
 	f.frontier = f.frontier[:0]
 	f.scopes = f.scopes[:0]
@@ -175,21 +245,65 @@ func (f *Filter) Process(e sax.Event) error {
 	}
 	if len(e.Attrs) > 0 && e.Kind == sax.StartElement {
 		for _, a := range e.Attrs {
-			sub := []sax.Event{
-				{Kind: sax.StartElement, Name: a.Name, Attribute: true},
-				{Kind: sax.Text, Data: a.Value},
-				{Kind: sax.EndElement, Name: a.Name, Attribute: true},
+			if err := f.process(sax.Event{Kind: sax.StartElement, Name: a.Name, Attribute: true}); err != nil {
+				return err
 			}
-			for _, se := range sub {
-				if err := f.process(se); err != nil {
-					return err
-				}
+			if err := f.process(sax.Event{Kind: sax.Text, Data: a.Value}); err != nil {
+				return err
+			}
+			if err := f.process(sax.Event{Kind: sax.EndElement, Name: a.Name, Attribute: true}); err != nil {
+				return err
 			}
 		}
 	}
 	if f.Trace != nil {
 		f.Trace(e, f)
 	}
+	return nil
+}
+
+// ProcessBytes consumes one byte-slice event from a sax.TokenizerBytes
+// interning into the table the filter was bound to with BindSymbols.
+// Attribute events arrive already expanded from the tokenizer. Matching
+// dispatches on the event symbol and text stays on byte slices until a
+// truth set needs a (zero-copy) string view, so the steady-state path
+// does not allocate. Trace callbacks are not invoked on this path.
+func (f *Filter) ProcessBytes(e sax.ByteEvent) error {
+	if f.tab == nil {
+		return fmt.Errorf("core: ProcessBytes requires BindSymbols")
+	}
+	f.stats.Events++
+	switch e.Kind {
+	case sax.StartDocument:
+		if f.started {
+			return fmt.Errorf("core: duplicate startDocument")
+		}
+		f.startDocument()
+	case sax.EndDocument:
+		if !f.started || f.finished {
+			return fmt.Errorf("core: unexpected endDocument")
+		}
+		f.endDocument()
+	case sax.StartElement:
+		if !f.started || f.finished {
+			return fmt.Errorf("core: startElement outside document")
+		}
+		f.startElementSym(e.Sym, e.Attribute)
+	case sax.EndElement:
+		if !f.started || f.finished {
+			return fmt.Errorf("core: endElement outside document")
+		}
+		if f.level == 0 {
+			return fmt.Errorf("core: unmatched endElement </%s>", f.tab.Name(e.Sym))
+		}
+		f.endElement()
+	case sax.Text:
+		if !f.started || f.finished {
+			return fmt.Errorf("core: text outside document")
+		}
+		f.textBytes(e.Data)
+	}
+	f.noteStats()
 	return nil
 }
 
@@ -234,17 +348,21 @@ func (f *Filter) process(e sax.Event) error {
 // immediately with tuples for the root's children at level 1.
 func (f *Filter) startDocument() {
 	f.started = true
-	f.root = &Tuple{Ref: f.prog.q.Root, Level: 0}
+	f.root = f.newTuple(f.prog.q.Root, 0)
 	f.openScope(f.root, 0)
 }
 
 // openScope records a candidate match of the internal query node tracked by
 // t at the element at the given level, inserting child tuples into the
-// frontier.
+// frontier. Child slices are recycled across scopes.
 func (f *Filter) openScope(t *Tuple, level int) {
 	sc := scope{Tup: t, Level: level}
+	if k := len(f.freeChildren); k > 0 {
+		sc.Children = f.freeChildren[k-1][:0]
+		f.freeChildren = f.freeChildren[:k-1]
+	}
 	for _, v := range t.Ref.Children {
-		child := &Tuple{Ref: v, Level: level + 1}
+		child := f.newTuple(v, level+1)
 		sc.Children = append(sc.Children, child)
 		f.frontier = append(f.frontier, child)
 	}
@@ -258,14 +376,31 @@ func (f *Filter) openScope(t *Tuple, level int) {
 // (internal nodes; child-axis tuples leave the frontier for the duration,
 // as no further candidates can occur among the element's descendants).
 func (f *Filter) startElement(name string, isAttr bool) {
+	f.startElementMatched(isAttr, func(t *Tuple) bool {
+		return t.Ref.IsWildcard() || t.Ref.NTest == name
+	})
+}
+
+// startElementSym is startElement on the symbol path: the node test is an
+// integer compare against the tuple's cached symbol.
+func (f *Filter) startElementSym(sym symtab.Sym, isAttr bool) {
+	f.startElementMatched(isAttr, func(t *Tuple) bool {
+		return t.wild || t.sym == sym
+	})
+}
+
+// startElementMatched runs the Fig. 20 startElement step with the name
+// test abstracted (string or symbol compare; the closures are static so
+// neither allocates).
+func (f *Filter) startElementMatched(isAttr bool, nameOK func(*Tuple) bool) {
 	elemLevel := f.level + 1
 	// Iterate over a snapshot of the frontier: openScope appends child
 	// tuples that must not be considered for this same element.
 	selected := f.frontier[:len(f.frontier):len(f.frontier)]
 	kept := f.frontier[:0]
-	var opened []*Tuple
+	opened := f.opened[:0]
 	for _, t := range selected {
-		if !f.candidate(t, name, isAttr, elemLevel) {
+		if !nameOK(t) || !f.candidate(t, isAttr, elemLevel) {
 			kept = append(kept, t)
 			continue
 		}
@@ -292,22 +427,20 @@ func (f *Filter) startElement(name string, isAttr bool) {
 	for _, t := range opened {
 		f.openScope(t, elemLevel)
 	}
+	f.opened = opened[:0]
 	f.level = elemLevel
 }
 
 // candidate reports whether the element starting at elemLevel is a
-// candidate match for tuple t: the tuple is still unmatched, the name
-// passes the node test, the node kinds agree, and the element is at the
-// expected level (child/attribute axes) or anywhere below (descendant
-// axis).
-func (f *Filter) candidate(t *Tuple, name string, isAttr bool, elemLevel int) bool {
+// candidate match for tuple t, the name test having already passed: the
+// tuple is still unmatched, the node kinds agree, and the element is at
+// the expected level (child/attribute axes) or anywhere below
+// (descendant axis).
+func (f *Filter) candidate(t *Tuple, isAttr bool, elemLevel int) bool {
 	if t.Matched || t.Ref.IsRoot() {
 		return false
 	}
 	if (t.Ref.Axis == query.AxisAttribute) != isAttr {
-		return false
-	}
-	if !t.Ref.IsWildcard() && t.Ref.NTest != name {
 		return false
 	}
 	if t.Ref.Axis == query.AxisDescendant {
@@ -319,6 +452,13 @@ func (f *Filter) candidate(t *Tuple, name string, isAttr bool, elemLevel int) bo
 // text appends character data to the buffer if any leaf candidate is
 // consuming it.
 func (f *Filter) text(data string) {
+	if f.refCount > 0 {
+		f.buf = append(f.buf, data...)
+	}
+}
+
+// textBytes is text for the byte-event path.
+func (f *Filter) textBytes(data []byte) {
 	if f.refCount > 0 {
 		f.buf = append(f.buf, data...)
 	}
@@ -339,7 +479,10 @@ func (f *Filter) endElement() {
 			break
 		}
 		f.pendings = f.pendings[:len(f.pendings)-1]
-		if !p.Tup.Matched && f.prog.sets[p.Tup.Ref].Contains(string(f.buf[p.Start:])) {
+		// The truth set sees a zero-copy view of the buffer: Contains
+		// implementations parse or compare and return without retaining
+		// the string, so no per-candidate copy is needed.
+		if !p.Tup.Matched && f.prog.sets[p.Tup.Ref].Contains(bytestr.String(f.buf[p.Start:])) {
 			p.Tup.Matched = true
 		}
 		f.refCount--
@@ -359,25 +502,30 @@ func (f *Filter) endElement() {
 }
 
 // closeScope resolves a candidate scope: the candidate is a real match iff
-// every child tuple matched. Child tuples leave the frontier; a child-axis
-// owner returns to it (Fig. 21 lines 23-27), accumulating the result with
-// OR across sibling candidates.
+// every child tuple matched. Child tuples leave the frontier (marked with
+// the drop flag and swept, instead of building a removal set per scope)
+// and return to the free list; a child-axis owner returns to the frontier
+// (Fig. 21 lines 23-27), accumulating the result with OR across sibling
+// candidates.
 func (f *Filter) closeScope(sc scope) {
 	m := true
-	remove := make(map[*Tuple]bool, len(sc.Children))
 	for _, c := range sc.Children {
 		if !c.Matched {
 			m = false
 		}
-		remove[c] = true
+		c.drop = true
 	}
 	kept := f.frontier[:0]
 	for _, t := range f.frontier {
-		if !remove[t] {
+		if !t.drop {
 			kept = append(kept, t)
 		}
 	}
 	f.frontier = kept
+	for _, c := range sc.Children {
+		f.freeTuple(c)
+	}
+	f.freeChildren = append(f.freeChildren, sc.Children[:0])
 	if m {
 		sc.Tup.Matched = true
 	}

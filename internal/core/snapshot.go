@@ -154,7 +154,9 @@ func (f *Filter) Restore(snap []byte) error {
 		if err != nil {
 			return err
 		}
-		tuples[i] = &Tuple{Ref: f.prog.nodes[id], Level: int(lv), Matched: m == 1}
+		t := f.newTuple(f.prog.nodes[id], int(lv))
+		t.Matched = m == 1
+		tuples[i] = t
 	}
 	pick := func() (*Tuple, error) {
 		i, err := r.uvarint()

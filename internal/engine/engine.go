@@ -41,6 +41,7 @@ import (
 	"streamxpath/internal/core"
 	"streamxpath/internal/query"
 	"streamxpath/internal/sax"
+	"streamxpath/internal/symtab"
 )
 
 // Route identifies which shared index evaluates a subscription.
@@ -71,6 +72,12 @@ type Engine struct {
 	byID  map[string]int
 	dirty bool
 
+	// tab is the engine's symbol table: query node tests and document
+	// names meet in it, so the byte-event path dispatches entirely on
+	// tokenizer-supplied symbols. It persists across compiles — symbols
+	// already handed to a tokenizer stay valid after Add/Remove.
+	tab *symtab.Table
+
 	nfa    *automaton.MergedNFA
 	runner *automaton.SharedRunner
 	tr     *trie
@@ -83,8 +90,12 @@ type Engine struct {
 
 // New returns an empty engine.
 func New() *Engine {
-	return &Engine{byID: map[string]int{}, dirty: true}
+	return &Engine{byID: map[string]int{}, dirty: true, tab: symtab.New()}
 }
+
+// Symbols returns the engine's symbol table. Tokenizers that feed the
+// engine through ProcessBytes must intern into this table.
+func (e *Engine) Symbols() *symtab.Table { return e.tab }
 
 // Add registers a subscription under the given id. It returns an error
 // for duplicate ids and for queries outside the streamable fragment (the
@@ -135,7 +146,7 @@ func (e *Engine) IDs() []string {
 // compile rebuilds the shared indexes from the current subscriptions.
 func (e *Engine) compile() {
 	e.nfa = automaton.NewMergedNFA()
-	e.tr = newTrie()
+	e.tr = newTrie(e.tab)
 	for _, s := range e.subs {
 		if err := e.nfa.Add(s.q, e.nfa.Outputs()); err == nil {
 			s.route = RouteNFA
@@ -145,7 +156,7 @@ func (e *Engine) compile() {
 		s.route = RouteTrie
 		s.out = e.tr.add(s.q, s.prog)
 	}
-	e.runner = automaton.NewSharedRunner(e.nfa)
+	e.runner = automaton.NewSharedRunnerTab(e.nfa, e.tab)
 	e.mt = newMatcher(e.tr)
 	e.dirty = false
 }
@@ -167,74 +178,123 @@ func (e *Engine) Reset() {
 
 // Process consumes one SAX event. Attribute lists on startElement events
 // are expanded inline into attribute child events, as in core (the
-// paper's folding of the attribute axis into the child axis).
+// paper's folding of the attribute axis into the child axis). Names are
+// interned into the engine's symbol table and dispatched by symbol.
 func (e *Engine) Process(ev sax.Event) error {
-	if err := e.process(ev); err != nil {
-		return err
-	}
-	if ev.Kind == sax.StartElement && len(ev.Attrs) > 0 {
+	switch ev.Kind {
+	case sax.StartDocument:
+		return e.startDocument()
+	case sax.EndDocument:
+		return e.endDocument()
+	case sax.StartElement:
+		if err := e.startElement(e.tab.Intern(ev.Name), ev.Attribute); err != nil {
+			return err
+		}
 		for _, a := range ev.Attrs {
-			sub := []sax.Event{
-				{Kind: sax.StartElement, Name: a.Name, Attribute: true},
-				{Kind: sax.Text, Data: a.Value},
-				{Kind: sax.EndElement, Name: a.Name, Attribute: true},
+			asym := e.tab.Intern(a.Name)
+			if err := e.startElement(asym, true); err != nil {
+				return err
 			}
-			for _, se := range sub {
-				if err := e.process(se); err != nil {
-					return err
-				}
+			if err := e.text(a.Value); err != nil {
+				return err
+			}
+			if err := e.endElement(asym, true); err != nil {
+				return err
 			}
 		}
+		return nil
+	case sax.EndElement:
+		return e.endElement(e.tab.Intern(ev.Name), ev.Attribute)
+	case sax.Text:
+		return e.text(ev.Data)
 	}
 	return nil
 }
 
-func (e *Engine) process(ev sax.Event) error {
+// ProcessBytes consumes one byte-slice event from a sax.TokenizerBytes
+// interning into this engine's Symbols table. Attribute events arrive
+// already expanded from the tokenizer, so no per-element attribute
+// handling happens here; the whole path is allocation-free in the steady
+// state.
+func (e *Engine) ProcessBytes(ev sax.ByteEvent) error {
 	switch ev.Kind {
 	case sax.StartDocument:
-		if e.started && !e.finished {
-			return fmt.Errorf("engine: duplicate startDocument")
-		}
-		e.Reset()
-		e.started = true
-		e.runner.StartDocument()
-		e.mt.startDocument()
+		return e.startDocument()
 	case sax.EndDocument:
-		if !e.started || e.finished {
-			return fmt.Errorf("engine: unexpected endDocument")
-		}
-		e.mt.endDocument()
-		e.finished = true
+		return e.endDocument()
 	case sax.StartElement:
-		if !e.started || e.finished {
-			return fmt.Errorf("engine: startElement outside document")
-		}
-		e.level++
-		if !ev.Attribute {
-			// Attribute pseudo-elements are invisible to the NFA route:
-			// its queries have no attribute steps, and an attribute must
-			// never satisfy a child-axis node test.
-			e.runner.StartElement(ev.Name)
-		}
-		e.mt.startElement(ev.Name, ev.Attribute)
+		return e.startElement(ev.Sym, ev.Attribute)
 	case sax.EndElement:
-		if !e.started || e.finished {
-			return fmt.Errorf("engine: endElement outside document")
-		}
-		if e.level == 0 {
-			return fmt.Errorf("engine: unmatched endElement </%s>", ev.Name)
-		}
-		e.level--
-		if !ev.Attribute {
-			e.runner.EndElement()
-		}
-		e.mt.endElement()
+		return e.endElement(ev.Sym, ev.Attribute)
 	case sax.Text:
 		if !e.started || e.finished {
 			return fmt.Errorf("engine: text outside document")
 		}
-		e.mt.text(ev.Data)
+		e.mt.textBytes(ev.Data)
 	}
+	return nil
+}
+
+func (e *Engine) startDocument() error {
+	if e.started && !e.finished {
+		return fmt.Errorf("engine: duplicate startDocument")
+	}
+	if e.dirty || e.started {
+		// started==false with clean indexes means Reset already ran (the
+		// public Match* entry points reset up front); skip the second
+		// O(subscriptions) sweep on the per-document hot path.
+		e.Reset()
+	}
+	e.started = true
+	e.runner.StartDocument()
+	e.mt.startDocument()
+	return nil
+}
+
+func (e *Engine) endDocument() error {
+	if !e.started || e.finished {
+		return fmt.Errorf("engine: unexpected endDocument")
+	}
+	e.mt.endDocument()
+	e.finished = true
+	return nil
+}
+
+func (e *Engine) startElement(sym symtab.Sym, isAttr bool) error {
+	if !e.started || e.finished {
+		return fmt.Errorf("engine: startElement outside document")
+	}
+	e.level++
+	if !isAttr {
+		// Attribute pseudo-elements are invisible to the NFA route: its
+		// queries have no attribute steps, and an attribute must never
+		// satisfy a child-axis node test.
+		e.runner.StartElementSym(sym)
+	}
+	e.mt.startElementSym(sym, isAttr)
+	return nil
+}
+
+func (e *Engine) endElement(sym symtab.Sym, isAttr bool) error {
+	if !e.started || e.finished {
+		return fmt.Errorf("engine: endElement outside document")
+	}
+	if e.level == 0 {
+		return fmt.Errorf("engine: unmatched endElement </%s>", e.tab.Name(sym))
+	}
+	e.level--
+	if !isAttr {
+		e.runner.EndElement()
+	}
+	e.mt.endElement()
+	return nil
+}
+
+func (e *Engine) text(data string) error {
+	if !e.started || e.finished {
+		return fmt.Errorf("engine: text outside document")
+	}
+	e.mt.text(data)
 	return nil
 }
 
@@ -272,16 +332,22 @@ func (e *Engine) matchedSub(s *subscription) bool {
 // MatchedIDs returns the ids matched by the current (or last) document,
 // in subscription insertion order. The slice is non-nil even when empty.
 func (e *Engine) MatchedIDs() []string {
-	out := make([]string, 0)
+	return e.AppendMatchedIDs(make([]string, 0))
+}
+
+// AppendMatchedIDs appends the matched ids to dst (in subscription
+// insertion order) and returns it — the allocation-free form of
+// MatchedIDs for callers that reuse a result buffer across documents.
+func (e *Engine) AppendMatchedIDs(dst []string) []string {
 	if e.dirty {
-		return out
+		return dst
 	}
 	for _, s := range e.subs {
 		if e.matchedSub(s) {
-			out = append(out, s.id)
+			dst = append(dst, s.id)
 		}
 	}
-	return out
+	return dst
 }
 
 // MatchedCount returns the number of subscriptions already definitively

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"streamxpath/internal/bytestr"
 	"streamxpath/internal/core"
 	"streamxpath/internal/query"
+	"streamxpath/internal/symtab"
 )
 
 // nodeKind distinguishes the two roles a trie node can play.
@@ -30,6 +32,11 @@ type tnode struct {
 	kind  nodeKind
 	axis  query.Axis
 	ntest string
+	// sym/wild are the interned form of ntest: the matcher's frontier is
+	// bucketed by symbol, so a startElement event dispatches on the
+	// tokenizer-supplied id without hashing the name.
+	sym  symtab.Sym
+	wild bool
 
 	// conj are the conjunctive children: for a spine node, the roots of
 	// its predicate subtrees; for a predicate node, all of its children
@@ -65,8 +72,10 @@ type tnode struct {
 
 // trie is the compiled shared index for the predicate-capable route: a
 // prefix-sharing trie over canonical step keys with predicate subtrees
-// hanging off spine nodes.
+// hanging off spine nodes. Node tests are interned into the engine's
+// symbol table at build time.
 type trie struct {
+	tab        *symtab.Table
 	root       *tnode
 	spineNodes []*tnode
 	// paths[i] is subscription i's spine path root→OUT (used to maintain
@@ -79,8 +88,20 @@ type trie struct {
 	predNodes int
 }
 
-func newTrie() *trie {
-	return &trie{root: &tnode{kind: kindSpine, axis: query.AxisRoot, succIndex: map[string]*tnode{}}}
+func newTrie(tab *symtab.Table) *trie {
+	return &trie{
+		tab:  tab,
+		root: &tnode{kind: kindSpine, axis: query.AxisRoot, succIndex: map[string]*tnode{}},
+	}
+}
+
+// internNTest resolves a node test to its symbol form.
+func (t *trie) internNTest(n *tnode) {
+	if n.ntest == query.Wildcard {
+		n.wild = true
+		return
+	}
+	n.sym = t.tab.Intern(n.ntest)
 }
 
 // add merges one subscription's query into the trie and returns its index
@@ -101,6 +122,7 @@ func (t *trie) add(q *query.Query, prog *core.Program) int {
 				ntest:     u.NTest,
 				succIndex: map[string]*tnode{},
 			}
+			t.internNTest(child)
 			for _, pc := range u.PredicateChildren() {
 				child.conj = append(child.conj, t.buildPred(pc, prog))
 			}
@@ -130,6 +152,7 @@ func (t *trie) buildPred(v *query.Node, prog *core.Program) *tnode {
 		set:        prog.TruthSet(v),
 		restricted: prog.Restricted(v),
 	}
+	t.internNTest(n)
 	t.predNodes++
 	for _, c := range v.Children {
 		n.conj = append(n.conj, t.buildPred(c, prog))
@@ -189,18 +212,23 @@ type matchStats struct {
 	MaxLevel        int
 }
 
-// matcher is the streaming run state over a trie: a name-indexed frontier
-// of tuples, a stack of candidate scopes, pending text buffers, and the
-// per-subscription match vector. One matcher evaluates every trie-routed
-// subscription in a single document pass.
+// matcher is the streaming run state over a trie: a symbol-indexed
+// frontier of tuples, a stack of candidate scopes, pending text buffers,
+// and the per-subscription match vector. One matcher evaluates every
+// trie-routed subscription in a single document pass. Tuples and scopes
+// are recycled through free lists, so steady-state matching allocates
+// nothing once the document shapes have been seen.
 type matcher struct {
 	tr *trie
 
-	// buckets index the frontier by node test so startElement(name) only
-	// touches tuples that can pass the name test: buckets[name] plus the
-	// wildcard bucket. This is what makes per-event cost proportional to
-	// the active-state count instead of the subscription count.
-	buckets map[string][]*tuple
+	// buckets index the frontier by node-test symbol so a startElement
+	// event only touches tuples that can pass the name test: the event
+	// symbol's bucket plus the wildcard bucket. Dispatch is one dense
+	// slice index — this is what makes per-event cost proportional to
+	// the active-state count instead of the subscription count, with no
+	// per-event hashing.
+	buckets [][]*tuple
+	wild    []*tuple
 	size    int
 
 	scopes   []*scope
@@ -212,21 +240,24 @@ type matcher struct {
 	matched      []bool
 	matchedCount int
 
-	cands []*tuple // scratch, reused across startElement calls
-	stats matchStats
+	cands      []*tuple // scratch, reused across startElement calls
+	freeTuples []*tuple
+	freeScopes []*scope
+	stats      matchStats
 }
 
 func newMatcher(t *trie) *matcher {
-	m := &matcher{tr: t, buckets: map[string][]*tuple{}}
+	m := &matcher{tr: t}
 	m.reset()
 	return m
 }
 
 // reset prepares the matcher for the next document.
 func (m *matcher) reset() {
-	for k, b := range m.buckets {
-		m.buckets[k] = b[:0]
+	for i := range m.buckets {
+		m.buckets[i] = m.buckets[i][:0]
 	}
+	m.wild = m.wild[:0]
 	m.size = 0
 	m.scopes = m.scopes[:0]
 	m.pendings = m.pendings[:0]
@@ -247,24 +278,68 @@ func (m *matcher) reset() {
 	m.stats = matchStats{}
 }
 
+// newTuple takes a tuple off the free list (or allocates one) and
+// initializes it.
+func (m *matcher) newTuple(n *tnode, level int, origin *scope) *tuple {
+	var t *tuple
+	if k := len(m.freeTuples); k > 0 {
+		t = m.freeTuples[k-1]
+		m.freeTuples = m.freeTuples[:k-1]
+	} else {
+		t = &tuple{}
+	}
+	*t = tuple{node: n, level: level, origin: origin, slot: -1}
+	return t
+}
+
+func (m *matcher) freeTuple(t *tuple) {
+	t.node, t.origin = nil, nil
+	m.freeTuples = append(m.freeTuples, t)
+}
+
+// bucket returns the frontier bucket for a trie node, growing the dense
+// index to cover its symbol.
 func (m *matcher) frAdd(t *tuple) {
-	b := m.buckets[t.node.ntest]
-	t.slot = len(b)
-	m.buckets[t.node.ntest] = append(b, t)
+	if t.node.wild {
+		t.slot = len(m.wild) | wildSlotBit
+		m.wild = append(m.wild, t)
+	} else {
+		s := int(t.node.sym)
+		if s >= len(m.buckets) {
+			grown := make([][]*tuple, m.tr.tab.Len())
+			copy(grown, m.buckets)
+			m.buckets = grown
+		}
+		t.slot = len(m.buckets[s])
+		m.buckets[s] = append(m.buckets[s], t)
+	}
 	m.size++
 	if m.size > m.stats.PeakTuples {
 		m.stats.PeakTuples = m.size
 	}
 }
 
+// wildSlotBit marks a slot index as referring to the wildcard bucket.
+const wildSlotBit = 1 << 30
+
 func (m *matcher) frRemove(t *tuple) {
-	b := m.buckets[t.node.ntest]
-	last := len(b) - 1
-	if t.slot != last {
-		b[t.slot] = b[last]
-		b[t.slot].slot = t.slot
+	if t.slot&wildSlotBit != 0 {
+		i := t.slot &^ wildSlotBit
+		last := len(m.wild) - 1
+		if i != last {
+			m.wild[i] = m.wild[last]
+			m.wild[i].slot = i | wildSlotBit
+		}
+		m.wild = m.wild[:last]
+	} else {
+		b := m.buckets[t.node.sym]
+		last := len(b) - 1
+		if t.slot != last {
+			b[t.slot] = b[last]
+			b[t.slot].slot = t.slot
+		}
+		m.buckets[t.node.sym] = b[:last]
 	}
-	m.buckets[t.node.ntest] = b[:last]
 	t.slot = -1
 	m.size--
 }
@@ -273,7 +348,7 @@ func (m *matcher) frRemove(t *tuple) {
 // candidate for the query root, shared by every subscription.
 func (m *matcher) startDocument() {
 	m.stats.Events++
-	root := &tuple{node: m.tr.root, level: 0, slot: -1}
+	root := m.newTuple(m.tr.root, 0, nil)
 	m.openScope(root, 0)
 	// Degenerate empty-spine subscriptions match any document.
 	m.deliver(m.tr.root.terminals, nil)
@@ -302,12 +377,29 @@ func (m *matcher) candidate(t *tuple, isAttr bool, elemLevel int) bool {
 	return elemLevel == t.level
 }
 
-// startElement selects candidates from the name and wildcard buckets, then
-// processes them: predicate leaves start buffering or match on existence,
-// reached terminals commit their subscriptions, and internal nodes open
-// candidate scopes (child-axis owners are parked for the scope's duration,
-// as in core).
-func (m *matcher) startElement(name string, isAttr bool) {
+// collectCands gathers the live candidates from one frontier bucket,
+// evicting dead tuples as they are touched.
+func (m *matcher) collectCands(b *[]*tuple, isAttr bool, elemLevel int) {
+	for i := 0; i < len(*b); {
+		t := (*b)[i]
+		m.stats.TupleVisits++
+		if dead(t) {
+			m.frRemove(t) // swaps the last tuple into slot i; rescan it
+			continue
+		}
+		if m.candidate(t, isAttr, elemLevel) {
+			m.cands = append(m.cands, t)
+		}
+		i++
+	}
+}
+
+// startElementSym selects candidates from the symbol's bucket and the
+// wildcard bucket, then processes them: predicate leaves start buffering
+// or match on existence, reached terminals commit their subscriptions,
+// and internal nodes open candidate scopes (child-axis owners are parked
+// for the scope's duration, as in core).
+func (m *matcher) startElementSym(sym symtab.Sym, isAttr bool) {
 	m.stats.Events++
 	elemLevel := m.level + 1
 	m.level = elemLevel
@@ -317,26 +409,12 @@ func (m *matcher) startElement(name string, isAttr bool) {
 	// Collect first: opening scopes mutates the buckets, and freshly
 	// inserted child tuples must not be considered for this same element.
 	// Dead tuples are evicted as they are touched.
-	cands := m.cands[:0]
-	keys := [2]string{name, query.Wildcard}
-	if name == query.Wildcard {
-		keys[1] = "" // never a node test; avoids scanning the bucket twice
+	m.cands = m.cands[:0]
+	if int(sym) < len(m.buckets) {
+		m.collectCands(&m.buckets[sym], isAttr, elemLevel)
 	}
-	for _, key := range keys {
-		for i := 0; i < len(m.buckets[key]); {
-			t := m.buckets[key][i]
-			m.stats.TupleVisits++
-			if dead(t) {
-				m.frRemove(t) // swaps the last tuple into slot i; rescan it
-				continue
-			}
-			if m.candidate(t, isAttr, elemLevel) {
-				cands = append(cands, t)
-			}
-			i++
-		}
-	}
-	for _, t := range cands {
+	m.collectCands(&m.wild, isAttr, elemLevel)
+	for _, t := range m.cands {
 		n := t.node
 		if dead(t) {
 			// An earlier candidate of this same element already satisfied
@@ -374,15 +452,30 @@ func (m *matcher) startElement(name string, isAttr bool) {
 		}
 		m.openScope(t, elemLevel)
 	}
-	m.cands = cands[:0]
+	m.cands = m.cands[:0]
+}
+
+// startElement is the string-path entry: the name is interned into the
+// trie's table and dispatched by symbol.
+func (m *matcher) startElement(name string, isAttr bool) {
+	m.startElementSym(m.tr.tab.Intern(name), isAttr)
 }
 
 // openScope inserts the conjunctive children and the still-needed spine
 // continuations of t's node into the frontier.
 func (m *matcher) openScope(t *tuple, level int) {
-	sc := &scope{tup: t, level: level}
+	var sc *scope
+	if k := len(m.freeScopes); k > 0 {
+		sc = m.freeScopes[k-1]
+		m.freeScopes = m.freeScopes[:k-1]
+		sc.children = sc.children[:0]
+		sc.commits = sc.commits[:0]
+	} else {
+		sc = &scope{}
+	}
+	sc.tup, sc.level = t, level
 	for _, c := range t.node.conj {
-		ct := &tuple{node: c, level: level + 1, origin: sc, slot: -1}
+		ct := m.newTuple(c, level+1, sc)
 		sc.children = append(sc.children, ct)
 		m.frAdd(ct)
 	}
@@ -391,7 +484,7 @@ func (m *matcher) openScope(t *tuple, level int) {
 		if c.remaining == 0 {
 			continue // all subscriptions through this continuation matched
 		}
-		ct := &tuple{node: c, level: level + 1, origin: sc, slot: -1}
+		ct := m.newTuple(c, level+1, sc)
 		sc.children = append(sc.children, ct)
 		m.frAdd(ct)
 	}
@@ -414,9 +507,23 @@ func (m *matcher) text(data string) {
 	}
 }
 
+// textBytes is text for the byte-slice event path; the data is copied
+// into the shared buffer only when a candidate is consuming it.
+func (m *matcher) textBytes(data []byte) {
+	m.stats.Events++
+	if m.refCount > 0 {
+		m.buf = append(m.buf, data...)
+		if len(m.buf) > m.stats.PeakBufferBytes {
+			m.stats.PeakBufferBytes = len(m.buf)
+		}
+	}
+}
+
 // endElement resolves the pending leaf candidates and candidate scopes of
 // the closing level, innermost first (they form suffixes of their stacks,
-// as in core).
+// as in core). Buffered candidate text is evaluated through a zero-copy
+// view — predicates only see a string for the duration of the Contains
+// call.
 func (m *matcher) endElement() {
 	m.stats.Events++
 	closing := m.level
@@ -427,7 +534,7 @@ func (m *matcher) endElement() {
 			break
 		}
 		m.pendings = m.pendings[:len(m.pendings)-1]
-		if !p.tup.matched && p.tup.node.set.Contains(string(m.buf[p.start:])) {
+		if !p.tup.matched && p.tup.node.set.Contains(bytestr.String(m.buf[p.start:])) {
 			p.tup.matched = true
 		}
 		m.refCount--
@@ -451,7 +558,8 @@ func (m *matcher) endElement() {
 // gate the scope's conditional commits: if they all matched, the commits
 // (plus the node's own terminals, when predicated) propagate to the next
 // predicate scope up the trie-ancestor chain — or to the global match
-// vector if none is open.
+// vector if none is open. The scope and its child tuples return to the
+// free lists (their own inner scopes closed at deeper levels already).
 func (m *matcher) closeScope(sc *scope) {
 	conjOK := true
 	for i, c := range sc.children {
@@ -461,6 +569,7 @@ func (m *matcher) closeScope(sc *scope) {
 		if c.slot >= 0 {
 			m.frRemove(c)
 		}
+		m.freeTuple(c)
 	}
 	n := sc.tup.node
 	if n.kind == kindPred {
@@ -471,6 +580,7 @@ func (m *matcher) closeScope(sc *scope) {
 		outs := sc.commits
 		outs = append(outs, n.terminals...)
 		m.deliver(outs, sc.tup.origin)
+		sc.commits = outs // keep any growth for reuse
 	}
 	// A parked child-axis owner returns to the frontier for sibling
 	// candidates (Fig. 21 lines 23-27). The root tuple (origin nil) stays
@@ -481,6 +591,12 @@ func (m *matcher) closeScope(sc *scope) {
 		!(n.kind == kindSpine && n.remaining == 0) {
 		m.frAdd(sc.tup)
 	}
+	if sc.tup.origin == nil {
+		// The root tuple is owned by no scope; recycle it with its scope.
+		m.freeTuple(sc.tup)
+	}
+	sc.tup = nil
+	m.freeScopes = append(m.freeScopes, sc)
 }
 
 // deliver routes matched subscriptions to the nearest trie-ancestor scope

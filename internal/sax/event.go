@@ -22,6 +22,8 @@ package sax
 import (
 	"fmt"
 	"strings"
+
+	"streamxpath/internal/symtab"
 )
 
 // Kind identifies one of the five SAX event kinds of Section 3.1.4.
@@ -119,6 +121,34 @@ func (e Event) String() string {
 		return e.Data
 	default:
 		return "?"
+	}
+}
+
+// ByteEvent is the allocation-free counterpart of Event, produced by
+// TokenizerBytes. Element names arrive pre-interned as symbols of the
+// tokenizer's table; text arrives as a byte slice that is only valid
+// until the next Next call (it aliases either the input document or a
+// reusable scratch buffer). ByteEvent carries no attribute list:
+// TokenizerBytes folds attributes into attribute child events (the
+// paper's attribute-axis folding) at scan time, so consumers see a
+// uniform five-kind stream with the Attribute flag marking synthesized
+// events.
+type ByteEvent struct {
+	Kind      Kind
+	Sym       symtab.Sym
+	Data      []byte
+	Attribute bool
+}
+
+// Event materializes the byte event as a heap-backed Event, resolving the
+// symbol through tab. Used by differential tests and debugging; the hot
+// path never calls it.
+func (e ByteEvent) Event(tab *symtab.Table) Event {
+	return Event{
+		Kind:      e.Kind,
+		Name:      tab.Name(e.Sym),
+		Data:      string(e.Data),
+		Attribute: e.Attribute,
 	}
 }
 

@@ -2,9 +2,11 @@ package sax
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // errEOF is the sentinel returned by Readers after the final event.
@@ -47,6 +49,11 @@ type Tokenizer struct {
 	// rootSeen reports whether a root element has been fully parsed, which
 	// makes any further element at depth 0 a second-root error.
 	rootSeen bool
+	// scratch holds a reference name while it is read; refOut is the
+	// reusable buffer its decoded form lands in before being appended to
+	// the surrounding text.
+	scratch []byte
+	refOut  []byte
 }
 
 // NewTokenizer returns a Tokenizer reading from r.
@@ -160,67 +167,84 @@ func (t *Tokenizer) readText() (string, error) {
 			if err != nil {
 				return "", err
 			}
-			b.WriteString(r)
+			b.Write(r)
 		default:
 			b.WriteByte(c)
 		}
 	}
 }
 
-// readReference resolves an entity or character reference after '&' has been
-// consumed.
-func (t *Tokenizer) readReference() (string, error) {
-	var name strings.Builder
+// readReference resolves an entity or character reference after '&' has
+// been consumed, returning the decoded bytes in a scratch buffer that is
+// only valid until the next call (callers append it immediately). Runes
+// are encoded with utf8.AppendRune into the reused scratch instead of
+// allocating a string per reference.
+func (t *Tokenizer) readReference() ([]byte, error) {
+	t.scratch = t.scratch[:0]
 	for {
 		c, err := t.readByte()
 		if err != nil {
-			return "", t.errf("unterminated entity reference")
+			return nil, t.errf("unterminated entity reference")
 		}
 		if c == ';' {
 			break
 		}
-		if name.Len() > 10 {
-			return "", t.errf("entity reference too long")
+		if len(t.scratch) > 10 {
+			return nil, t.errf("entity reference too long")
 		}
-		name.WriteByte(c)
+		t.scratch = append(t.scratch, c)
 	}
-	n := name.String()
-	switch n {
+	out, msg := appendReferenceName(t.refOut[:0], t.scratch)
+	if msg != "" {
+		return nil, t.errf("%s", msg)
+	}
+	t.refOut = out[:0]
+	return out, nil
+}
+
+// appendReferenceName decodes a reference name (the text between '&' and
+// ';') into buf, which must not alias name. It returns the extended
+// buffer and an error message ("" on success). Both tokenizers resolve
+// references through this one decoder, which is what keeps their
+// acceptance behavior byte-identical (the differential tests and the
+// fuzz target hold them to it).
+func appendReferenceName(buf, name []byte) ([]byte, string) {
+	switch string(name) {
 	case "lt":
-		return "<", nil
+		return append(buf, '<'), ""
 	case "gt":
-		return ">", nil
+		return append(buf, '>'), ""
 	case "amp":
-		return "&", nil
+		return append(buf, '&'), ""
 	case "apos":
-		return "'", nil
+		return append(buf, '\''), ""
 	case "quot":
-		return "\"", nil
+		return append(buf, '"'), ""
 	}
-	if strings.HasPrefix(n, "#") {
-		code := n[1:]
+	if len(name) > 0 && name[0] == '#' {
+		code := name[1:]
 		base := 10
-		if strings.HasPrefix(code, "x") || strings.HasPrefix(code, "X") {
+		if len(code) > 0 && (code[0] == 'x' || code[0] == 'X') {
 			base = 16
 			code = code[1:]
 		}
 		var v int
 		for _, ch := range code {
-			d, ok := hexDigit(byte(ch), base)
+			d, ok := hexDigit(ch, base)
 			if !ok {
-				return "", t.errf("bad character reference &%s;", n)
+				return buf, fmt.Sprintf("bad character reference &%s;", name)
 			}
 			v = v*base + d
 			if v > 0x10FFFF {
-				return "", t.errf("character reference out of range")
+				return buf, "character reference out of range"
 			}
 		}
-		if code == "" {
-			return "", t.errf("empty character reference")
+		if len(code) == 0 {
+			return buf, "empty character reference"
 		}
-		return string(rune(v)), nil
+		return utf8.AppendRune(buf, rune(v)), ""
 	}
-	return "", t.errf("unknown entity &%s;", n)
+	return buf, fmt.Sprintf("unknown entity &%s;", name)
 }
 
 func hexDigit(c byte, base int) (int, bool) {
@@ -267,7 +291,7 @@ func (t *Tokenizer) readBang() (Event, bool, error) {
 		t.offset += 2
 		t.r.Discard(2)
 		return Event{}, true, t.skipUntil("-->")
-	case len(head) >= 7 && string(head) == "[CDATA[":
+	case len(head) >= 7 && bytes.Equal(head, cdataOpen):
 		t.offset += 7
 		t.r.Discard(7)
 		text, err := t.readCDATA()
@@ -301,6 +325,8 @@ func (t *Tokenizer) readCDATA() (string, error) {
 			match++
 		case c == '>' && match == 2:
 			return b.String(), nil
+		case c == ']': // a run of ']': emit the oldest, keep "]]" live
+			b.WriteByte(']')
 		default:
 			for ; match > 0; match-- {
 				b.WriteByte(']')
@@ -317,14 +343,19 @@ func (t *Tokenizer) skipUntil(terminator string) error {
 		if err != nil {
 			return t.errf("unterminated construct (expected %q)", terminator)
 		}
-		if c == terminator[match] {
+		switch {
+		case c == terminator[match]:
 			match++
 			if match == len(terminator) {
 				return nil
 			}
-		} else if c == terminator[0] {
+		case match > 0 && c == terminator[match-1] && terminator[match-1] == terminator[0]:
+			// A run of the repeated prefix byte (e.g. "---" while looking
+			// for "-->") keeps the partial match alive; resetting here
+			// would skip past the true first occurrence.
+		case c == terminator[0]:
 			match = 1
-		} else {
+		default:
 			match = 0
 		}
 	}
@@ -456,7 +487,7 @@ func (t *Tokenizer) readStartTag() (Event, bool, error) {
 				if err != nil {
 					return Event{}, false, err
 				}
-				val.WriteString(r)
+				val.Write(r)
 				continue
 			}
 			if c == '<' {

@@ -1,0 +1,481 @@
+package sax
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"streamxpath/internal/symtab"
+)
+
+// TokenizerBytes converts a whole XML document held in a byte slice into
+// the five-event stream, with zero allocations per event in the steady
+// state: element and attribute names are interned into a shared symbol
+// table as they are scanned (a warm intern is one map probe, no copy),
+// character data is returned as a subslice of the input wherever no
+// entity decoding is needed and otherwise decoded into a reusable
+// scratch buffer, and attributes are folded into attribute child events
+// at scan time so no per-element attribute list is built.
+//
+// It accepts exactly the syntax of the streaming Tokenizer and produces
+// the same event stream (modulo attribute expansion — apply
+// ExpandAttributes to the string tokenizer's output to compare), which
+// the differential tests and the fuzz target enforce. Unlike the
+// streaming Tokenizer it requires the document in memory; callers that
+// need bounded-memory parsing keep using NewTokenizer.
+//
+// A TokenizerBytes is reusable: Reset points it at the next document
+// while keeping its scratch buffers and symbol table, which is what
+// makes steady-state matching loops allocation-free.
+type TokenizerBytes struct {
+	data []byte
+	pos  int
+	tab  *symtab.Table
+
+	started  bool
+	ended    bool
+	rootSeen bool
+	stack    []symtab.Sym
+
+	// pending holds events synthesized ahead of parsing: attribute child
+	// events and the endElement of a self-closing tag. head indexes the
+	// next one to deliver; the backing array is reused.
+	pending []ByteEvent
+	head    int
+
+	// textBuf holds entity-decoded character data; attrBuf holds decoded
+	// attribute values (per start tag); attrSyms detects duplicates.
+	textBuf  []byte
+	attrBuf  []byte
+	attrSyms []symtab.Sym
+}
+
+// NewTokenizerBytes returns a tokenizer over data, interning names into
+// tab. A nil tab allocates a fresh table (retrievable via Table).
+func NewTokenizerBytes(data []byte, tab *symtab.Table) *TokenizerBytes {
+	if tab == nil {
+		tab = symtab.New()
+	}
+	return &TokenizerBytes{data: data, tab: tab}
+}
+
+// Table returns the symbol table names are interned into.
+func (t *TokenizerBytes) Table() *symtab.Table { return t.tab }
+
+// Reset points the tokenizer at a new document, keeping the symbol table
+// and all scratch capacity.
+func (t *TokenizerBytes) Reset(data []byte) {
+	t.data = data
+	t.pos = 0
+	t.started = false
+	t.ended = false
+	t.rootSeen = false
+	t.stack = t.stack[:0]
+	t.pending = t.pending[:0]
+	t.head = 0
+	t.textBuf = t.textBuf[:0]
+	t.attrBuf = t.attrBuf[:0]
+	t.attrSyms = t.attrSyms[:0]
+}
+
+func (t *TokenizerBytes) errf(format string, args ...any) error {
+	return &SyntaxError{Offset: t.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Next returns the next event. The first event is always StartDocument
+// and the last EndDocument; io.EOF follows. The Data slice of a Text
+// event is only valid until the next call.
+func (t *TokenizerBytes) Next() (ByteEvent, error) {
+	if t.head < len(t.pending) {
+		ev := t.pending[t.head]
+		t.head++
+		if t.head == len(t.pending) {
+			t.pending = t.pending[:0]
+			t.head = 0
+		}
+		return ev, nil
+	}
+	if t.ended {
+		return ByteEvent{}, io.EOF
+	}
+	if !t.started {
+		t.started = true
+		return ByteEvent{Kind: StartDocument}, nil
+	}
+	for {
+		if t.pos >= len(t.data) {
+			if len(t.stack) > 0 {
+				return ByteEvent{}, t.errf("unexpected end of input: %d unclosed element(s), innermost <%s>",
+					len(t.stack), t.tab.Name(t.stack[len(t.stack)-1]))
+			}
+			if !t.rootSeen {
+				return ByteEvent{}, t.errf("document has no root element")
+			}
+			t.ended = true
+			return ByteEvent{Kind: EndDocument}, nil
+		}
+		if t.data[t.pos] == '<' {
+			ev, skip, err := t.readMarkup()
+			if err != nil {
+				return ByteEvent{}, err
+			}
+			if skip {
+				continue
+			}
+			return ev, nil
+		}
+		ev, skip, err := t.readText()
+		if err != nil {
+			return ByteEvent{}, err
+		}
+		if skip {
+			continue
+		}
+		return ev, nil
+	}
+}
+
+// readText consumes character data up to the next '<' or end of input.
+// Runs without references are returned as input subslices; runs with
+// references decode into the scratch buffer.
+func (t *TokenizerBytes) readText() (ByteEvent, bool, error) {
+	start := t.pos
+	hasRef := false
+	for t.pos < len(t.data) && t.data[t.pos] != '<' {
+		if t.data[t.pos] == '&' {
+			hasRef = true
+		}
+		t.pos++
+	}
+	out := t.data[start:t.pos]
+	if hasRef {
+		t.textBuf = t.textBuf[:0]
+		p := start
+		for p < t.pos {
+			c := t.data[p]
+			if c != '&' {
+				t.textBuf = append(t.textBuf, c)
+				p++
+				continue
+			}
+			var err error
+			t.textBuf, p, err = t.appendReference(t.textBuf, p+1)
+			if err != nil {
+				return ByteEvent{}, false, err
+			}
+		}
+		out = t.textBuf
+	}
+	if len(t.stack) == 0 {
+		if len(bytes.TrimSpace(out)) != 0 {
+			return ByteEvent{}, false, t.errf("character data outside root element")
+		}
+		return ByteEvent{}, true, nil
+	}
+	if len(out) == 0 {
+		return ByteEvent{}, true, nil
+	}
+	return ByteEvent{Kind: Text, Data: out}, false, nil
+}
+
+// appendReference decodes one entity or character reference starting just
+// after '&' at offset p, appending the decoded bytes to buf. It returns
+// the extended buffer and the offset past the ';'. A reference inside
+// text may extend past the recorded text end only in error cases, so the
+// bounds come from the full input.
+func (t *TokenizerBytes) appendReference(buf []byte, p int) ([]byte, int, error) {
+	start := p
+	for {
+		if p >= len(t.data) {
+			t.pos = len(t.data)
+			return nil, 0, t.errf("unterminated entity reference")
+		}
+		if t.data[p] == ';' {
+			break
+		}
+		if p-start > 10 {
+			t.pos = p
+			return nil, 0, t.errf("entity reference too long")
+		}
+		p++
+	}
+	name := t.data[start:p]
+	p++ // consume ';'
+	out, msg := appendReferenceName(buf, name)
+	if msg != "" {
+		t.pos = p
+		return nil, 0, t.errf("%s", msg)
+	}
+	return out, p, nil
+}
+
+// readMarkup consumes one markup construct beginning at '<'. skip reports
+// that the construct produced no event.
+func (t *TokenizerBytes) readMarkup() (ev ByteEvent, skip bool, err error) {
+	t.pos++ // consume '<'
+	if t.pos >= len(t.data) {
+		return ByteEvent{}, false, t.errf("unterminated markup")
+	}
+	switch t.data[t.pos] {
+	case '/':
+		t.pos++
+		return t.readEndTag()
+	case '?':
+		t.pos++
+		return ByteEvent{}, true, t.skipUntil("?>")
+	case '!':
+		t.pos++
+		return t.readBang()
+	default:
+		return t.readStartTag()
+	}
+}
+
+var cdataOpen = []byte("[CDATA[")
+
+// readBang handles comments, CDATA and DOCTYPE after "<!".
+func (t *TokenizerBytes) readBang() (ByteEvent, bool, error) {
+	rest := t.data[t.pos:]
+	switch {
+	case len(rest) >= 2 && rest[0] == '-' && rest[1] == '-':
+		t.pos += 2
+		return ByteEvent{}, true, t.skipUntil("-->")
+	case len(rest) >= 7 && bytes.Equal(rest[:7], cdataOpen):
+		t.pos += 7
+		end := bytes.Index(t.data[t.pos:], []byte("]]>"))
+		if end < 0 {
+			t.pos = len(t.data)
+			return ByteEvent{}, false, t.errf("unterminated CDATA section")
+		}
+		text := t.data[t.pos : t.pos+end]
+		t.pos += end + 3
+		if len(t.stack) == 0 {
+			return ByteEvent{}, false, t.errf("CDATA outside root element")
+		}
+		if len(text) == 0 {
+			return ByteEvent{}, true, nil
+		}
+		return ByteEvent{Kind: Text, Data: text}, false, nil
+	default:
+		return ByteEvent{}, true, t.skipDecl()
+	}
+}
+
+// skipUntil advances past the first occurrence of terminator.
+func (t *TokenizerBytes) skipUntil(terminator string) error {
+	i := bytes.Index(t.data[t.pos:], []byte(terminator))
+	if i < 0 {
+		t.pos = len(t.data)
+		return t.errf("unterminated construct (expected %q)", terminator)
+	}
+	t.pos += i + len(terminator)
+	return nil
+}
+
+func (t *TokenizerBytes) skipDecl() error {
+	for t.pos < len(t.data) {
+		c := t.data[t.pos]
+		t.pos++
+		if c == '[' {
+			return t.errf("DOCTYPE internal subsets are not supported")
+		}
+		if c == '>' {
+			return nil
+		}
+	}
+	return t.errf("unterminated declaration")
+}
+
+// readName scans a name and returns it as an input subslice.
+func (t *TokenizerBytes) readName() ([]byte, error) {
+	start := t.pos
+	for t.pos < len(t.data) && isNameByte(t.data[t.pos]) {
+		t.pos++
+	}
+	if t.pos >= len(t.data) {
+		return nil, t.errf("unterminated name")
+	}
+	if t.pos == start {
+		return nil, t.errf("expected a name")
+	}
+	return t.data[start:t.pos], nil
+}
+
+// skipSpace advances past whitespace; false means end of input.
+func (t *TokenizerBytes) skipSpace() bool {
+	for t.pos < len(t.data) {
+		switch t.data[t.pos] {
+		case ' ', '\t', '\n', '\r':
+			t.pos++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// readStartTag parses <name attr="v" ...> or <name/>, queueing attribute
+// child events and the self-closing endElement.
+func (t *TokenizerBytes) readStartTag() (ByteEvent, bool, error) {
+	name, err := t.readName()
+	if err != nil {
+		return ByteEvent{}, false, err
+	}
+	if len(t.stack) == 0 && t.rootSeen {
+		return ByteEvent{}, false, t.errf("second root element <%s>", name)
+	}
+	sym := t.tab.InternBytes(name)
+	t.attrBuf = t.attrBuf[:0]
+	t.attrSyms = t.attrSyms[:0]
+	for {
+		if !t.skipSpace() {
+			return ByteEvent{}, false, t.errf("unterminated start tag <%s", name)
+		}
+		c := t.data[t.pos]
+		if c == '>' {
+			t.pos++
+			t.stack = append(t.stack, sym)
+			return ByteEvent{Kind: StartElement, Sym: sym}, false, nil
+		}
+		if c == '/' {
+			t.pos++
+			if t.pos >= len(t.data) || t.data[t.pos] != '>' {
+				return ByteEvent{}, false, t.errf("malformed self-closing tag <%s", name)
+			}
+			t.pos++
+			// <n/> is shorthand for <n></n>: emit start now, queue end
+			// after any queued attribute events.
+			if len(t.stack) == 0 {
+				t.rootSeen = true
+			}
+			t.pending = append(t.pending, ByteEvent{Kind: EndElement, Sym: sym})
+			return ByteEvent{Kind: StartElement, Sym: sym}, false, nil
+		}
+		aname, err := t.readName()
+		if err != nil {
+			return ByteEvent{}, false, err
+		}
+		asym := t.tab.InternBytes(aname)
+		if !t.skipSpace() {
+			return ByteEvent{}, false, t.errf("unterminated attribute %s", aname)
+		}
+		if t.data[t.pos] != '=' {
+			return ByteEvent{}, false, t.errf("expected '=' after attribute name %s", aname)
+		}
+		t.pos++
+		if !t.skipSpace() {
+			return ByteEvent{}, false, t.errf("unterminated attribute %s", aname)
+		}
+		quote := t.data[t.pos]
+		if quote != '"' && quote != '\'' {
+			return ByteEvent{}, false, t.errf("expected quoted value for attribute %s", aname)
+		}
+		t.pos++
+		val, err := t.readAttrValue(aname, quote)
+		if err != nil {
+			return ByteEvent{}, false, err
+		}
+		for _, seen := range t.attrSyms {
+			if seen == asym {
+				return ByteEvent{}, false, t.errf("duplicate attribute %s", aname)
+			}
+		}
+		t.attrSyms = append(t.attrSyms, asym)
+		t.pending = append(t.pending,
+			ByteEvent{Kind: StartElement, Sym: asym, Attribute: true},
+			ByteEvent{Kind: Text, Data: val},
+			ByteEvent{Kind: EndElement, Sym: asym, Attribute: true},
+		)
+	}
+}
+
+// readAttrValue scans a quoted attribute value after the opening quote.
+// Values without references are input subslices; values with references
+// decode into attrBuf (which survives until the next start tag, long
+// enough for the queued Text event to be delivered).
+func (t *TokenizerBytes) readAttrValue(aname []byte, quote byte) ([]byte, error) {
+	start := t.pos
+	hasRef := false
+	for {
+		if t.pos >= len(t.data) {
+			return nil, t.errf("unterminated attribute value for %s", aname)
+		}
+		c := t.data[t.pos]
+		if c == quote {
+			break
+		}
+		if c == '<' {
+			return nil, t.errf("'<' in attribute value for %s", aname)
+		}
+		if c == '&' {
+			hasRef = true
+		}
+		t.pos++
+	}
+	raw := t.data[start:t.pos]
+	t.pos++ // consume closing quote
+	if !hasRef {
+		return raw, nil
+	}
+	vstart := len(t.attrBuf)
+	p := start
+	for p < start+len(raw) {
+		c := t.data[p]
+		if c != '&' {
+			t.attrBuf = append(t.attrBuf, c)
+			p++
+			continue
+		}
+		var err error
+		t.attrBuf, p, err = t.appendReference(t.attrBuf, p+1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t.attrBuf[vstart:], nil
+}
+
+func (t *TokenizerBytes) readEndTag() (ByteEvent, bool, error) {
+	name, err := t.readName()
+	if err != nil {
+		return ByteEvent{}, false, err
+	}
+	if !t.skipSpace() {
+		return ByteEvent{}, false, t.errf("unterminated end tag </%s", name)
+	}
+	if t.data[t.pos] != '>' {
+		return ByteEvent{}, false, t.errf("malformed end tag </%s", name)
+	}
+	t.pos++
+	if len(t.stack) == 0 {
+		return ByteEvent{}, false, t.errf("end tag </%s> with no open element", name)
+	}
+	sym := t.tab.LookupBytes(name)
+	top := t.stack[len(t.stack)-1]
+	if sym != top {
+		return ByteEvent{}, false, t.errf("end tag </%s> does not match open element <%s>", name, t.tab.Name(top))
+	}
+	t.stack = t.stack[:len(t.stack)-1]
+	if len(t.stack) == 0 {
+		t.rootSeen = true
+	}
+	return ByteEvent{Kind: EndElement, Sym: sym}, false, nil
+}
+
+// ParseBytes tokenizes a complete document with a fresh TokenizerBytes
+// and materializes the stream as []Event (attribute events expanded). A
+// convenience for tests; the hot path drives the tokenizer directly.
+func ParseBytes(data []byte) ([]Event, error) {
+	tok := NewTokenizerBytes(data, nil)
+	var out []Event
+	for {
+		e, err := tok.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e.Event(tok.tab))
+	}
+}

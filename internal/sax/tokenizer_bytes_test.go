@@ -1,0 +1,197 @@
+package sax_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamxpath/internal/sax"
+	"streamxpath/internal/workload"
+)
+
+// diffEvents compares two event streams for equality.
+func diffEvents(t *testing.T, label string, got, want []sax.Event) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d events, want %d\ngot:  %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Kind != w.Kind || g.Name != w.Name || g.Data != w.Data || g.Attribute != w.Attribute {
+			t.Fatalf("%s: event %d = %+v, want %+v", label, i, g, w)
+		}
+	}
+}
+
+// stringEvents parses with the streaming string tokenizer and expands
+// attributes, the reference form the byte tokenizer must reproduce.
+func stringEvents(doc string) ([]sax.Event, error) {
+	evs, err := sax.Parse(doc)
+	if err != nil {
+		return nil, err
+	}
+	return sax.ExpandAttributes(evs), nil
+}
+
+// TestTokenizerBytesDifferentialCorpus drives both tokenizers over a
+// hand-written corpus covering every syntactic feature and every error
+// class, requiring identical event streams and matching error-ness.
+func TestTokenizerBytesDifferentialCorpus(t *testing.T) {
+	corpus := []string{
+		"<a/>",
+		"<a></a>",
+		"<a><b>text</b><c/></a>",
+		"<?xml version=\"1.0\"?>\n<a>hi</a>\n",
+		"<a>x&lt;y&gt;&amp;&apos;&quot;z</a>",
+		"<a>&#65;&#x41;&#x1F600;</a>",
+		"<a><!-- comment --><b/></a>",
+		"<a><!-- tricky ---><b/>--></a>",
+		"<a><![CDATA[raw <>&" + "]]" + "]]>tail</a>",
+		"<a><![CDATA[]]></a>",
+		"<!DOCTYPE a>\n<a/>",
+		`<a id="1" name="x&amp;y">body</a>`,
+		`<a attr='single "quoted"'/>`,
+		"<a  spaced = \"v\" ></a>",
+		"<deep><deep><deep><leaf/></deep></deep></deep>",
+		"<a><b/><b/><b/></a>",
+		"<a>one<b/>two<c/>three</a>",
+		"  \n\t<a/>  \n",
+		"<a><?pi data?><b/></a>",
+		"<mixed>pre<x y=\"1\"/>post</mixed>",
+		"<a>&#32;</a>",
+		"<ns:elem ns:attr=\"v\"/>",
+		// Error cases.
+		"",
+		"   ",
+		"<a>",
+		"<a></b>",
+		"<a/><b/>",
+		"</a>",
+		"<a>&unknown;</a>",
+		"<a>&#xQQ;</a>",
+		"<a>&#;</a>",
+		"<a>&#1114112;</a>",
+		"<a b=c/>",
+		"<a b=\"1\" b=\"2\"/>",
+		"<a b=\"<\"/>",
+		"<a><![CDATA[unterminated</a>",
+		"<a><!-- unterminated</a>",
+		"<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>",
+		"text outside<a/>",
+		"<a/>trailing text",
+		"<a><b></a></b>",
+		"<a", "<a b", "<a b=", "<a b=\"v",
+		"<a>&toolongentityname;</a>",
+	}
+	for _, doc := range corpus {
+		want, wantErr := stringEvents(doc)
+		got, gotErr := sax.ParseBytes([]byte(doc))
+		if (wantErr != nil) != (gotErr != nil) {
+			t.Fatalf("doc %q: string err = %v, bytes err = %v", doc, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		diffEvents(t, "doc "+doc, got, want)
+	}
+}
+
+// TestTokenizerBytesDifferentialRandom cross-checks the tokenizers on
+// randomized serialized trees, including attribute-bearing and entity-
+// laden text content.
+func TestTokenizerBytesDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1711))
+	names := []string{"a", "b", "catalog", "item", "x"}
+	texts := []string{"v", "1 < 2 & 3", "", "  spaced  ", "\"quotes\"", "päivää"}
+	for trial := 0; trial < 200; trial++ {
+		d := workload.RandomTree(rng, names, texts, 5, 3)
+		doc, err := sax.SerializeString(d.Events())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := stringEvents(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sax.ParseBytes([]byte(doc))
+		if err != nil {
+			t.Fatalf("trial %d: bytes tokenizer rejected %q: %v", trial, doc, err)
+		}
+		diffEvents(t, doc, got, want)
+	}
+}
+
+// TestTokenizerBytesReuse checks that Reset reuses the tokenizer across
+// documents, sharing one symbol table, and that the steady-state loop
+// performs zero allocations per document.
+func TestTokenizerBytesReuse(t *testing.T) {
+	doc := []byte(`<catalog><item id="7">go &amp; xml</item><item/></catalog>`)
+	tok := sax.NewTokenizerBytes(doc, nil)
+	drain := func() int {
+		n := 0
+		for {
+			_, err := tok.Next()
+			if err != nil {
+				break
+			}
+			n++
+		}
+		return n
+	}
+	first := drain()
+	if first == 0 {
+		t.Fatal("no events")
+	}
+	tok.Reset(doc)
+	if again := drain(); again != first {
+		t.Fatalf("after Reset: %d events, want %d", again, first)
+	}
+	syms := tok.Table().Len()
+	allocs := testing.AllocsPerRun(100, func() {
+		tok.Reset(doc)
+		drain()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state tokenize: %v allocs/run, want 0", allocs)
+	}
+	if tok.Table().Len() != syms {
+		t.Errorf("symbol table grew on repeat parses: %d -> %d", syms, tok.Table().Len())
+	}
+}
+
+// TestTokenizerBytesSubsliceText verifies the zero-copy contract: text
+// without references aliases the input document.
+func TestTokenizerBytesSubsliceText(t *testing.T) {
+	doc := []byte("<a>hello world</a>")
+	tok := sax.NewTokenizerBytes(doc, nil)
+	for {
+		ev, err := tok.Next()
+		if err != nil {
+			break
+		}
+		if ev.Kind == sax.Text {
+			if &ev.Data[0] != &doc[3] {
+				t.Fatal("reference-free text should alias the input buffer")
+			}
+		}
+	}
+}
+
+// TestTokenizerBytesComments: the overlap fix in both tokenizers — a
+// comment terminated by "--->" must end at the first "-->".
+func TestTokenizerBytesComments(t *testing.T) {
+	doc := "<a><!----->x</a>"
+	want, err := stringEvents(doc)
+	if err != nil {
+		t.Fatalf("string tokenizer: %v", err)
+	}
+	got, err := sax.ParseBytes([]byte(doc))
+	if err != nil {
+		t.Fatalf("bytes tokenizer: %v", err)
+	}
+	diffEvents(t, doc, got, want)
+	// StartDoc, Start(a), Text(x), End(a), EndDoc — the "--->" comment
+	// ends at its first "-->" and the trailing text survives.
+	if len(got) != 5 || got[2].Kind != sax.Text || got[2].Data != "x" {
+		t.Fatalf("comment swallowed following text: %v", got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 // that generator bugs surface immediately rather than as confusing parses.
 func Serialize(w io.Writer, events []Event) error {
 	var stack []string
+	roots := 0
 	started, ended := false, false
 	for i, e := range events {
 		switch e.Kind {
@@ -33,6 +34,12 @@ func Serialize(w io.Writer, events []Event) error {
 		case StartElement:
 			if !started || ended {
 				return fmt.Errorf("sax: event %d: startElement outside document", i)
+			}
+			if len(stack) == 0 {
+				roots++
+				if roots > 1 {
+					return fmt.Errorf("sax: event %d: second root element <%s>", i, e.Name)
+				}
 			}
 			if _, err := io.WriteString(w, "<"+e.Name); err != nil {
 				return err
@@ -69,6 +76,9 @@ func Serialize(w io.Writer, events []Event) error {
 	}
 	if !started || !ended {
 		return fmt.Errorf("sax: stream missing startDocument/endDocument")
+	}
+	if roots == 0 {
+		return fmt.Errorf("sax: document has no root element")
 	}
 	return nil
 }

@@ -1,0 +1,76 @@
+// Package symtab provides the shared name-interning symbol table of the
+// event pipeline. Element and attribute names are canonicalized to dense
+// uint32 symbols exactly once — at tokenization time — and every layer
+// above the tokenizer (the merged NFA, the frontier trie, the core
+// filter) dispatches on the symbol instead of re-hashing the name string
+// per event. This is the interning/dense-dispatch idiom of high-
+// throughput parsers: after the first occurrence of a name, looking it up
+// again costs one map probe in the tokenizer and a plain integer index
+// everywhere else, with no per-event string allocation anywhere.
+//
+// A Table is shared between a tokenizer and the matching structures bound
+// to it; symbols from different tables are not comparable. Tables are not
+// safe for concurrent use.
+package symtab
+
+// Sym is an interned name: a dense index into its Table. The zero value
+// None is reserved and never names anything, so zero-valued events are
+// unambiguous.
+type Sym uint32
+
+// None is the reserved zero symbol.
+const None Sym = 0
+
+// Table interns strings to dense symbols. The zero symbol is reserved;
+// the first interned name gets symbol 1, so a Table with n names has
+// Len() == n+1 and valid symbols 1..n.
+type Table struct {
+	byName map[string]Sym
+	names  []string
+}
+
+// New returns an empty table. The empty name maps to None, so no dense
+// symbol ever aliases the reserved zero slot.
+func New() *Table {
+	return &Table{byName: map[string]Sym{"": None}, names: []string{""}}
+}
+
+// Intern returns the symbol for name, assigning the next dense symbol on
+// first sight.
+func (t *Table) Intern(name string) Sym {
+	if s, ok := t.byName[name]; ok {
+		return s
+	}
+	s := Sym(len(t.names))
+	t.names = append(t.names, name)
+	t.byName[name] = s
+	return s
+}
+
+// InternBytes is Intern for a byte-slice name. When the name is already
+// interned no allocation occurs (the compiler elides the string
+// conversion in the map probe), which is what makes the steady-state
+// tokenizer loop allocation-free.
+func (t *Table) InternBytes(b []byte) Sym {
+	if s, ok := t.byName[string(b)]; ok {
+		return s
+	}
+	return t.Intern(string(b))
+}
+
+// Lookup returns the symbol for name, or None if it has never been
+// interned.
+func (t *Table) Lookup(name string) Sym { return t.byName[name] }
+
+// LookupBytes is Lookup for a byte-slice name; it never allocates.
+func (t *Table) LookupBytes(b []byte) Sym { return t.byName[string(b)] }
+
+// Name returns the canonical string for a symbol of this table. The
+// returned string is shared — callers must not assume freshness — which
+// is exactly why handing it around costs nothing.
+func (t *Table) Name(s Sym) string { return t.names[s] }
+
+// Len returns the number of symbol slots including the reserved zero
+// slot; valid symbols are 1..Len()-1. Dense per-symbol arrays should be
+// sized Len().
+func (t *Table) Len() int { return len(t.names) }

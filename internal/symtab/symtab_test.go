@@ -1,0 +1,56 @@
+package symtab
+
+import "testing"
+
+func TestInternDense(t *testing.T) {
+	tab := New()
+	if tab.Len() != 1 {
+		t.Fatalf("empty table Len = %d, want 1 (reserved zero slot)", tab.Len())
+	}
+	a := tab.Intern("a")
+	b := tab.Intern("b")
+	if a != 1 || b != 2 {
+		t.Fatalf("Intern order: a=%d b=%d, want 1 2", a, b)
+	}
+	if got := tab.Intern("a"); got != a {
+		t.Fatalf("re-Intern(a) = %d, want %d", got, a)
+	}
+	if got := tab.InternBytes([]byte("b")); got != b {
+		t.Fatalf("InternBytes(b) = %d, want %d", got, b)
+	}
+	if got := tab.InternBytes([]byte("c")); got != 3 {
+		t.Fatalf("InternBytes(c) = %d, want 3", got)
+	}
+	if tab.Name(a) != "a" || tab.Name(3) != "c" || tab.Name(None) != "" {
+		t.Fatalf("Name round-trip failed: %q %q %q", tab.Name(a), tab.Name(3), tab.Name(None))
+	}
+	if tab.Lookup("zzz") != None || tab.LookupBytes([]byte("zzz")) != None {
+		t.Fatal("Lookup of unknown name should be None")
+	}
+	if tab.Intern("") != None || tab.InternBytes(nil) != None {
+		t.Fatal("empty name must map to the reserved None symbol")
+	}
+	if tab.Lookup("b") != b {
+		t.Fatalf("Lookup(b) = %d, want %d", tab.Lookup("b"), b)
+	}
+	if tab.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tab.Len())
+	}
+}
+
+func TestInternBytesNoAlloc(t *testing.T) {
+	tab := New()
+	name := []byte("catalog")
+	tab.InternBytes(name)
+	allocs := testing.AllocsPerRun(200, func() {
+		if tab.InternBytes(name) != 1 {
+			t.Fatal("wrong symbol")
+		}
+		if tab.LookupBytes(name) != 1 {
+			t.Fatal("wrong symbol")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm InternBytes/LookupBytes: %v allocs/run, want 0", allocs)
+	}
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# bench.sh — run the hot-path benchmarks and snapshot the results as JSON
+# so the performance trajectory is tracked PR over PR.
+#
+# Usage:
+#   scripts/bench.sh [output.json]          # default: BENCH_pr2.json
+#   BENCHTIME=1s scripts/bench.sh           # longer, steadier numbers
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pr2.json}"
+benchtime="${BENCHTIME:-1x}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'FilterSet|Throughput' -benchmem -benchtime "$benchtime" . | tee "$raw"
+
+{
+  printf '{\n'
+  printf '  "captured": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "go": "%s",\n' "$(go version | sed 's/"/\\"/g')"
+  printf '  "benchtime": "%s",\n' "$benchtime"
+  printf '  "benchmarks": [\n'
+  awk '
+    /^Benchmark/ {
+      name = $1; iters = $2
+      ns = ""; bop = ""; allocs = ""; extra = ""
+      for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bop = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "ns/event")  extra = $i
+      }
+      if (n++) printf ",\n"
+      printf "    {\"name\": \"%s\", \"iterations\": %s", name, iters
+      if (ns != "")     printf ", \"ns_per_op\": %s", ns
+      if (extra != "")  printf ", \"ns_per_event\": %s", extra
+      if (bop != "")    printf ", \"bytes_per_op\": %s", bop
+      if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+      printf "}"
+    }
+    END { printf "\n" }
+  ' "$raw"
+  printf '  ]\n'
+  printf '}\n'
+} > "$out"
+
+echo "wrote $out"

@@ -57,6 +57,7 @@ import (
 	"streamxpath/internal/query"
 	"streamxpath/internal/sax"
 	"streamxpath/internal/semantics"
+	"streamxpath/internal/symtab"
 	"streamxpath/internal/tree"
 )
 
@@ -98,7 +99,9 @@ func (q *Query) Size() int { return q.q.Size() }
 // reusable across documents but not safe for concurrent use; create one
 // per goroutine.
 type Filter struct {
-	f *core.Filter
+	f   *core.Filter
+	tab *symtab.Table
+	tok *sax.TokenizerBytes
 }
 
 // NewFilter compiles the streaming filter. It returns an error if the
@@ -111,7 +114,9 @@ func (q *Query) NewFilter() (*Filter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Filter{f: f}, nil
+	tab := symtab.New()
+	f.BindSymbols(tab)
+	return &Filter{f: f, tab: tab}, nil
 }
 
 // MatchReader streams an XML document from r and reports whether it
@@ -140,6 +145,39 @@ func (f *Filter) MatchReader(r io.Reader) (bool, error) {
 // MatchString filters an XML document given as a string.
 func (f *Filter) MatchString(xml string) (bool, error) {
 	return f.MatchReader(strings.NewReader(xml))
+}
+
+// MatchBytes filters an XML document held in a byte slice through the
+// interned-symbol fast path: names are interned once into the filter's
+// symbol table, events carry byte slices instead of strings, and
+// matching dispatches on symbols. In the steady state (document shapes
+// and names already seen) the whole pipeline allocates nothing. Unlike
+// MatchReader the document must be in memory; the filter retains its
+// tokenizer and symbol table across calls, which is what makes repeat
+// matching allocation-free.
+func (f *Filter) MatchBytes(doc []byte) (bool, error) {
+	f.f.Reset()
+	if f.tok == nil {
+		f.tok = sax.NewTokenizerBytes(doc, f.tab)
+	} else {
+		f.tok.Reset(doc)
+	}
+	for {
+		e, err := f.tok.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return false, err
+		}
+		if err := f.f.ProcessBytes(e); err != nil {
+			return false, err
+		}
+	}
+	if !f.f.Done() {
+		return false, fmt.Errorf("streamxpath: document ended prematurely")
+	}
+	return f.f.Matched(), nil
 }
 
 // MemoryStats reports the filter's peak memory use on the last document,
@@ -185,6 +223,23 @@ func Match(querySrc, xml string) (bool, error) {
 		return f.MatchString(xml)
 	}
 	d, err := tree.Parse(xml)
+	if err != nil {
+		return false, err
+	}
+	return semantics.BoolEval(q.q, d), nil
+}
+
+// MatchBytes filters one in-memory document through the byte-slice fast
+// path, falling back to the in-memory evaluator for queries outside the
+// streamable fragment. One-shot: callers matching many documents against
+// the same query should hold a Filter and use Filter.MatchBytes, which
+// reuses its tokenizer and symbol table across documents.
+func (q *Query) MatchBytes(doc []byte) (bool, error) {
+	f, err := q.NewFilter()
+	if err == nil {
+		return f.MatchBytes(doc)
+	}
+	d, err := tree.Parse(string(doc))
 	if err != nil {
 		return false, err
 	}

@@ -588,3 +588,113 @@ func BenchmarkDissemination(b *testing.B) {
 	b.Run("engine", func(b *testing.B) { benchEngine(b, subs, doc) })
 	b.Run("fanout", func(b *testing.B) { benchFanout(b, subs, doc) })
 }
+
+// --- the parallel dissemination family (PR 3) ---
+//
+// Run with -cpu 1,2,4,8 to trace the scaling curve: the sequential arm
+// is flat (one engine, one core), the sharded arm splits one document's
+// subscription work across engine shards, and the pool arm matches whole
+// documents concurrently on engine replicas. Both parallel modes must
+// return byte-identical results to the sequential engine (enforced by
+// the equivalence tests); here they must buy throughput.
+
+// mixedSubs builds the ≥1k mixed subscription workload of the scaling
+// benchmark: linear shared-prefix, linear disjoint, and predicated
+// shared-prefix subscriptions interleaved.
+func mixedSubs(n int) []string {
+	subs := make([]string, n)
+	for i := range subs {
+		switch i % 3 {
+		case 0:
+			subs[i] = fmt.Sprintf("//catalog/item/f%d", i)
+		case 1:
+			subs[i] = fmt.Sprintf("//p%d/c%d", i, i)
+		default:
+			subs[i] = fmt.Sprintf("//catalog/item[priority > %d]/f%d", i%10, i%(n/10+1))
+		}
+	}
+	return subs
+}
+
+// BenchmarkParallelFilterSet compares the three dissemination engines on
+// one document against a large mixed subscription set. The /sharded arm
+// sizes its shard count to GOMAXPROCS, so the -cpu list sweeps it.
+func BenchmarkParallelFilterSet(b *testing.B) {
+	doc := []byte(disseminationDoc(120))
+	events := len(sax.MustParse(string(doc)))
+	for _, n := range []int{1000, 4000} {
+		subs := mixedSubs(n)
+		b.Run(fmt.Sprintf("subs=%d/sequential", n), func(b *testing.B) {
+			s := streamxpath.NewFilterSet()
+			for i, src := range subs {
+				if err := s.Add(fmt.Sprintf("s%d", i), src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := s.MatchBytes(doc); err != nil { // compile + warm
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var matched int
+			for i := 0; i < b.N; i++ {
+				ids, err := s.MatchBytes(doc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				matched = len(ids)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+			b.ReportMetric(float64(matched), "matched")
+		})
+		b.Run(fmt.Sprintf("subs=%d/sharded", n), func(b *testing.B) {
+			s := streamxpath.NewParallelFilterSet(0) // shards = GOMAXPROCS
+			defer s.Close()
+			for i, src := range subs {
+				if err := s.Add(fmt.Sprintf("s%d", i), src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := s.MatchBytes(doc); err != nil { // compile + warm
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var matched int
+			for i := 0; i < b.N; i++ {
+				ids, err := s.MatchBytes(doc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				matched = len(ids)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+			b.ReportMetric(float64(matched), "matched")
+		})
+		b.Run(fmt.Sprintf("subs=%d/pool", n), func(b *testing.B) {
+			p := streamxpath.NewFilterPool(0) // replicas = GOMAXPROCS
+			for i, src := range subs {
+				if err := p.Add(fmt.Sprintf("s%d", i), src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Warm every replica: the idle ring is FIFO, so Workers()
+			// sequential calls visit each replica exactly once.
+			for w := 0; w < p.Workers(); w++ {
+				if _, err := p.MatchBytes(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := p.MatchBytes(doc); err != nil {
+						// FailNow must not run on a RunParallel worker
+						// goroutine; Error marks the failure and we drain.
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+		})
+	}
+}

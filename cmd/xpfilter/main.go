@@ -9,6 +9,8 @@
 //	xpfilter -q '/a/b' -analyze
 //	xpfilter -subs subscriptions.txt feed1.xml feed2.xml
 //	xpfilter -subs subscriptions.txt -bench 1000 feed.xml
+//	xpfilter -subs subscriptions.txt -workers 8 feed.xml
+//	xpfilter -subs subscriptions.txt -workers 4 -mode docs feed*.xml
 //
 // File inputs are read into memory and matched through the interned-
 // symbol byte fast path (MatchBytes); stdin streams through the bounded-
@@ -20,15 +22,28 @@
 // engine's shared-structure sizes. -bench N re-matches each in-memory
 // document N times and reports events/sec and allocs/event of the warm
 // fast path.
+//
+// -workers N matches on the parallel engine (internal/parallel) instead
+// of the sequential one. The default -mode shard hash-shards the
+// subscriptions across N engine shards and fans each document's event
+// stream out to them — parallelism within one document, identical
+// results. -mode docs runs a pool of N full engine replicas and matches
+// the input files concurrently — parallelism across documents, for feed
+// workloads. -workers 0 (the default) keeps the sequential engine.
+// Note that event sharding needs the whole document's event stream, so
+// with -workers stdin is buffered in memory before matching; the
+// bounded-memory streaming path is sequential-only.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"streamxpath"
@@ -43,6 +58,8 @@ func main() {
 		analyze  = flag.Bool("analyze", false, "print query analysis and exit")
 		evaluate = flag.Bool("eval", false, "print selected node values instead of a boolean (in-memory evaluation)")
 		bench    = flag.Int("bench", 0, "re-match each file N times; print events/sec and allocs/event")
+		workers  = flag.Int("workers", 0, "match with the parallel engine using N workers (0 = sequential)")
+		mode     = flag.String("mode", "shard", "parallel mode: shard (event-sharded, one doc at a time) or docs (replica pool, concurrent docs)")
 	)
 	flag.Parse()
 	if (*querySrc == "") == (*subsFile == "") {
@@ -54,14 +71,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xpfilter: -analyze and -eval apply to a single -q query, not -subs")
 		os.Exit(2)
 	}
+	if *workers > 0 && *subsFile == "" {
+		fmt.Fprintln(os.Stderr, "xpfilter: -workers applies to -subs matching")
+		os.Exit(2)
+	}
+	if *mode != "shard" && *mode != "docs" {
+		fmt.Fprintln(os.Stderr, "xpfilter: -mode must be shard or docs")
+		os.Exit(2)
+	}
+	if *bench > 0 && *mode == "docs" && *workers > 0 {
+		fmt.Fprintln(os.Stderr, "xpfilter: -bench applies to -mode shard or sequential matching, not -mode docs")
+		os.Exit(2)
+	}
 	files := flag.Args()
 	if len(files) == 0 {
 		files = []string{"-"}
 	}
 	if *subsFile != "" {
-		set, err := loadSubscriptions(*subsFile)
-		if err != nil {
-			fatal(err)
+		if *workers > 0 && *mode == "docs" {
+			os.Exit(runPoolFiles(*subsFile, files, *workers, *stats))
+		}
+		var set matcherSet
+		if *workers > 0 {
+			ps := streamxpath.NewParallelFilterSet(*workers)
+			defer ps.Close()
+			if err := loadSubscriptions(*subsFile, ps.Add); err != nil {
+				fatal(err)
+			}
+			set = ps
+		} else {
+			fs := streamxpath.NewFilterSet()
+			if err := loadSubscriptions(*subsFile, fs.Add); err != nil {
+				fatal(err)
+			}
+			set = fs
 		}
 		exit := 0
 		for _, name := range files {
@@ -128,14 +171,23 @@ func benchReport(doc []byte, iters int, run func() error) error {
 	return nil
 }
 
-// loadSubscriptions reads a subscription file into a FilterSet.
-func loadSubscriptions(path string) (*streamxpath.FilterSet, error) {
+// matcherSet is the engine surface runSet needs; satisfied by both the
+// sequential FilterSet and the parallel sharded ParallelFilterSet.
+type matcherSet interface {
+	MatchBytes([]byte) ([]string, error)
+	MatchReader(io.Reader) ([]string, error)
+	Len() int
+	Stats() streamxpath.FilterSetStats
+}
+
+// loadSubscriptions reads a subscription file, registering each line
+// through add (a FilterSet/ParallelFilterSet/FilterPool Add method).
+func loadSubscriptions(path string, add func(id, query string) error) error {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer f.Close()
-	set := streamxpath.NewFilterSet()
 	sc := bufio.NewScanner(f)
 	lineNo := 0
 	bare := map[string]bool{}
@@ -158,23 +210,70 @@ func loadSubscriptions(path string) (*streamxpath.FilterSet, error) {
 		} else {
 			i := strings.IndexAny(line, " \t")
 			if i < 0 {
-				return nil, fmt.Errorf("%s:%d: want %q or a bare query starting with /", path, lineNo, "id query")
+				return fmt.Errorf("%s:%d: want %q or a bare query starting with /", path, lineNo, "id query")
 			}
 			id, query = line[:i], strings.TrimSpace(line[i:])
 		}
-		if err := set.Add(id, query); err != nil {
-			return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		if err := add(id, query); err != nil {
+			return fmt.Errorf("%s:%d: %w", path, lineNo, err)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	return sc.Err()
+}
+
+// runPoolFiles is -mode docs: a FilterPool of engine replicas matching
+// the input files concurrently. Results print in argument order.
+func runPoolFiles(subsFile string, files []string, workers int, stats bool) int {
+	pool := streamxpath.NewFilterPool(workers)
+	if err := loadSubscriptions(subsFile, pool.Add); err != nil {
+		fatal(err)
 	}
-	return set, nil
+	type result struct {
+		ids []string
+		err error
+	}
+	results := make([]result, len(files))
+	var wg sync.WaitGroup
+	// Admit at most workers files at a time, so peak memory is bounded by
+	// the concurrency level rather than the argument count (each admitted
+	// goroutine holds one whole document).
+	sem := make(chan struct{}, workers)
+	for i, name := range files {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, name string) {
+			defer func() { <-sem; wg.Done() }()
+			doc, err := readInput(name)
+			if err == nil && doc == nil {
+				err = fmt.Errorf("-mode docs needs file arguments, not stdin")
+			}
+			if err != nil {
+				results[i] = result{err: err}
+				return
+			}
+			ids, err := pool.MatchBytes(doc)
+			results[i] = result{ids: ids, err: err}
+		}(i, name)
+	}
+	wg.Wait()
+	exit := 0
+	for i, name := range files {
+		if results[i].err != nil {
+			fmt.Fprintf(os.Stderr, "xpfilter: %s: %v\n", name, results[i].err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("%s: %d/%d matched: %s\n", name, len(results[i].ids), pool.Len(), strings.Join(results[i].ids, " "))
+	}
+	if stats {
+		fmt.Printf("  %s\n", pool.Stats())
+	}
+	return exit
 }
 
 // runSet matches one document against every subscription: files through
 // the byte fast path, stdin through the streaming tokenizer.
-func runSet(set *streamxpath.FilterSet, name string, stats bool, bench int) error {
+func runSet(set matcherSet, name string, stats bool, bench int) error {
 	doc, err := readInput(name)
 	if err != nil {
 		return err

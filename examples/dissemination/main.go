@@ -12,6 +12,12 @@
 // shared symbol table and every layer dispatches on integer symbols, so
 // the steady-state matching loop allocates nothing — which the
 // throughput report at the end measures on this very workload.
+//
+// The closing section scales the same workload out across cores with the
+// two parallel engines of internal/parallel: the event-sharded
+// ParallelFilterSet (subscriptions split across engine shards, each
+// document fanned out to them) and the document-parallel FilterPool
+// (full engine replicas matching whole documents concurrently).
 package main
 
 import (
@@ -20,32 +26,37 @@ import (
 	"math/rand"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"streamxpath"
 )
 
-func main() {
-	set := streamxpath.NewFilterSet()
-	named := []struct{ user, q string }{
+// subscriptions returns the example's standing workload: a few named
+// predicated subscriptions plus a 500-strong crowd of topic watchers
+// sharing the //news/item prefix, which the engine's index materializes
+// exactly once.
+func subscriptions() []struct{ user, q string } {
+	subs := []struct{ user, q string }{
 		{"alice", `//item[keyword = "go" and priority > 6]`},
 		{"bob", `//item[keyword = "xml"]`},
 		{"carol", `//item[priority > 8]`},
 		{"dave", `//item[keyword = "theory" and .//p]`},
 		{"erin", `//item[contains(title, "breaking")]`},
 	}
-	for _, s := range named {
+	for i := 0; i < 500; i++ {
+		subs = append(subs, struct{ user, q string }{
+			fmt.Sprintf("crowd%03d", i), fmt.Sprintf("//news/item/topic%d", i),
+		})
+	}
+	return subs
+}
+
+func main() {
+	set := streamxpath.NewFilterSet()
+	for _, s := range subscriptions() {
 		if err := set.Add(s.user, s.q); err != nil {
 			log.Fatalf("%s: %v", s.user, err)
-		}
-	}
-	// A crowd of subscribers watching individual topic channels: all 500
-	// queries share the //news/item prefix, which the engine's index
-	// materializes exactly once.
-	for i := 0; i < 500; i++ {
-		q := fmt.Sprintf("//news/item/topic%d", i)
-		if err := set.Add(fmt.Sprintf("crowd%03d", i), q); err != nil {
-			log.Fatal(err)
 		}
 	}
 
@@ -106,6 +117,69 @@ func main() {
 	total := float64(events) * iters
 	fmt.Printf("\nwarm fast path: %d docs x %d trie events: %.2fM events/sec, %.4f allocs/event\n",
 		iters, events, total/elapsed.Seconds()/1e6, float64(m1.Mallocs-m0.Mallocs)/total)
+
+	// Scaling out: the same subscriptions and feed on the two parallel
+	// engines. The sharded set splits the subscription work of each
+	// document across engine shards; the pool matches whole documents
+	// concurrently on engine replicas. Both return exactly the sequential
+	// ids. On a multi-core machine both beat the sequential number; with
+	// GOMAXPROCS=1 they only show their synchronization overhead.
+	workers := runtime.GOMAXPROCS(0)
+	fmt.Println(strings.Repeat("-", 60))
+	fmt.Printf("scaling out across %d worker(s):\n", workers)
+
+	seqRate := float64(iters) / elapsed.Seconds()
+	fmt.Printf("  sequential FilterSet:      %8.0f docs/sec\n", seqRate)
+
+	pset := streamxpath.NewParallelFilterSet(workers)
+	defer pset.Close()
+	for _, s := range subscriptions() {
+		if err := pset.Add(s.user, s.q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := pset.MatchBytes(doc); err != nil { // compile + warm
+		log.Fatal(err)
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := pset.MatchBytes(doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	shardedRate := float64(iters) / time.Since(start).Seconds()
+	fmt.Printf("  event-sharded (%d shards): %8.0f docs/sec (%.2fx)\n",
+		pset.Shards(), shardedRate, shardedRate/seqRate)
+
+	pool := streamxpath.NewFilterPool(workers)
+	for _, s := range subscriptions() {
+		if err := pool.Add(s.user, s.q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Warm every replica (the idle ring is FIFO, so this visits each).
+	for w := 0; w < pool.Workers(); w++ {
+		if _, err := pool.MatchBytes(doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	start = time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters/workers; i++ {
+				if _, err := pool.MatchBytes(doc); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	poolRate := float64(iters/workers*workers) / time.Since(start).Seconds()
+	fmt.Printf("  document pool (%d reps):   %8.0f docs/sec (%.2fx)\n",
+		pool.Workers(), poolRate, poolRate/seqRate)
 }
 
 // makeFeed builds one feed document with a few items, as raw bytes for

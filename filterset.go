@@ -27,7 +27,9 @@ import (
 //
 // Add and Remove may be called between documents; the shared indexes are
 // rebuilt lazily before the next document starts. A FilterSet is not safe
-// for concurrent use; create one per goroutine.
+// for concurrent use; create one per goroutine — or use the multi-core
+// engines: ParallelFilterSet (one document fanned out to subscription
+// shards) and FilterPool (documents matched concurrently on replicas).
 type FilterSet struct {
 	e *engine.Engine
 	// tok and ids are the reusable tokenizer and result buffer of the

@@ -88,9 +88,21 @@ type Engine struct {
 	level    int
 }
 
-// New returns an empty engine.
-func New() *Engine {
-	return &Engine{byID: map[string]int{}, dirty: true, tab: symtab.New()}
+// New returns an empty engine with a private symbol table.
+func New() *Engine { return NewWithSymbols(nil) }
+
+// NewWithSymbols returns an empty engine interning into tab (nil for a
+// private table). Passing one table to several engines is how the
+// parallel sharded dissemination engine (internal/parallel) binds N
+// engine shards to one symbol space: a document tokenized once against
+// the shared table yields symbol events every shard can dispatch on
+// directly. symtab.Table is safe for the shards' concurrent read-mostly
+// access; each Engine itself remains single-threaded.
+func NewWithSymbols(tab *symtab.Table) *Engine {
+	if tab == nil {
+		tab = symtab.New()
+	}
+	return &Engine{byID: map[string]int{}, dirty: true, tab: tab}
 }
 
 // Symbols returns the engine's symbol table. Tokenizers that feed the
@@ -310,6 +322,17 @@ func (e *Engine) ProcessAll(events []sax.Event) error {
 
 // Finished reports whether endDocument has been processed.
 func (e *Engine) Finished() bool { return e.finished }
+
+// NeedsText reports whether any subscription can read character data:
+// only value-restricted predicate leaves buffer text, so a false answer
+// means Text event payloads may be dropped (the events themselves must
+// still arrive). Pending Add/Remove calls are compiled first.
+func (e *Engine) NeedsText() bool {
+	if e.dirty {
+		e.compile()
+	}
+	return e.tr.restrictedLeaves > 0
+}
 
 // Matched reports subscription id's verdict for the current (or last)
 // document. Because matching is monotone, a true answer mid-stream is

@@ -86,6 +86,10 @@ type trie struct {
 	// by Stats.
 	steps     int
 	predNodes int
+	// restrictedLeaves counts value-restricted predicate leaves — the
+	// only consumers of character data. Zero means text event payloads
+	// are never read, which lets transports skip shipping them.
+	restrictedLeaves int
 }
 
 func newTrie(tab *symtab.Table) *trie {
@@ -154,6 +158,9 @@ func (t *trie) buildPred(v *query.Node, prog *core.Program) *tnode {
 	}
 	t.internNTest(n)
 	t.predNodes++
+	if n.restricted {
+		t.restrictedLeaves++
+	}
 	for _, c := range v.Children {
 		n.conj = append(n.conj, t.buildPred(c, prog))
 	}

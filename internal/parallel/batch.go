@@ -1,0 +1,110 @@
+package parallel
+
+import (
+	"sync/atomic"
+
+	"streamxpath/internal/sax"
+	"streamxpath/internal/symtab"
+)
+
+// batchCap is the number of events carried per batch. Large enough that
+// the per-batch synchronization (one channel send per shard, one atomic
+// release) amortizes to well under a nanosecond per event; small enough
+// that tokenization and matching pipeline within a single mid-sized
+// document.
+const batchCap = 1024
+
+// batchTextCap caps the text arena: a batch is dispatched early once its
+// arena reaches this size, so text-heavy documents split across more
+// batches instead of growing one slab without bound. A single text event
+// larger than the cap still fits (the arena grows to hold it for that
+// one batch); reset releases such outliers.
+const batchTextCap = 1 << 20
+
+// ringCap bounds the number of batches in flight per document. The
+// tokenizer blocks once all ringCap batches are queued on slow shards —
+// natural backpressure that keeps in-flight memory bounded by
+// ringCap × (batch slab + arena) no matter how large the document is.
+const ringCap = 8
+
+// rec is one event of a batch in shard-transport form. Text payloads
+// live in the batch's arena as [off,end) ranges rather than slices: the
+// arena's backing array may move while the batch is being filled, so
+// aliases into it cannot be taken until processing time.
+type rec struct {
+	kind      sax.Kind
+	attribute bool
+	sym       symtab.Sym
+	off, end  int
+}
+
+// batch is the unit of event transport between the tokenizer and the
+// shard goroutines: a fixed-capacity slab of event records plus a text
+// arena holding copies of the volatile tokenizer payloads (scratch-buffer
+// text would be overwritten by the time a shard reads it). One batch is
+// broadcast to every shard; refs counts the shards still processing it,
+// and the last one to finish recycles it through the free ring.
+//
+// Metadata (first/last/abort) is written by the producer before the
+// channel sends and therefore safely visible to consumers.
+type batch struct {
+	recs  []rec
+	text  []byte
+	first bool // first batch of a document: shards reset before processing
+	last  bool // last batch of a document: shards signal completion after it
+	abort bool // tokenization failed: skip processing, complete the document
+	refs  atomic.Int32
+}
+
+func newBatch() *batch {
+	return &batch{recs: make([]rec, 0, batchCap)}
+}
+
+// reset prepares a recycled batch for refilling. The record slab is
+// fixed-size and kept; the text arena is kept only while modest, so one
+// outlier document (a giant single text event) does not pin its arena
+// in the free ring for the engine's lifetime.
+func (b *batch) reset() {
+	b.recs = b.recs[:0]
+	if cap(b.text) > 2*batchTextCap {
+		b.text = nil
+	} else {
+		b.text = b.text[:0]
+	}
+	b.first, b.last, b.abort = false, false, false
+}
+
+// add appends one tokenizer event, copying any text payload into the
+// arena (the tokenizer's Data slices alias scratch buffers that the next
+// Next call overwrites). With copyText false the payload is dropped —
+// the caller has established that no shard reads character data — while
+// the event itself still ships, keeping event counts and document
+// structure identical.
+func (b *batch) add(ev sax.ByteEvent, copyText bool) {
+	r := rec{kind: ev.Kind, attribute: ev.Attribute, sym: ev.Sym}
+	if copyText && len(ev.Data) > 0 {
+		r.off = len(b.text)
+		b.text = append(b.text, ev.Data...)
+		r.end = len(b.text)
+	}
+	b.recs = append(b.recs, r)
+}
+
+func (b *batch) full() bool {
+	return len(b.recs) >= batchCap || len(b.text) >= batchTextCap
+}
+
+// event reconstructs record i as a ByteEvent whose Data aliases the
+// (now stable) arena.
+func (b *batch) event(i int) sax.ByteEvent {
+	r := &b.recs[i]
+	ev := sax.ByteEvent{Kind: r.kind, Sym: r.sym, Attribute: r.attribute}
+	if r.end > r.off {
+		ev.Data = b.text[r.off:r.end]
+	}
+	return ev
+}
+
+// release decrements the broadcast refcount, reporting whether this
+// caller was the last user and now owns the batch for recycling.
+func (b *batch) release() bool { return b.refs.Add(-1) == 0 }

@@ -1,0 +1,375 @@
+// Package parallel implements the parallel sharded dissemination engine:
+// the multi-core scaling layer over internal/engine.
+//
+// The sequential engine is single-threaded by design — one symbol table,
+// one frontier — and PR 2 pushed its per-event cost to ~50-100ns with
+// zero steady-state allocations, so the next order of magnitude in
+// subscription throughput is cores, not constants. This package supplies
+// the two classic ways to spend them:
+//
+//   - Sharded (event-sharded, one document at a time): subscriptions are
+//     hash-partitioned across N independent engine.Engine shards that all
+//     bind to ONE shared symtab.Table. A document is tokenized once, on
+//     the interned-symbol byte fast path, by the calling goroutine; the
+//     resulting symbol events are broadcast to per-shard worker
+//     goroutines through reusable refcounted batches, so every shard
+//     matches its subscription subset concurrently over the same event
+//     stream. Per-shard match sets are merged back into the global
+//     subscription insertion order, yielding results byte-identical to
+//     the sequential FilterSet. This mode parallelizes a single large
+//     document against a large subscription set.
+//
+//   - Pool (document-parallel): a worker pool of complete engine
+//     replicas, each carrying every subscription and matching whole
+//     documents independently — embarrassingly parallel, for feed
+//     workloads where documents arrive faster than one core can match
+//     them. Replicas share the same symtab.Table too, so a feed's name
+//     vocabulary is interned once no matter which replica sees a name
+//     first.
+//
+// Sharing one symbol table is what makes both modes cheap: symtab.Table
+// is copy-on-write (see its package comment), so the shards' hot loops
+// read symbols lock-free while interning — the only write, and only on
+// the first sight of a name — stays off the steady-state path entirely.
+package parallel
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"streamxpath/internal/engine"
+	"streamxpath/internal/query"
+	"streamxpath/internal/sax"
+	"streamxpath/internal/symtab"
+)
+
+// shard is one subscription partition: a sequential engine plus the ring
+// the tokenizer feeds it through. Engines are touched only by their
+// worker goroutine during a document and only by the caller between
+// documents (the per-document WaitGroup orders the two).
+type shard struct {
+	eng *engine.Engine
+	in  chan *batch
+	err error    // first processing error of the current document
+	ids []string // per-document scratch for AppendMatchedIDs
+}
+
+// Sharded is the event-sharded engine. Construct with NewSharded, add
+// subscriptions, then match documents; Close releases the worker
+// goroutines. Add, Remove and Match* calls are mutually serialized (one
+// document at a time — the parallelism is across shards within the
+// document); use Pool to match several documents concurrently.
+type Sharded struct {
+	mu     sync.Mutex
+	tab    *symtab.Table
+	shards []*shard
+
+	// order is the global subscription insertion order; index maps id to
+	// its position. Per-shard verdicts are merged through index so results
+	// come out identical to the sequential engine's.
+	order []string
+	index map[string]int
+
+	// free recycles batches; alloc counts those created, capped at ringCap
+	// so a slow shard exerts backpressure instead of growing the heap.
+	free  chan *batch
+	alloc int
+
+	wg      sync.WaitGroup // completion of the in-flight document
+	workers sync.WaitGroup // shard goroutine lifetimes, for Close
+	closed  bool
+
+	tok     *sax.TokenizerBytes
+	matched []bool
+	ids     []string
+}
+
+// NewSharded returns an engine with n shards (n < 1 is treated as 1).
+func NewSharded(n int) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sharded{
+		tab:   symtab.New(),
+		index: map[string]int{},
+		free:  make(chan *batch, ringCap),
+	}
+	for i := 0; i < n; i++ {
+		sh := &shard{
+			eng: engine.NewWithSymbols(s.tab),
+			in:  make(chan *batch, ringCap),
+		}
+		s.shards = append(s.shards, sh)
+		s.workers.Add(1)
+		go s.run(sh)
+	}
+	return s
+}
+
+// Shards returns the shard count.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Symbols returns the shared symbol table.
+func (s *Sharded) Symbols() *symtab.Table { return s.tab }
+
+// shardOf assigns a subscription id to a shard by FNV-1a hash, so the
+// partition is stable under Add/Remove churn.
+func (s *Sharded) shardOf(id string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return s.shards[h%uint32(len(s.shards))]
+}
+
+// Add registers a subscription under the given id on its hash shard. The
+// query must already be compiled; validation errors surface exactly as
+// from the sequential engine.
+func (s *Sharded) Add(id string, q *query.Query) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	if _, dup := s.index[id]; dup {
+		return fmt.Errorf("engine: duplicate subscription id %q", id)
+	}
+	if err := s.shardOf(id).eng.Add(id, q); err != nil {
+		return err
+	}
+	s.index[id] = len(s.order)
+	s.order = append(s.order, id)
+	return nil
+}
+
+// Remove deregisters a subscription, reporting whether it existed.
+func (s *Sharded) Remove(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.index[id]
+	if !ok {
+		return false
+	}
+	s.shardOf(id).eng.Remove(id)
+	s.order = append(s.order[:i], s.order[i+1:]...)
+	delete(s.index, id)
+	for j := i; j < len(s.order); j++ {
+		s.index[s.order[j]] = j
+	}
+	return true
+}
+
+// Len returns the number of subscriptions.
+func (s *Sharded) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// IDs returns the subscription ids in insertion order.
+func (s *Sharded) IDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+var errClosed = fmt.Errorf("parallel: engine is closed")
+
+// getBatch obtains an empty batch: recycled if one is free, fresh while
+// under the ring budget, otherwise blocking until a shard releases one.
+func (s *Sharded) getBatch() *batch {
+	select {
+	case b := <-s.free:
+		b.reset()
+		return b
+	default:
+	}
+	if s.alloc < ringCap {
+		s.alloc++
+		return newBatch()
+	}
+	b := <-s.free
+	b.reset()
+	return b
+}
+
+// dispatch broadcasts a filled batch to every shard.
+func (s *Sharded) dispatch(b *batch) {
+	b.refs.Store(int32(len(s.shards)))
+	for _, sh := range s.shards {
+		sh.in <- b
+	}
+}
+
+// run is the shard worker loop: reset on a document's first batch,
+// process records through the sequential engine, recycle the batch, and
+// signal document completion on the last one. On a processing error the
+// shard keeps draining (the tokenizer must never block on a wedged ring)
+// and reports the error after the document completes.
+func (s *Sharded) run(sh *shard) {
+	defer s.workers.Done()
+	for b := range sh.in {
+		if b.first {
+			sh.eng.Reset()
+			sh.err = nil
+		}
+		if sh.err == nil && !b.abort {
+			for i := range b.recs {
+				if err := sh.eng.ProcessBytes(b.event(i)); err != nil {
+					sh.err = fmt.Errorf("streamxpath: %w", err)
+					break
+				}
+			}
+		}
+		last := b.last
+		if b.release() {
+			s.free <- b
+		}
+		if last {
+			s.wg.Done()
+		}
+	}
+}
+
+// MatchBytes matches one in-memory document against every subscription:
+// tokenized once on the calling goroutine, matched concurrently by the
+// shards, merged into insertion order. The returned slice is reused by
+// the next call — copy it if it must outlive the call. It is non-nil
+// even when empty.
+func (s *Sharded) MatchBytes(doc []byte) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	if s.tok == nil {
+		s.tok = sax.NewTokenizerBytes(doc, s.tab)
+	} else {
+		s.tok.Reset(doc)
+	}
+	// Ship text payloads only when some shard can read them (a
+	// value-restricted predicate leaf exists). NeedsText compiles dirty
+	// engines here, on the calling goroutine, while the shards are idle.
+	needText := false
+	for _, sh := range s.shards {
+		if sh.eng.NeedsText() {
+			needText = true
+			break
+		}
+	}
+	s.wg.Add(len(s.shards))
+	b := s.getBatch()
+	b.first = true
+	sawEnd := false
+	var tokErr error
+	for {
+		ev, err := s.tok.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			tokErr = err
+			break
+		}
+		if ev.Kind == sax.EndDocument {
+			sawEnd = true
+		}
+		b.add(ev, needText)
+		if b.full() {
+			s.dispatch(b)
+			b = s.getBatch()
+		}
+	}
+	if tokErr == nil && !sawEnd {
+		tokErr = fmt.Errorf("streamxpath: document ended prematurely")
+	}
+	b.last = true
+	b.abort = tokErr != nil
+	s.dispatch(b)
+	s.wg.Wait()
+	if tokErr != nil {
+		return nil, tokErr
+	}
+	for _, sh := range s.shards {
+		if sh.err != nil {
+			return nil, sh.err
+		}
+	}
+	return s.merge(), nil
+}
+
+// merge folds the per-shard verdict sets back into the global insertion
+// order. The sweep is O(subscriptions), the same per-document term the
+// sequential engine's AppendMatchedIDs already pays.
+func (s *Sharded) merge() []string {
+	if len(s.matched) != len(s.order) {
+		s.matched = make([]bool, len(s.order))
+	} else {
+		for i := range s.matched {
+			s.matched[i] = false
+		}
+	}
+	for _, sh := range s.shards {
+		sh.ids = sh.eng.AppendMatchedIDs(sh.ids[:0])
+		for _, id := range sh.ids {
+			s.matched[s.index[id]] = true
+		}
+	}
+	if s.ids == nil {
+		s.ids = make([]string, 0, 8)
+	}
+	s.ids = s.ids[:0]
+	for i, id := range s.order {
+		if s.matched[i] {
+			s.ids = append(s.ids, id)
+		}
+	}
+	return s.ids
+}
+
+// Stats aggregates the shard engines' statistics: sizes and work counts
+// sum; MaxLevel is the maximum. Pending Add/Remove calls are compiled
+// first.
+func (s *Sharded) Stats() engine.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out engine.Stats
+	for _, sh := range s.shards {
+		st := sh.eng.Stats()
+		out.Subscriptions += st.Subscriptions
+		out.NFARouted += st.NFARouted
+		out.TrieRouted += st.TrieRouted
+		out.SpineSteps += st.SpineSteps
+		out.SharedStates += st.SharedStates
+		out.PredNodes += st.PredNodes
+		out.DFAStates += st.DFAStates
+		out.DFATransitions += st.DFATransitions
+		out.Events += st.Events
+		out.TupleVisits += st.TupleVisits
+		out.PeakTuples += st.PeakTuples
+		out.PeakScopes += st.PeakScopes
+		out.PeakBufferBytes += st.PeakBufferBytes
+		if st.MaxLevel > out.MaxLevel {
+			out.MaxLevel = st.MaxLevel
+		}
+	}
+	return out
+}
+
+// Close stops the shard goroutines. The set is unusable afterwards;
+// Close is idempotent.
+func (s *Sharded) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		close(sh.in)
+	}
+	s.workers.Wait()
+}

@@ -1,0 +1,190 @@
+package parallel
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"streamxpath/internal/engine"
+	"streamxpath/internal/query"
+	"streamxpath/internal/sax"
+	"streamxpath/internal/symtab"
+)
+
+// replica is one complete engine copy of a Pool: every subscription, its
+// own tokenizer and scratch. A replica is owned by exactly one MatchBytes
+// call at a time (checked out of the idle ring), so its internals need no
+// further synchronization.
+type replica struct {
+	eng *engine.Engine
+	tok *sax.TokenizerBytes
+	ids []string
+}
+
+// Pool is the document-parallel mode: n engine replicas, each carrying
+// the full subscription set, matching whole documents independently.
+// MatchBytes is safe to call from any number of goroutines — each call
+// checks a replica out of the idle ring, matches, and returns it — so a
+// feed's documents spread across cores with no coordination beyond the
+// checkout. All replicas intern into one shared symtab.Table; a name
+// seen by any replica is a warm lock-free probe for every other.
+//
+// Add and Remove apply to every replica. They acquire the whole pool
+// (waiting for in-flight matches to finish), so subscription churn
+// serializes against matching exactly as documents do in the sequential
+// engine.
+type Pool struct {
+	tab  *symtab.Table
+	idle chan *replica
+	reps []*replica
+
+	// mu serializes Add/Remove/Len/IDs against each other; matching only
+	// contends on the idle ring.
+	mu    sync.Mutex
+	order []string
+}
+
+// NewPool returns a pool of n replicas (n < 1 is treated as 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{tab: symtab.New(), idle: make(chan *replica, n)}
+	for i := 0; i < n; i++ {
+		r := &replica{eng: engine.NewWithSymbols(p.tab)}
+		p.reps = append(p.reps, r)
+		p.idle <- r
+	}
+	return p
+}
+
+// Workers returns the replica count.
+func (p *Pool) Workers() int { return len(p.reps) }
+
+// acquireAll checks every replica out of the idle ring, waiting for
+// in-flight matches to complete. The caller must releaseAll.
+func (p *Pool) acquireAll() {
+	for range p.reps {
+		<-p.idle
+	}
+}
+
+func (p *Pool) releaseAll() {
+	for _, r := range p.reps {
+		p.idle <- r
+	}
+}
+
+// Add registers a subscription on every replica. The same compiled query
+// drives each replica's engine (compile products are per-engine, the
+// query tree itself is immutable), so a validation failure is identical
+// across replicas and the pool stays consistent.
+func (p *Pool) Add(id string, q *query.Query) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.acquireAll()
+	defer p.releaseAll()
+	var first error
+	for _, r := range p.reps {
+		if err := r.eng.Add(id, q); err != nil {
+			first = err
+			break
+		}
+	}
+	if first != nil {
+		return first
+	}
+	p.order = append(p.order, id)
+	return nil
+}
+
+// Remove deregisters a subscription from every replica, reporting whether
+// it existed.
+func (p *Pool) Remove(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.acquireAll()
+	defer p.releaseAll()
+	existed := false
+	for _, r := range p.reps {
+		if r.eng.Remove(id) {
+			existed = true
+		}
+	}
+	if existed {
+		for i, have := range p.order {
+			if have == id {
+				p.order = append(p.order[:i], p.order[i+1:]...)
+				break
+			}
+		}
+	}
+	return existed
+}
+
+// Len returns the number of subscriptions.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.order)
+}
+
+// IDs returns the subscription ids in insertion order.
+func (p *Pool) IDs() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, len(p.order))
+	copy(out, p.order)
+	return out
+}
+
+// MatchBytes matches one in-memory document on a checked-out replica and
+// returns the matching subscription ids in insertion order. Unlike the
+// sequential FilterSet the returned slice is freshly allocated — calls
+// run concurrently, so no shared result buffer exists to reuse.
+func (p *Pool) MatchBytes(doc []byte) ([]string, error) {
+	r := <-p.idle
+	defer func() { p.idle <- r }()
+	r.eng.Reset()
+	if r.tok == nil {
+		r.tok = sax.NewTokenizerBytes(doc, p.tab)
+	} else {
+		r.tok.Reset(doc)
+	}
+	sawEnd := false
+	for {
+		ev, err := r.tok.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if ev.Kind == sax.EndDocument {
+			sawEnd = true
+		}
+		if err := r.eng.ProcessBytes(ev); err != nil {
+			return nil, fmt.Errorf("streamxpath: %w", err)
+		}
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("streamxpath: document ended prematurely")
+	}
+	r.ids = r.eng.AppendMatchedIDs(r.ids[:0])
+	out := make([]string, len(r.ids))
+	copy(out, r.ids)
+	return out, nil
+}
+
+// Symbols returns the shared symbol table.
+func (p *Pool) Symbols() *symtab.Table { return p.tab }
+
+// Stats returns one replica's engine statistics (replicas are identical
+// in structure; per-document work reflects that replica's last match).
+func (p *Pool) Stats() engine.Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.acquireAll()
+	defer p.releaseAll()
+	return p.reps[0].eng.Stats()
+}

@@ -137,29 +137,31 @@ func (t *TokenizerBytes) Next() (ByteEvent, error) {
 
 // readText consumes character data up to the next '<' or end of input.
 // Runs without references are returned as input subslices; runs with
-// references decode into the scratch buffer.
+// references decode into the scratch buffer. Scanning is delegated to
+// bytes.IndexByte, which the runtime vectorizes: text runs advance at
+// SIMD width instead of byte-at-a-time, so the tokenizer's cost on
+// text-heavy documents approaches a memory scan.
 func (t *TokenizerBytes) readText() (ByteEvent, bool, error) {
 	start := t.pos
-	hasRef := false
-	for t.pos < len(t.data) && t.data[t.pos] != '<' {
-		if t.data[t.pos] == '&' {
-			hasRef = true
-		}
-		t.pos++
+	end := bytes.IndexByte(t.data[start:], '<')
+	if end < 0 {
+		end = len(t.data) - start
 	}
+	t.pos = start + end
 	out := t.data[start:t.pos]
-	if hasRef {
+	if bytes.IndexByte(out, '&') >= 0 {
 		t.textBuf = t.textBuf[:0]
 		p := start
 		for p < t.pos {
-			c := t.data[p]
-			if c != '&' {
-				t.textBuf = append(t.textBuf, c)
-				p++
-				continue
+			// Bulk-copy the literal run up to the next reference.
+			run := bytes.IndexByte(t.data[p:t.pos], '&')
+			if run < 0 {
+				t.textBuf = append(t.textBuf, t.data[p:t.pos]...)
+				break
 			}
+			t.textBuf = append(t.textBuf, t.data[p:p+run]...)
 			var err error
-			t.textBuf, p, err = t.appendReference(t.textBuf, p+1)
+			t.textBuf, p, err = t.appendReference(t.textBuf, p+run+1)
 			if err != nil {
 				return ByteEvent{}, false, err
 			}
@@ -395,39 +397,32 @@ func (t *TokenizerBytes) readStartTag() (ByteEvent, bool, error) {
 // enough for the queued Text event to be delivered).
 func (t *TokenizerBytes) readAttrValue(aname []byte, quote byte) ([]byte, error) {
 	start := t.pos
-	hasRef := false
-	for {
-		if t.pos >= len(t.data) {
-			return nil, t.errf("unterminated attribute value for %s", aname)
-		}
-		c := t.data[t.pos]
-		if c == quote {
-			break
-		}
-		if c == '<' {
-			return nil, t.errf("'<' in attribute value for %s", aname)
-		}
-		if c == '&' {
-			hasRef = true
-		}
-		t.pos++
+	end := bytes.IndexByte(t.data[start:], quote)
+	if end < 0 {
+		t.pos = len(t.data)
+		return nil, t.errf("unterminated attribute value for %s", aname)
 	}
-	raw := t.data[start:t.pos]
-	t.pos++ // consume closing quote
-	if !hasRef {
+	raw := t.data[start : start+end]
+	if lt := bytes.IndexByte(raw, '<'); lt >= 0 {
+		t.pos = start + lt
+		return nil, t.errf("'<' in attribute value for %s", aname)
+	}
+	t.pos = start + end + 1 // consume closing quote
+	if bytes.IndexByte(raw, '&') < 0 {
 		return raw, nil
 	}
 	vstart := len(t.attrBuf)
 	p := start
-	for p < start+len(raw) {
-		c := t.data[p]
-		if c != '&' {
-			t.attrBuf = append(t.attrBuf, c)
-			p++
-			continue
+	stop := start + len(raw)
+	for p < stop {
+		run := bytes.IndexByte(t.data[p:stop], '&')
+		if run < 0 {
+			t.attrBuf = append(t.attrBuf, t.data[p:stop]...)
+			break
 		}
+		t.attrBuf = append(t.attrBuf, t.data[p:p+run]...)
 		var err error
-		t.attrBuf, p, err = t.appendReference(t.attrBuf, p+1)
+		t.attrBuf, p, err = t.appendReference(t.attrBuf, p+run+1)
 		if err != nil {
 			return nil, err
 		}

@@ -9,9 +9,33 @@
 // everywhere else, with no per-event string allocation anywhere.
 //
 // A Table is shared between a tokenizer and the matching structures bound
-// to it; symbols from different tables are not comparable. Tables are not
-// safe for concurrent use.
+// to it; symbols from different tables are not comparable.
+//
+// # Concurrency
+//
+// Interning is the table's only mutation, and it is rare: a name is
+// interned the first time it is ever seen (at compile time for query node
+// tests, at tokenize time for document names) and never again. The table
+// exploits that read-mostly shape with a copy-on-write snapshot: all
+// lookups — Lookup, LookupBytes, Name, Len, and the warm path of
+// Intern/InternBytes — read an immutable view through one atomic pointer
+// load, taking no lock and performing no allocation. Only the cold path
+// of interning a brand-new name takes the writer mutex, builds the next
+// view, and publishes it atomically.
+//
+// This makes a Table safe for any number of concurrent readers alongside
+// concurrent interners, which is what lets the parallel dissemination
+// engine (internal/parallel) bind N engine shards and their tokenizer(s)
+// to one shared table: the shards' hot loops read symbols lock-free while
+// the tokenizer occasionally interns a first-seen document name. The
+// single-threaded cost over the previous unsynchronized table is one
+// atomic load per operation.
 package symtab
+
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Sym is an interned name: a dense index into its Table. The zero value
 // None is reserved and never names anything, so zero-valued events are
@@ -21,30 +45,40 @@ type Sym uint32
 // None is the reserved zero symbol.
 const None Sym = 0
 
-// Table interns strings to dense symbols. The zero symbol is reserved;
-// the first interned name gets symbol 1, so a Table with n names has
-// Len() == n+1 and valid symbols 1..n.
-type Table struct {
+// view is one immutable snapshot of the table: a probe map and the dense
+// name slice. Readers obtain a view with a single atomic load and may use
+// it indefinitely; interning never mutates a published view's visible
+// contents (the names backing array is append-only, and every element a
+// view can index was fully written before that view was published).
+type view struct {
 	byName map[string]Sym
 	names  []string
+}
+
+// Table interns strings to dense symbols. The zero symbol is reserved;
+// the first interned name gets symbol 1, so a Table with n names has
+// Len() == n+1 and valid symbols 1..n. See the package comment for the
+// concurrency contract.
+type Table struct {
+	v  atomic.Pointer[view]
+	mu sync.Mutex // serializes interning of new names
 }
 
 // New returns an empty table. The empty name maps to None, so no dense
 // symbol ever aliases the reserved zero slot.
 func New() *Table {
-	return &Table{byName: map[string]Sym{"": None}, names: []string{""}}
+	t := &Table{}
+	t.v.Store(&view{byName: map[string]Sym{"": None}, names: []string{""}})
+	return t
 }
 
 // Intern returns the symbol for name, assigning the next dense symbol on
-// first sight.
+// first sight. The warm path (name already interned) is lock-free.
 func (t *Table) Intern(name string) Sym {
-	if s, ok := t.byName[name]; ok {
+	if s, ok := t.v.Load().byName[name]; ok {
 		return s
 	}
-	s := Sym(len(t.names))
-	t.names = append(t.names, name)
-	t.byName[name] = s
-	return s
+	return t.internSlow(name)
 }
 
 // InternBytes is Intern for a byte-slice name. When the name is already
@@ -52,25 +86,53 @@ func (t *Table) Intern(name string) Sym {
 // conversion in the map probe), which is what makes the steady-state
 // tokenizer loop allocation-free.
 func (t *Table) InternBytes(b []byte) Sym {
-	if s, ok := t.byName[string(b)]; ok {
+	if s, ok := t.v.Load().byName[string(b)]; ok {
 		return s
 	}
-	return t.Intern(string(b))
+	return t.internSlow(string(b))
+}
+
+// internSlow interns a name not present in the snapshot the caller
+// probed. It re-checks under the writer lock (another goroutine may have
+// interned the same name since), then publishes a new view containing it.
+// The per-new-name map copy keeps every published view immutable; it
+// costs O(names) once per distinct name ever seen, which the read-mostly
+// workload amortizes to nothing.
+func (t *Table) internSlow(name string) Sym {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.v.Load()
+	if s, ok := cur.byName[name]; ok {
+		return s
+	}
+	s := Sym(len(cur.names))
+	byName := make(map[string]Sym, len(cur.byName)+1)
+	for k, v := range cur.byName {
+		byName[k] = v
+	}
+	byName[name] = s
+	// Appending may write into the shared backing array one slot past
+	// every published view's length — a slot no published view can reach —
+	// and the atomic store below publishes that write before any reader
+	// can obtain a view that indexes it.
+	names := append(cur.names, name)
+	t.v.Store(&view{byName: byName, names: names})
+	return s
 }
 
 // Lookup returns the symbol for name, or None if it has never been
 // interned.
-func (t *Table) Lookup(name string) Sym { return t.byName[name] }
+func (t *Table) Lookup(name string) Sym { return t.v.Load().byName[name] }
 
 // LookupBytes is Lookup for a byte-slice name; it never allocates.
-func (t *Table) LookupBytes(b []byte) Sym { return t.byName[string(b)] }
+func (t *Table) LookupBytes(b []byte) Sym { return t.v.Load().byName[string(b)] }
 
 // Name returns the canonical string for a symbol of this table. The
 // returned string is shared — callers must not assume freshness — which
 // is exactly why handing it around costs nothing.
-func (t *Table) Name(s Sym) string { return t.names[s] }
+func (t *Table) Name(s Sym) string { return t.v.Load().names[s] }
 
 // Len returns the number of symbol slots including the reserved zero
 // slot; valid symbols are 1..Len()-1. Dense per-symbol arrays should be
 // sized Len().
-func (t *Table) Len() int { return len(t.names) }
+func (t *Table) Len() int { return len(t.v.Load().names) }

@@ -1,6 +1,10 @@
 package symtab
 
-import "testing"
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
 
 func TestInternDense(t *testing.T) {
 	tab := New()
@@ -52,5 +56,109 @@ func TestInternBytesNoAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("warm InternBytes/LookupBytes: %v allocs/run, want 0", allocs)
+	}
+}
+
+// TestConcurrentIntern hammers the copy-on-write path from many
+// goroutines: concurrent interners racing on an overlapping vocabulary
+// must agree on one symbol per name, and concurrent readers must always
+// see a consistent snapshot (every symbol they resolve round-trips to its
+// name). Run under -race this exercises the table contract the parallel
+// dissemination engine relies on.
+func TestConcurrentIntern(t *testing.T) {
+	tab := New()
+	const goroutines = 8
+	const names = 200
+	var wg sync.WaitGroup
+	results := make([][]Sym, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			syms := make([]Sym, names)
+			for i := 0; i < names; i++ {
+				// Half the vocabulary is shared across goroutines (contended
+				// first-sight races), half is private (pure growth).
+				var name string
+				if i%2 == 0 {
+					name = fmt.Sprintf("shared%d", i)
+				} else {
+					name = fmt.Sprintf("g%d-n%d", g, i)
+				}
+				s := tab.Intern(name)
+				if s == None {
+					t.Errorf("Intern(%q) returned None", name)
+					return
+				}
+				// Reader path concurrent with other goroutines' interning.
+				if got := tab.Name(s); got != name {
+					t.Errorf("Name(%d) = %q, want %q", s, got, name)
+					return
+				}
+				if got := tab.LookupBytes([]byte(name)); got != s {
+					t.Errorf("LookupBytes(%q) = %d, want %d", name, got, s)
+					return
+				}
+				if tab.Len() <= int(s) {
+					t.Errorf("Len() = %d not covering symbol %d", tab.Len(), s)
+					return
+				}
+				syms[i] = s
+			}
+			results[g] = syms
+		}(g)
+	}
+	wg.Wait()
+	// All goroutines must agree on the shared vocabulary's symbols.
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < names; i += 2 {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d got %d for shared%d, goroutine 0 got %d",
+					g, results[g][i], i, results[0][i])
+			}
+		}
+	}
+	// Density: every symbol 1..Len()-1 names something distinct.
+	seen := map[string]bool{}
+	for s := 1; s < tab.Len(); s++ {
+		name := tab.Name(Sym(s))
+		if name == "" || seen[name] {
+			t.Fatalf("symbol %d: name %q empty or duplicated", s, name)
+		}
+		seen[name] = true
+	}
+}
+
+// TestConcurrentReadersDuringGrowth pins readers on a warm symbol while a
+// writer grows the table past many snapshot publications.
+func TestConcurrentReadersDuringGrowth(t *testing.T) {
+	tab := New()
+	warm := tab.Intern("warm")
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if tab.Name(warm) != "warm" || tab.Lookup("warm") != warm {
+					t.Error("warm symbol unstable during growth")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		tab.Intern(fmt.Sprintf("grow%d", i))
+	}
+	close(done)
+	wg.Wait()
+	if tab.Len() != 2002 { // reserved + warm + 2000
+		t.Fatalf("Len = %d, want 2002", tab.Len())
 	}
 }

@@ -1,0 +1,200 @@
+package streamxpath
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"streamxpath/internal/parallel"
+)
+
+// ParallelFilterSet is the multi-core FilterSet: subscriptions are
+// hash-sharded across N independent copies of the shared dissemination
+// engine, all bound to one concurrent symbol table. Each document is
+// tokenized exactly once (on the calling goroutine, through the
+// interned-symbol byte fast path) and its symbol events are fanned out
+// to per-shard worker goroutines through reusable batched event rings;
+// the per-shard match sets are merged back into subscription insertion
+// order, so results are byte-identical to the sequential FilterSet on
+// every document.
+//
+// This mode parallelizes one document at a time across cores — the right
+// shape when the subscription set is large. Match calls from multiple
+// goroutines are safe but serialize; to match many documents
+// concurrently instead, use FilterPool.
+//
+// A ParallelFilterSet owns worker goroutines: call Close when done.
+type ParallelFilterSet struct {
+	s *parallel.Sharded
+	// mu guards buf, the document staging buffer of MatchReader and
+	// MatchString (the engine serializes Match calls itself, but the
+	// staging happens before the engine is entered).
+	mu  sync.Mutex
+	buf []byte
+}
+
+// NewParallelFilterSet returns an empty set with the given number of
+// shards; shards < 1 selects GOMAXPROCS.
+func NewParallelFilterSet(shards int) *ParallelFilterSet {
+	if shards < 1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	return &ParallelFilterSet{s: parallel.NewSharded(shards)}
+}
+
+// Add compiles a subscription under the given id and merges it into its
+// shard's engine. Ids must be unique across the whole set. Queries
+// outside the streamable fragment (see Query.NewFilter) are rejected.
+func (s *ParallelFilterSet) Add(id, querySrc string) error {
+	q, err := Compile(querySrc)
+	if err != nil {
+		return err
+	}
+	if err := s.s.Add(id, q.q); err != nil {
+		return fmt.Errorf("streamxpath: subscription %q: %w", id, err)
+	}
+	return nil
+}
+
+// Remove deregisters a subscription, reporting whether it existed.
+func (s *ParallelFilterSet) Remove(id string) bool { return s.s.Remove(id) }
+
+// Len returns the number of subscriptions.
+func (s *ParallelFilterSet) Len() int { return s.s.Len() }
+
+// IDs returns the subscription ids in insertion order.
+func (s *ParallelFilterSet) IDs() []string { return s.s.IDs() }
+
+// Shards returns the shard count.
+func (s *ParallelFilterSet) Shards() int { return s.s.Shards() }
+
+// MatchBytes matches one in-memory document against every subscription
+// and returns the matching ids in insertion order — the same answer, in
+// the same order, as FilterSet.MatchBytes. The returned slice is reused
+// by the next Match call on this set; copy it if it must outlive the
+// call. It is non-nil even when empty.
+func (s *ParallelFilterSet) MatchBytes(doc []byte) ([]string, error) {
+	return s.s.MatchBytes(doc)
+}
+
+// MatchReader buffers the document from r and matches it through the
+// parallel byte path. (Event sharding needs the whole document's symbol
+// stream; callers with bounded-memory needs should use the sequential
+// FilterSet.MatchReader.)
+func (s *ParallelFilterSet) MatchReader(r io.Reader) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := readAll(r, s.buf[:0])
+	s.buf = b
+	if err != nil {
+		return nil, err
+	}
+	return s.s.MatchBytes(s.buf)
+}
+
+// MatchString is MatchBytes over a string.
+func (s *ParallelFilterSet) MatchString(xml string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = append(s.buf[:0], xml...)
+	return s.s.MatchBytes(s.buf)
+}
+
+// Stats aggregates the shard engines' statistics (sizes and work sum
+// across shards; MaxLevel is the maximum).
+func (s *ParallelFilterSet) Stats() FilterSetStats { return s.s.Stats() }
+
+// Close stops the shard worker goroutines. The set is unusable
+// afterwards; Close is idempotent.
+func (s *ParallelFilterSet) Close() { s.s.Close() }
+
+// readAll appends r's contents to buf, reusing its capacity.
+func readAll(r io.Reader, buf []byte) ([]byte, error) {
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 4096)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// FilterPool is the document-parallel dissemination engine: a pool of
+// complete engine replicas, each carrying every subscription, matching
+// whole documents independently. MatchBytes is safe to call from any
+// number of goroutines concurrently — each call checks out an idle
+// replica — so a document feed spreads across cores with no coordination
+// beyond the checkout. All replicas share one concurrent symbol table,
+// so the feed's name vocabulary is interned once, whichever replica sees
+// a name first.
+//
+// Choose FilterPool when documents arrive faster than one core matches
+// them (feeds of small documents); choose ParallelFilterSet when a
+// single document must be matched against a very large subscription set
+// as fast as possible.
+type FilterPool struct {
+	p *parallel.Pool
+}
+
+// NewFilterPool returns an empty pool with the given number of replica
+// workers; workers < 1 selects GOMAXPROCS.
+func NewFilterPool(workers int) *FilterPool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &FilterPool{p: parallel.NewPool(workers)}
+}
+
+// Add compiles a subscription under the given id on every replica.
+// It waits for in-flight Match calls to drain.
+func (p *FilterPool) Add(id, querySrc string) error {
+	q, err := Compile(querySrc)
+	if err != nil {
+		return err
+	}
+	if err := p.p.Add(id, q.q); err != nil {
+		return fmt.Errorf("streamxpath: subscription %q: %w", id, err)
+	}
+	return nil
+}
+
+// Remove deregisters a subscription from every replica, reporting
+// whether it existed. It waits for in-flight Match calls to drain.
+func (p *FilterPool) Remove(id string) bool { return p.p.Remove(id) }
+
+// Len returns the number of subscriptions.
+func (p *FilterPool) Len() int { return p.p.Len() }
+
+// IDs returns the subscription ids in insertion order.
+func (p *FilterPool) IDs() []string { return p.p.IDs() }
+
+// Workers returns the replica count.
+func (p *FilterPool) Workers() int { return p.p.Workers() }
+
+// MatchBytes matches one in-memory document on an idle replica and
+// returns the matching ids in insertion order — identical to the
+// sequential FilterSet's answer. The returned slice is freshly
+// allocated (calls run concurrently, so there is no shared buffer to
+// reuse).
+func (p *FilterPool) MatchBytes(doc []byte) ([]string, error) {
+	return p.p.MatchBytes(doc)
+}
+
+// MatchString is MatchBytes over a string.
+func (p *FilterPool) MatchString(xml string) ([]string, error) {
+	return p.p.MatchBytes([]byte(xml))
+}
+
+// Stats returns one replica's engine statistics (replicas are identical
+// in structure).
+func (p *FilterPool) Stats() FilterSetStats { return p.p.Stats() }

@@ -19,6 +19,12 @@
 //     for predicated ones — matched against each document in a single
 //     pass with per-event cost governed by structure sharing rather than
 //     subscription count;
+//   - parallel dissemination across cores: ParallelFilterSet shards the
+//     subscriptions over N engine instances bound to one concurrent
+//     symbol table and fans each document's (once-tokenized) event
+//     stream out to them, returning results identical to FilterSet;
+//     FilterPool runs full engine replicas matching whole documents
+//     concurrently for feed workloads;
 //   - query analysis: frontier size (the paper's lower-bound quantity),
 //     membership in Redundancy-free XPath and the other fragments the
 //     paper's theorems quantify over;

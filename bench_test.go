@@ -9,7 +9,9 @@
 package streamxpath_test
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"math/rand"
 	"strings"
 	"testing"
@@ -587,6 +589,148 @@ func BenchmarkDissemination(b *testing.B) {
 	doc := disseminationDoc(40)
 	b.Run("engine", func(b *testing.B) { benchEngine(b, subs, doc) })
 	b.Run("fanout", func(b *testing.B) { benchFanout(b, subs, doc) })
+}
+
+// --- the chunked reader family (PR 4) ---
+//
+// BenchmarkMatchReader compares the two ways to match a document that
+// arrives through an io.Reader: buffer it whole and run MatchBytes (the
+// pre-PR-4 shape of every reader entry point) versus streaming it
+// through the chunked resumable tokenizer (MatchReader), which holds
+// only one chunk plus the unconsumed tail. The /earlyexit arm adds a
+// prefix-decidable subscription set on a large document and reports how
+// little of it the verdict needed.
+
+func BenchmarkMatchReader(b *testing.B) {
+	// 400 of the 1000 subscriptions match, so the verdict is never fully
+	// decided mid-stream: the throughput arms measure the whole document,
+	// not an early exit (that effect gets its own arm below).
+	subs := disseminationSubs("shared", 1000)
+	doc := []byte(disseminationDoc(400))
+	events := len(sax.MustParse(string(doc)))
+	const chunk = 4096 // several chunks per document
+	newSet := func(b *testing.B) *streamxpath.FilterSet {
+		s := streamxpath.NewFilterSet()
+		for i, src := range subs {
+			if err := s.Add(fmt.Sprintf("s%d", i), src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.SetChunkSize(chunk)
+		if _, err := s.MatchBytes(doc); err != nil { // compile + warm
+			b.Fatal(err)
+		}
+		return s
+	}
+	b.Run("buffered", func(b *testing.B) {
+		// Stage the reader into a reusable buffer, then MatchBytes — the
+		// whole-document-materialization baseline.
+		s := newSet(b)
+		r := bytes.NewReader(doc)
+		buf := make([]byte, 0, len(doc))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Reset(doc)
+			buf = buf[:0]
+			for {
+				if len(buf) == cap(buf) {
+					buf = append(buf, 0)[:len(buf)]
+				}
+				n, err := r.Read(buf[len(buf):cap(buf)])
+				buf = buf[:len(buf)+n]
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := s.MatchBytes(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+	})
+	b.Run("chunked", func(b *testing.B) {
+		s := newSet(b)
+		r := bytes.NewReader(doc)
+		for i := 0; i < 3; i++ { // warm the tail buffer and scratch
+			r.Reset(doc)
+			if _, err := s.MatchReader(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Reset(doc)
+			if _, err := s.MatchReader(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+	})
+	b.Run("earlyexit", func(b *testing.B) {
+		// One prefix-decidable subscription over a much larger document
+		// (~20x the chunk size): the reader is abandoned as soon as the
+		// verdict latches, after the first default-sized chunk. readFrac
+		// is the fraction of the document consumed.
+		big := []byte(disseminationDoc(20000))
+		s := streamxpath.NewFilterSet()
+		if err := s.Add("root", "//catalog"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.MatchBytes(big); err != nil {
+			b.Fatal(err)
+		}
+		r := bytes.NewReader(big)
+		for i := 0; i < 3; i++ {
+			r.Reset(big)
+			if _, err := s.MatchReader(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Reset(big)
+			if _, err := s.MatchReader(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		rs := s.ReaderStats()
+		if !rs.EarlyExit {
+			b.Fatal("expected early exit")
+		}
+		b.ReportMetric(float64(rs.BytesRead)/float64(len(big)), "readFrac")
+	})
+	b.Run("chunked-parallel", func(b *testing.B) {
+		p := streamxpath.NewParallelFilterSet(0) // shards = GOMAXPROCS
+		defer p.Close()
+		p.SetChunkSize(chunk)
+		for i, src := range subs {
+			if err := p.Add(fmt.Sprintf("s%d", i), src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := p.MatchBytes(doc); err != nil { // compile + warm symbols
+			b.Fatal(err)
+		}
+		r := bytes.NewReader(doc)
+		for i := 0; i < 3; i++ {
+			r.Reset(doc)
+			if _, err := p.MatchReader(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Reset(doc)
+			if _, err := p.MatchReader(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+	})
 }
 
 // --- the parallel dissemination family (PR 3) ---

@@ -12,27 +12,32 @@
 //	xpfilter -subs subscriptions.txt -workers 8 feed.xml
 //	xpfilter -subs subscriptions.txt -workers 4 -mode docs feed*.xml
 //
-// File inputs are read into memory and matched through the interned-
-// symbol byte fast path (MatchBytes); stdin streams through the bounded-
-// memory tokenizer. With -subs, the file names one standing subscription
-// per line (either "id <tab-or-space> query" or a bare query, identified
-// by its own text), all compiled into one shared dissemination engine;
-// each input document is matched against every subscription in a single
-// pass and the matching ids are printed. -stats then reports the
-// engine's shared-structure sizes. -bench N re-matches each in-memory
-// document N times and reports events/sec and allocs/event of the warm
-// fast path.
+// Inputs — stdin and files alike — stream through the chunked
+// interned-symbol byte path (MatchReader): the document is read in
+// -chunk sized windows, tokenized by the resumable tokenizer, and
+// matched as it arrives, so memory stays bounded by the chunk size plus
+// the open-element depth regardless of document size; the moment every
+// verdict is decided the reader stops and the bytes consumed are
+// reported. With -subs, the file names one standing subscription per
+// line (either "id <tab-or-space> query" or a bare query, identified by
+// its own text), all compiled into one shared dissemination engine; each
+// input document is matched against every subscription in a single pass
+// and the matching ids are printed. -stats then reports the engine's
+// shared-structure sizes. -bench N reads the document into memory and
+// re-matches it N times, reporting events/sec and allocs/event of the
+// warm fast path.
 //
 // -workers N matches on the parallel engine (internal/parallel) instead
 // of the sequential one. The default -mode shard hash-shards the
 // subscriptions across N engine shards and fans each document's event
-// stream out to them — parallelism within one document, identical
+// batches out to them as each chunk is tokenized — parallelism within
+// one document (I/O, tokenization and matching overlap), identical
 // results. -mode docs runs a pool of N full engine replicas and matches
 // the input files concurrently — parallelism across documents, for feed
-// workloads. -workers 0 (the default) keeps the sequential engine.
-// Note that event sharding needs the whole document's event stream, so
-// with -workers stdin is buffered in memory before matching; the
-// bounded-memory streaming path is sequential-only.
+// workloads. -mode auto picks per document: documents smaller than the
+// adaptive threshold match on a pooled replica (no fan-out overhead),
+// larger ones fan out event-sharded. -workers 0 (the default) keeps the
+// sequential engine.
 package main
 
 import (
@@ -59,7 +64,8 @@ func main() {
 		evaluate = flag.Bool("eval", false, "print selected node values instead of a boolean (in-memory evaluation)")
 		bench    = flag.Int("bench", 0, "re-match each file N times; print events/sec and allocs/event")
 		workers  = flag.Int("workers", 0, "match with the parallel engine using N workers (0 = sequential)")
-		mode     = flag.String("mode", "shard", "parallel mode: shard (event-sharded, one doc at a time) or docs (replica pool, concurrent docs)")
+		mode     = flag.String("mode", "shard", "parallel mode: shard (event-sharded, one doc at a time), docs (replica pool, concurrent docs), or auto (pick per document by size)")
+		chunk    = flag.Int("chunk", 0, "streaming read size in bytes (0 = 64KiB default)")
 	)
 	flag.Parse()
 	if (*querySrc == "") == (*subsFile == "") {
@@ -75,8 +81,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "xpfilter: -workers applies to -subs matching")
 		os.Exit(2)
 	}
-	if *mode != "shard" && *mode != "docs" {
-		fmt.Fprintln(os.Stderr, "xpfilter: -mode must be shard or docs")
+	if *mode != "shard" && *mode != "docs" && *mode != "auto" {
+		fmt.Fprintln(os.Stderr, "xpfilter: -mode must be shard, docs or auto")
 		os.Exit(2)
 	}
 	if *bench > 0 && *mode == "docs" && *workers > 0 {
@@ -92,20 +98,29 @@ func main() {
 			os.Exit(runPoolFiles(*subsFile, files, *workers, *stats))
 		}
 		var set matcherSet
-		if *workers > 0 {
+		switch {
+		case *workers > 0 && *mode == "auto":
+			as := streamxpath.NewAdaptiveFilterSet(*workers)
+			defer as.Close()
+			if err := loadSubscriptions(*subsFile, as.Add); err != nil {
+				fatal(err)
+			}
+			set = as
+		case *workers > 0:
 			ps := streamxpath.NewParallelFilterSet(*workers)
 			defer ps.Close()
 			if err := loadSubscriptions(*subsFile, ps.Add); err != nil {
 				fatal(err)
 			}
 			set = ps
-		} else {
+		default:
 			fs := streamxpath.NewFilterSet()
 			if err := loadSubscriptions(*subsFile, fs.Add); err != nil {
 				fatal(err)
 			}
 			set = fs
 		}
+		set.SetChunkSize(*chunk)
 		exit := 0
 		for _, name := range files {
 			if err := runSet(set, name, *stats, *bench); err != nil {
@@ -125,7 +140,7 @@ func main() {
 	}
 	exit := 0
 	for _, name := range files {
-		if err := runOne(q, name, *stats, *evaluate, *bench); err != nil {
+		if err := runOne(q, name, *stats, *evaluate, *bench, *chunk); err != nil {
 			fmt.Fprintf(os.Stderr, "xpfilter: %s: %v\n", name, err)
 			exit = 1
 		}
@@ -140,6 +155,28 @@ func readInput(name string) ([]byte, error) {
 		return nil, nil
 	}
 	return os.ReadFile(name)
+}
+
+// openInput opens a file argument (or stdin for "-") for the chunked
+// streaming path. The returned close func is a no-op for stdin.
+func openInput(name string) (io.Reader, func(), error) {
+	if name == "-" {
+		return os.Stdin, func() {}, nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+// reportEarlyExit prints the bytes-consumed line when a streaming match
+// stopped before end of input.
+func reportEarlyExit(rs streamxpath.ReaderStats) {
+	if rs.EarlyExit {
+		fmt.Printf("  early exit: verdicts decided after %d bytes consumed (%d read)\n",
+			rs.BytesConsumed, rs.BytesRead)
+	}
 }
 
 // benchReport re-runs a warm match loop and prints events/sec and
@@ -171,11 +208,14 @@ func benchReport(doc []byte, iters int, run func() error) error {
 	return nil
 }
 
-// matcherSet is the engine surface runSet needs; satisfied by both the
-// sequential FilterSet and the parallel sharded ParallelFilterSet.
+// matcherSet is the engine surface runSet needs; satisfied by the
+// sequential FilterSet, the parallel sharded ParallelFilterSet, and the
+// AdaptiveFilterSet.
 type matcherSet interface {
 	MatchBytes([]byte) ([]string, error)
 	MatchReader(io.Reader) ([]string, error)
+	SetChunkSize(int)
+	ReaderStats() streamxpath.ReaderStats
 	Len() int
 	Stats() streamxpath.FilterSetStats
 }
@@ -271,51 +311,56 @@ func runPoolFiles(subsFile string, files []string, workers int, stats bool) int 
 	return exit
 }
 
-// runSet matches one document against every subscription: files through
-// the byte fast path, stdin through the streaming tokenizer.
+// runSet matches one document against every subscription through the
+// chunked streaming path (bounded memory, mid-stream early exit); with
+// -bench the document is loaded once and re-matched on the in-memory
+// fast path.
 func runSet(set matcherSet, name string, stats bool, bench int) error {
-	doc, err := readInput(name)
-	if err != nil {
-		return err
-	}
-	var ids []string
-	if doc != nil {
-		ids, err = set.MatchBytes(doc)
-	} else {
-		ids, err = set.MatchReader(os.Stdin)
-	}
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%s: %d/%d matched: %s\n", name, len(ids), set.Len(), strings.Join(ids, " "))
-	if stats {
-		s := set.Stats()
-		fmt.Printf("  %s\n", s)
-	}
 	if bench > 0 {
+		doc, err := readInput(name)
+		if err != nil {
+			return err
+		}
 		if doc == nil {
 			return fmt.Errorf("-bench needs a file argument, not stdin")
 		}
+		ids, err := set.MatchBytes(doc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d/%d matched: %s\n", name, len(ids), set.Len(), strings.Join(ids, " "))
 		return benchReport(doc, bench, func() error {
 			_, err := set.MatchBytes(doc)
 			return err
 		})
 	}
-	return nil
-}
-
-func runOne(q *streamxpath.Query, name string, stats, evaluate bool, bench int) error {
-	doc, err := readInput(name)
+	r, closeIn, err := openInput(name)
 	if err != nil {
 		return err
 	}
+	defer closeIn()
+	ids, err := set.MatchReader(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d/%d matched: %s\n", name, len(ids), set.Len(), strings.Join(ids, " "))
+	reportEarlyExit(set.ReaderStats())
+	if stats {
+		s := set.Stats()
+		fmt.Printf("  %s\n", s)
+	}
+	return nil
+}
+
+func runOne(q *streamxpath.Query, name string, stats, evaluate bool, bench, chunk int) error {
 	if evaluate {
 		var vals []string
-		if doc != nil {
-			vals, err = q.Evaluate(string(doc))
-		} else {
-			vals, err = q.EvaluateReader(os.Stdin)
+		r, closeIn, err := openInput(name)
+		if err != nil {
+			return err
 		}
+		vals, err = q.EvaluateReader(r)
+		closeIn()
 		if err != nil {
 			return err
 		}
@@ -329,29 +374,40 @@ func runOne(q *streamxpath.Query, name string, stats, evaluate bool, bench int) 
 	if err != nil {
 		return fmt.Errorf("query is not streamable (%v); use -eval", err)
 	}
-	var matched bool
-	if doc != nil {
-		matched, err = f.MatchBytes(doc)
-	} else {
-		matched, err = f.MatchReader(os.Stdin)
-	}
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%s: %v\n", name, matched)
-	if stats {
-		s := f.Stats()
-		fmt.Printf("  events=%d frontier=%d buffer=%dB depth=%d estBits=%d\n",
-			s.Events, s.PeakFrontierTuples, s.PeakBufferBytes, s.MaxDepth, s.EstimatedBits)
-	}
+	f.SetChunkSize(chunk)
 	if bench > 0 {
+		doc, err := readInput(name)
+		if err != nil {
+			return err
+		}
 		if doc == nil {
 			return fmt.Errorf("-bench needs a file argument, not stdin")
 		}
+		matched, err := f.MatchBytes(doc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %v\n", name, matched)
 		return benchReport(doc, bench, func() error {
 			_, err := f.MatchBytes(doc)
 			return err
 		})
+	}
+	r, closeIn, err := openInput(name)
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+	matched, err := f.MatchReader(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %v\n", name, matched)
+	reportEarlyExit(f.ReaderStats())
+	if stats {
+		s := f.Stats()
+		fmt.Printf("  events=%d frontier=%d buffer=%dB depth=%d estBits=%d\n",
+			s.Events, s.PeakFrontierTuples, s.PeakBufferBytes, s.MaxDepth, s.EstimatedBits)
 	}
 	return nil
 }

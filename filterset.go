@@ -3,7 +3,6 @@ package streamxpath
 import (
 	"fmt"
 	"io"
-	"strings"
 
 	"streamxpath/internal/engine"
 	"streamxpath/internal/sax"
@@ -36,6 +35,17 @@ type FilterSet struct {
 	// MatchBytes fast path.
 	tok *sax.TokenizerBytes
 	ids []string
+
+	// Chunked-reader state: the resumable tokenizer of MatchReader, its
+	// chunk size (0 = DefaultChunkSize), the last call's stats, and the
+	// staging buffer of MatchString. procFn/decFn are the streamDoc
+	// callbacks, built once so repeat MatchReader calls allocate nothing.
+	stok   *sax.StreamTokenizer
+	chunk  int
+	rs     ReaderStats
+	buf    []byte
+	procFn func(sax.ByteEvent) error
+	decFn  func() bool
 }
 
 // NewFilterSet returns an empty set.
@@ -69,40 +79,68 @@ func (s *FilterSet) IDs() []string { return s.e.IDs() }
 // callers driving the engine event by event across documents.
 func (s *FilterSet) Reset() { s.e.Reset() }
 
-// MatchReader streams one document past every subscription and returns
-// the ids that match, in insertion order. The result is non-nil even when
-// empty.
+// MatchReader streams one document past every subscription through the
+// chunked interned-symbol byte path and returns the ids that match, in
+// insertion order. The document is read in fixed-size chunks
+// (SetChunkSize; DefaultChunkSize otherwise) and tokenized by a
+// resumable tokenizer that retains only the unconsumed tail across chunk
+// boundaries, so peak memory is bounded by chunk size plus open-element
+// depth rather than document size, and steady-state per-event cost is
+// allocation-free — the same pipeline as MatchBytes, without buffering
+// the document. When every subscription's verdict is decided mid-stream
+// (all matched; matching is monotone) the reader stops being consumed —
+// ReaderStats reports the early exit — and the document's remainder is
+// not validated. The result is non-nil even when empty and is reused by
+// the next Match call on this set.
 func (s *FilterSet) MatchReader(r io.Reader) ([]string, error) {
 	// Reset up front so a previous document that failed mid-stream (and
 	// never reached endDocument) cannot wedge the engine in its
 	// half-open state.
 	s.e.Reset()
-	tok := sax.NewTokenizer(r)
-	sawEnd := false
-	for {
-		e, err := tok.Next()
-		if err == io.EOF {
-			break
+	if s.stok == nil {
+		s.stok = sax.NewStreamTokenizer(s.e.Symbols())
+		s.procFn = func(ev sax.ByteEvent) error {
+			if err := s.e.ProcessBytes(ev); err != nil {
+				return fmt.Errorf("streamxpath: %w", err)
+			}
+			return nil
 		}
-		if err != nil {
-			return nil, err
-		}
-		if e.Kind == sax.EndDocument {
-			sawEnd = true
-		}
-		if err := s.e.Process(e); err != nil {
-			return nil, fmt.Errorf("streamxpath: %w", err)
-		}
+		s.decFn = s.e.Decided
+	} else {
+		s.stok.Reset()
 	}
-	if !sawEnd {
+	sawEnd, err := streamDoc(r, s.stok, s.chunk, &s.rs, s.procFn, s.decFn)
+	if err != nil {
+		return nil, err
+	}
+	if !sawEnd && !s.rs.EarlyExit {
 		return nil, fmt.Errorf("streamxpath: document ended prematurely")
 	}
-	return s.e.MatchedIDs(), nil
+	return s.appendIDs(), nil
 }
 
-// MatchString is MatchReader over a string.
+// SetChunkSize sets the read granularity of MatchReader (n <= 0 restores
+// DefaultChunkSize).
+func (s *FilterSet) SetChunkSize(n int) { s.chunk = n }
+
+// ReaderStats returns the input accounting of the last MatchReader call:
+// bytes read, bytes tokenized, and whether every verdict was decided
+// before end of input.
+func (s *FilterSet) ReaderStats() ReaderStats { return s.rs }
+
+// MatchString matches a document given as a string: it is staged into a
+// reusable buffer and matched through the MatchBytes fast path (the
+// whole document is therefore validated — no early exit). Unlike
+// MatchBytes and MatchReader the returned slice is freshly allocated.
 func (s *FilterSet) MatchString(xml string) ([]string, error) {
-	return s.MatchReader(strings.NewReader(xml))
+	s.buf = append(s.buf[:0], xml...)
+	ids, err := s.MatchBytes(s.buf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(ids))
+	copy(out, ids)
+	return out, nil
 }
 
 // MatchBytes matches one in-memory document through the interned-symbol
@@ -138,11 +176,16 @@ func (s *FilterSet) MatchBytes(doc []byte) ([]string, error) {
 	if !sawEnd {
 		return nil, fmt.Errorf("streamxpath: document ended prematurely")
 	}
+	return s.appendIDs(), nil
+}
+
+// appendIDs refills the reusable result buffer with the matched ids.
+func (s *FilterSet) appendIDs() []string {
 	if s.ids == nil {
 		s.ids = make([]string, 0, 8)
 	}
 	s.ids = s.e.AppendMatchedIDs(s.ids[:0])
-	return s.ids, nil
+	return s.ids
 }
 
 // FilterSetStats reports the size of the shared structures and the work

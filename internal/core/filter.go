@@ -69,6 +69,9 @@ type Tuple struct {
 	wild bool
 	// drop marks the tuple for removal during a closeScope frontier sweep.
 	drop bool
+	// prov is scratch for Decided's allocation-free provisional walk; it
+	// is always false outside that call.
+	prov bool
 }
 
 // scope is an open candidate match of an internal query node: the element
@@ -575,6 +578,45 @@ func (f *Filter) WouldMatchIfClosedNow() bool {
 		}
 	}
 	return f.root.Matched || provisional[f.root]
+}
+
+// Decided reports whether the filter's verdict is already final
+// mid-stream, so a reader-driven caller may stop consuming input. After
+// endDocument it is trivially true. Before that, only a positive verdict
+// can be decided early (a dormant frontier can always revive on deeper
+// input): Decided answers WouldMatchIfClosedNow's question — resolve the
+// open candidate scopes bottom-up under the all-children-matched rule —
+// but allocation-free, by marking provisional tuples in place with a
+// scratch flag that is cleared before returning. Monotonicity (matched
+// flags latch; scope child sets are fixed at open) makes a true answer
+// final: when the open scopes really close, every provisionally matched
+// child has latched for real.
+func (f *Filter) Decided() bool {
+	if f.finished {
+		return true
+	}
+	if f.root == nil {
+		return false
+	}
+	for i := len(f.scopes) - 1; i >= 0; i-- { // innermost first
+		sc := &f.scopes[i]
+		all := true
+		for _, c := range sc.Children {
+			if !c.Matched && !c.prov {
+				all = false
+				break
+			}
+		}
+		if all {
+			sc.Tup.prov = true
+		}
+	}
+	decided := f.root.Matched || f.root.prov
+	for i := range f.scopes {
+		f.scopes[i].Tup.prov = false
+	}
+	f.root.prov = false
+	return decided
 }
 
 // ProcessAll streams a pre-materialized event sequence and returns the

@@ -382,6 +382,22 @@ func (e *Engine) MatchedCount() int {
 	return e.runner.MatchedCount() + e.mt.matchedCount
 }
 
+// Decided reports whether every subscription's verdict for the current
+// document is already final, so a streaming caller may stop feeding
+// events. Matching is monotone — matched flags latch and future events
+// only add matches — so the only mid-stream decision point is "everything
+// has matched": all linear runners satisfied (SharedRunner.AllMatched)
+// and every trie-routed subscription latched globally, which implies no
+// live predicate scope still gates a commit. The check is O(1) per call.
+// An empty engine reports false (there is no verdict to decide), and a
+// reader that exits on Decided skips validating the document's remainder.
+func (e *Engine) Decided() bool {
+	if e.dirty || !e.started || len(e.subs) == 0 {
+		return false
+	}
+	return e.runner.AllMatched() && e.mt.matchedCount == len(e.mt.tr.paths)
+}
+
 // Stats reports the size of the shared structures and the work done on
 // the last document — the engine-level analog of core.Stats.
 type Stats struct {

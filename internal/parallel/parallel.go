@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"streamxpath/internal/engine"
 	"streamxpath/internal/query"
@@ -53,6 +54,11 @@ type shard struct {
 	in  chan *batch
 	err error    // first processing error of the current document
 	ids []string // per-document scratch for AppendMatchedIDs
+	// decided is published by the worker after each batch once every
+	// subscription of this shard has matched; the streaming producer
+	// polls it between chunks to stop reading input early. Reset by the
+	// producer before the document's first dispatch.
+	decided atomic.Bool
 }
 
 // Sharded is the event-sharded engine. Construct with NewSharded, add
@@ -83,15 +89,40 @@ type Sharded struct {
 	tok     *sax.TokenizerBytes
 	matched []bool
 	ids     []string
+
+	// Streaming state of MatchReader: the resumable chunked tokenizer,
+	// the last call's input accounting, and the per-document state the
+	// cached Drive callbacks operate on (curB is the batch being filled;
+	// the callbacks are built once so repeat calls allocate nothing).
+	stok       *sax.StreamTokenizer
+	rstats     ReadStats
+	curB       *batch
+	needTextMR bool
+	dispatched bool
+	canDecide  bool
+	procCb     func(sax.ByteEvent) error
+	chunkCb    func()
+	decCb      func() bool
 }
 
+// ReadStats is the input accounting of the last MatchReader call.
+type ReadStats = sax.StreamStats
+
 // NewSharded returns an engine with n shards (n < 1 is treated as 1).
-func NewSharded(n int) *Sharded {
+func NewSharded(n int) *Sharded { return NewShardedTab(n, nil) }
+
+// NewShardedTab is NewSharded interning into tab (nil for a private
+// table) — the hook the adaptive engine uses to bind its sharded and
+// pooled halves to one symbol space.
+func NewShardedTab(n int, tab *symtab.Table) *Sharded {
 	if n < 1 {
 		n = 1
 	}
+	if tab == nil {
+		tab = symtab.New()
+	}
 	s := &Sharded{
-		tab:   symtab.New(),
+		tab:   tab,
 		index: map[string]int{},
 		free:  make(chan *batch, ringCap),
 	}
@@ -223,6 +254,12 @@ func (s *Sharded) run(sh *shard) {
 					break
 				}
 			}
+			// Publish this shard's early decision so a streaming producer
+			// can stop reading input once every shard has one. A shard
+			// with no subscriptions is trivially decided.
+			if sh.err == nil && !sh.decided.Load() && (sh.eng.Len() == 0 || sh.eng.Decided()) {
+				sh.decided.Store(true)
+			}
 		}
 		last := b.last
 		if b.release() {
@@ -250,16 +287,7 @@ func (s *Sharded) MatchBytes(doc []byte) ([]string, error) {
 	} else {
 		s.tok.Reset(doc)
 	}
-	// Ship text payloads only when some shard can read them (a
-	// value-restricted predicate leaf exists). NeedsText compiles dirty
-	// engines here, on the calling goroutine, while the shards are idle.
-	needText := false
-	for _, sh := range s.shards {
-		if sh.eng.NeedsText() {
-			needText = true
-			break
-		}
-	}
+	needText := s.needText()
 	s.wg.Add(len(s.shards))
 	b := s.getBatch()
 	b.first = true
@@ -286,6 +314,26 @@ func (s *Sharded) MatchBytes(doc []byte) ([]string, error) {
 	if tokErr == nil && !sawEnd {
 		tokErr = fmt.Errorf("streamxpath: document ended prematurely")
 	}
+	return s.finishDoc(b, tokErr)
+}
+
+// needText reports whether any shard reads character data (a
+// value-restricted predicate leaf exists), so text payloads must ship in
+// the batches. NeedsText compiles dirty engines here, on the calling
+// goroutine, while the shards are idle.
+func (s *Sharded) needText() bool {
+	for _, sh := range s.shards {
+		if sh.eng.NeedsText() {
+			return true
+		}
+	}
+	return false
+}
+
+// finishDoc dispatches the final batch (flagged abort on a tokenization
+// error), waits for the shards, and surfaces the first error or the
+// merged verdicts.
+func (s *Sharded) finishDoc(b *batch, tokErr error) ([]string, error) {
 	b.last = true
 	b.abort = tokErr != nil
 	s.dispatch(b)
@@ -299,6 +347,97 @@ func (s *Sharded) MatchBytes(doc []byte) ([]string, error) {
 		}
 	}
 	return s.merge(), nil
+}
+
+// MatchReader streams one document from r, tokenizing it chunk by chunk
+// (chunkSize <= 0 selects sax.DefaultChunkSize) on the calling goroutine
+// and broadcasting event batches to the shard workers as they fill — so
+// I/O, tokenization and matching overlap: the shards are matching the
+// first batches while the rest of the document is still arriving, and
+// nothing ever buffers the whole document. Results are identical to
+// MatchBytes on the document's bytes. Between chunks the producer polls
+// the shards' decided flags; once every shard has nothing left to prove
+// the reader is abandoned (ReadStats reports the early exit) and the
+// remainder goes unvalidated.
+func (s *Sharded) MatchReader(r io.Reader, chunkSize int) ([]string, error) {
+	ids, _, err := s.matchReader(r, chunkSize)
+	return ids, err
+}
+
+// matchReader is MatchReader returning this call's accounting directly
+// (concurrent callers make the stored "last call" stats ambiguous; the
+// adaptive engine needs its own call's numbers).
+func (s *Sharded) matchReader(r io.Reader, chunkSize int) ([]string, ReadStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ReadStats{}, errClosed
+	}
+	if s.stok == nil {
+		s.stok = sax.NewStreamTokenizer(s.tab)
+		// The Drive callbacks operate on per-document fields of s (one
+		// document runs at a time under s.mu), built once so repeat
+		// calls allocate nothing: procCb batches events (dispatching
+		// full batches), chunkCb flushes the partial batch at each chunk
+		// boundary — the shards start matching this chunk's events while
+		// the next chunk is being read — and decCb reports whether every
+		// shard has published an early decision for dispatched input.
+		s.procCb = func(ev sax.ByteEvent) error {
+			s.curB.add(ev, s.needTextMR)
+			if s.curB.full() {
+				s.dispatch(s.curB)
+				s.dispatched = true
+				s.curB = s.getBatch()
+			}
+			return nil
+		}
+		s.chunkCb = func() {
+			if len(s.curB.recs) > 0 {
+				s.dispatch(s.curB)
+				s.dispatched = true
+				s.curB = s.getBatch()
+			}
+		}
+		s.decCb = func() bool {
+			return s.canDecide && s.dispatched && s.allDecided()
+		}
+	} else {
+		s.stok.Reset()
+	}
+	s.needTextMR = s.needText()
+	for _, sh := range s.shards {
+		sh.decided.Store(false)
+	}
+	s.canDecide = len(s.order) > 0
+	s.dispatched = false
+	s.wg.Add(len(s.shards))
+	s.curB = s.getBatch()
+	s.curB.first = true
+	sawEnd, tokErr := s.stok.Drive(r, chunkSize, &s.rstats, s.procCb, s.chunkCb, s.decCb)
+	if tokErr == nil && !sawEnd && !s.rstats.EarlyExit {
+		tokErr = fmt.Errorf("streamxpath: document ended prematurely")
+	}
+	ids, err := s.finishDoc(s.curB, tokErr)
+	s.curB = nil
+	return ids, s.rstats, err
+}
+
+// allDecided reports whether every shard has published an early
+// decision for the current document.
+func (s *Sharded) allDecided() bool {
+	for _, sh := range s.shards {
+		if !sh.decided.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadStats returns the input accounting of the last MatchReader call.
+func (s *Sharded) ReadStats() ReadStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rstats
 }
 
 // merge folds the per-shard verdict sets back into the global insertion

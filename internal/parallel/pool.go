@@ -12,13 +12,14 @@ import (
 )
 
 // replica is one complete engine copy of a Pool: every subscription, its
-// own tokenizer and scratch. A replica is owned by exactly one MatchBytes
+// own tokenizers and scratch. A replica is owned by exactly one Match
 // call at a time (checked out of the idle ring), so its internals need no
 // further synchronization.
 type replica struct {
-	eng *engine.Engine
-	tok *sax.TokenizerBytes
-	ids []string
+	eng  *engine.Engine
+	tok  *sax.TokenizerBytes
+	stok *sax.StreamTokenizer
+	ids  []string
 }
 
 // Pool is the document-parallel mode: n engine replicas, each carrying
@@ -38,18 +39,27 @@ type Pool struct {
 	idle chan *replica
 	reps []*replica
 
-	// mu serializes Add/Remove/Len/IDs against each other; matching only
-	// contends on the idle ring.
-	mu    sync.Mutex
-	order []string
+	// mu serializes Add/Remove/Len/IDs against each other and guards the
+	// last-call reader stats; matching only contends on the idle ring.
+	mu     sync.Mutex
+	order  []string
+	rstats ReadStats
 }
 
 // NewPool returns a pool of n replicas (n < 1 is treated as 1).
-func NewPool(n int) *Pool {
+func NewPool(n int) *Pool { return NewPoolTab(n, nil) }
+
+// NewPoolTab is NewPool interning into tab (nil for a private table) —
+// the hook the adaptive engine uses to bind its sharded and pooled
+// halves to one symbol space.
+func NewPoolTab(n int, tab *symtab.Table) *Pool {
 	if n < 1 {
 		n = 1
 	}
-	p := &Pool{tab: symtab.New(), idle: make(chan *replica, n)}
+	if tab == nil {
+		tab = symtab.New()
+	}
+	p := &Pool{tab: tab, idle: make(chan *replica, n)}
 	for i := 0; i < n; i++ {
 		r := &replica{eng: engine.NewWithSymbols(p.tab)}
 		p.reps = append(p.reps, r)
@@ -174,6 +184,57 @@ func (p *Pool) MatchBytes(doc []byte) ([]string, error) {
 	out := make([]string, len(r.ids))
 	copy(out, r.ids)
 	return out, nil
+}
+
+// MatchReader streams one document from r on a checked-out replica
+// through the chunked resumable tokenizer (chunkSize <= 0 selects
+// sax.DefaultChunkSize): sequential bounded-memory matching with
+// mid-stream early exit, document-parallel across concurrent calls.
+func (p *Pool) MatchReader(r io.Reader, chunkSize int) ([]string, error) {
+	ids, rs, err := p.matchReader(r, chunkSize)
+	p.mu.Lock()
+	p.rstats = rs
+	p.mu.Unlock()
+	return ids, err
+}
+
+// ReadStats returns the input accounting of the last MatchReader call.
+func (p *Pool) ReadStats() ReadStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rstats
+}
+
+// matchReader is MatchReader returning this call's accounting directly
+// (concurrent calls make the stored "last call" stats ambiguous; the
+// adaptive engine needs its own call's numbers).
+func (p *Pool) matchReader(r io.Reader, chunkSize int) ([]string, ReadStats, error) {
+	var rs ReadStats
+	rep := <-p.idle
+	defer func() { p.idle <- rep }()
+	rep.eng.Reset()
+	if rep.stok == nil {
+		rep.stok = sax.NewStreamTokenizer(p.tab)
+	} else {
+		rep.stok.Reset()
+	}
+	process := func(ev sax.ByteEvent) error {
+		if err := rep.eng.ProcessBytes(ev); err != nil {
+			return fmt.Errorf("streamxpath: %w", err)
+		}
+		return nil
+	}
+	sawEnd, err := rep.stok.Drive(r, chunkSize, &rs, process, nil, rep.eng.Decided)
+	if err != nil {
+		return nil, rs, err
+	}
+	if !sawEnd && !rs.EarlyExit {
+		return nil, rs, fmt.Errorf("streamxpath: document ended prematurely")
+	}
+	rep.ids = rep.eng.AppendMatchedIDs(rep.ids[:0])
+	out := make([]string, len(rep.ids))
+	copy(out, rep.ids)
+	return out, rs, nil
 }
 
 // Symbols returns the shared symbol table.

@@ -1,0 +1,214 @@
+package sax
+
+import (
+	"io"
+
+	"streamxpath/internal/symtab"
+)
+
+// DefaultChunkSize is the read granularity stream consumers use when the
+// caller does not pick one: large enough that per-chunk overhead (one
+// Read call, one tail compaction, one early-exit probe) amortizes to
+// noise, small enough that peak memory stays a tiny fraction of any
+// document worth streaming.
+const DefaultChunkSize = 64 << 10
+
+// StreamTokenizer is the chunked form of TokenizerBytes: the same
+// zero-allocation interned-symbol event stream, produced from a document
+// that arrives as arbitrary byte windows instead of one buffer. Feed (or
+// FeedReader) appends a chunk, then Next drains events until it returns
+// ErrNeedMoreData — the signal that the remaining bytes are a prefix of
+// an incomplete construct. Internally the consumed prefix of the window
+// is discarded before each refill, so the retained state is exactly the
+// unconsumed tail plus the open-element stack: peak memory is bounded by
+// the chunk size plus the largest single token (a text run, tag, comment
+// or CDATA section — the paper's text-width term w), never by document
+// size.
+//
+// The scan state crosses chunk boundaries anywhere — mid-tag, mid-name,
+// mid-entity, mid-CDATA — because an incomplete construct is rewound to
+// its first byte and rescanned when more data arrives. Events are
+// byte-identical to running TokenizerBytes over the whole document in
+// one buffer (text runs never split at chunk boundaries), which the
+// differential split tests enforce at every offset.
+//
+// After the input ends, call Finish; Next then delivers the remaining
+// events, EndDocument, and io.EOF (or the syntax error a truncated
+// document deserves). A StreamTokenizer is reusable: Reset prepares it
+// for the next document, keeping the symbol table and every scratch
+// buffer, so steady-state streaming allocates only when the tail buffer
+// must grow past its high-water mark.
+//
+// Contract: Feed/FeedReader may only be called before the first Next or
+// after Next returned ErrNeedMoreData — pending events may alias the
+// current window, and refilling slides it.
+type StreamTokenizer struct {
+	t   *TokenizerBytes
+	buf []byte
+}
+
+// NewStreamTokenizer returns a chunked tokenizer interning names into
+// tab. A nil tab allocates a fresh table (retrievable via Table).
+func NewStreamTokenizer(tab *symtab.Table) *StreamTokenizer {
+	s := &StreamTokenizer{t: NewTokenizerBytes(nil, tab)}
+	s.t.streaming = true
+	return s
+}
+
+// Table returns the symbol table names are interned into.
+func (s *StreamTokenizer) Table() *symtab.Table { return s.t.tab }
+
+// Reset prepares the tokenizer for the next document, keeping the symbol
+// table and all scratch capacity.
+func (s *StreamTokenizer) Reset() {
+	s.buf = s.buf[:0]
+	s.t.Reset(s.buf)
+	s.t.streaming = true
+}
+
+// compact discards the consumed prefix of the window, sliding the
+// unconsumed tail to the front of the scratch buffer. Only valid between
+// documents or after Next returned ErrNeedMoreData (the rewound position
+// is then the start of the incomplete construct).
+func (s *StreamTokenizer) compact() {
+	t := s.t
+	if t.pos == 0 {
+		return
+	}
+	tail := copy(s.buf, s.buf[t.pos:])
+	s.buf = s.buf[:tail]
+	t.base += t.pos
+	t.pos = 0
+	t.data = s.buf
+}
+
+// Feed appends one chunk of the document. The chunk is copied into the
+// internal buffer, so the caller may reuse its slice immediately.
+func (s *StreamTokenizer) Feed(chunk []byte) {
+	s.compact()
+	s.buf = append(s.buf, chunk...)
+	s.t.data = s.buf
+}
+
+// FeedReader refills the window with one Read of up to chunkSize bytes
+// (DefaultChunkSize when chunkSize <= 0), taken directly into the
+// internal buffer — no intermediate copy. It returns the byte count and
+// the reader's error verbatim; on io.EOF the caller calls Finish and
+// drains. Like Feed it first discards the consumed prefix, so a steady
+// stream of same-sized chunks reuses one buffer.
+func (s *StreamTokenizer) FeedReader(r io.Reader, chunkSize int) (int, error) {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	s.compact()
+	need := len(s.buf) + chunkSize
+	if cap(s.buf) < need {
+		grown := make([]byte, len(s.buf), need)
+		copy(grown, s.buf)
+		s.buf = grown
+	}
+	n, err := r.Read(s.buf[len(s.buf):need])
+	s.buf = s.buf[:len(s.buf)+n]
+	s.t.data = s.buf
+	return n, err
+}
+
+// Finish marks the end of the input: no more chunks will be fed. Next
+// then resolves the remaining bytes — completing the document or
+// reporting the syntax error a truncated construct deserves.
+func (s *StreamTokenizer) Finish() { s.t.final = true }
+
+// Next returns the next event, ErrNeedMoreData when the window is
+// exhausted mid-construct (feed another chunk, or Finish), or io.EOF
+// after EndDocument. The Data slice of a Text event is only valid until
+// the next Next, Feed or FeedReader call.
+func (s *StreamTokenizer) Next() (ByteEvent, error) {
+	return s.t.Next()
+}
+
+// Consumed returns the number of document bytes fully tokenized so far —
+// the absolute offset of the scan position. On early exit this is how
+// much of the document the consumer actually needed.
+func (s *StreamTokenizer) Consumed() int { return s.t.base + s.t.pos }
+
+// StreamStats is the input accounting of one Drive call.
+type StreamStats struct {
+	// BytesRead is the number of bytes read from the io.Reader.
+	BytesRead int64
+	// BytesConsumed is the number of document bytes fully tokenized —
+	// on early exit, how much of the document the verdict needed.
+	BytesConsumed int64
+	// Chunks is the number of non-empty reads.
+	Chunks int
+	// EarlyExit reports that reading stopped before end of input because
+	// decided returned true. The unread remainder (and any unread suffix
+	// of the last chunk) was not validated.
+	EarlyExit bool
+}
+
+// Drive runs one document from r through the tokenizer: read a chunk
+// (chunkSize <= 0 selects DefaultChunkSize), drain its events into
+// process, call endChunk at each chunk boundary (nil to skip), probe
+// decided between chunks (nil to never exit early), and stop at end of
+// document, early decision, or error. Bytes returned alongside a
+// non-EOF read error are drained (and may decide the verdict) before
+// the error is surfaced. It returns whether EndDocument was processed;
+// a truncated or malformed document surfaces as the tokenizer's (or
+// process's) error. The caller resets the tokenizer and the consumer
+// first. Drive is the single implementation of the chunk loop every
+// reader entry point shares.
+func (s *StreamTokenizer) Drive(r io.Reader, chunkSize int, st *StreamStats, process func(ByteEvent) error, endChunk func(), decided func() bool) (bool, error) {
+	*st = StreamStats{}
+	sawEnd := false
+	for {
+		n, rerr := s.FeedReader(r, chunkSize)
+		if n > 0 {
+			st.BytesRead += int64(n)
+			st.Chunks++
+		}
+		eof := rerr == io.EOF
+		if eof {
+			s.Finish()
+		}
+		for {
+			ev, err := s.Next()
+			if err == ErrNeedMoreData || err == io.EOF {
+				break
+			}
+			if err != nil {
+				st.BytesConsumed = int64(s.Consumed())
+				return false, err
+			}
+			if ev.Kind == EndDocument {
+				sawEnd = true
+			}
+			if err := process(ev); err != nil {
+				st.BytesConsumed = int64(s.Consumed())
+				return false, err
+			}
+		}
+		st.BytesConsumed = int64(s.Consumed())
+		if sawEnd {
+			return true, nil
+		}
+		if endChunk != nil {
+			endChunk()
+		}
+		if decided != nil && decided() {
+			st.EarlyExit = true
+			return false, nil
+		}
+		if rerr != nil && !eof {
+			return false, rerr
+		}
+		if eof {
+			// Finish was processed and the stream still ended without
+			// EndDocument or a tokenizer error: nothing was fed at all.
+			return false, nil
+		}
+	}
+}
+
+// Buffered returns the size of the retained unconsumed tail — the
+// incomplete-construct bytes carried to the next chunk.
+func (s *StreamTokenizer) Buffered() int { return len(s.buf) - s.t.pos }

@@ -1,0 +1,330 @@
+package sax_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"streamxpath/internal/sax"
+	"streamxpath/internal/workload"
+)
+
+// streamCorpus is the chunk-boundary corpus: every syntactic feature the
+// tokenizer knows, so splitting at every offset lands boundaries mid-tag,
+// mid-name, mid-entity, mid-comment, mid-CDATA, mid-attribute-value and
+// mid-PI at least once each.
+var streamCorpus = []string{
+	"<a/>",
+	"<a></a>",
+	"<a><b>text</b><c/></a>",
+	"<?xml version=\"1.0\"?>\n<a>hi</a>\n",
+	"<a>x&lt;y&gt;&amp;&apos;&quot;z</a>",
+	"<a>&#65;&#x41;&#x1F600;</a>",
+	"<a><!-- comment --><b/></a>",
+	"<a><!-- tricky ---><b/>--></a>",
+	"<a><![CDATA[raw <>&" + "]]" + "]]>tail</a>",
+	"<a><![CDATA[]]></a>",
+	"<!DOCTYPE a>\n<a/>",
+	`<a id="1" name="x&amp;y">body</a>`,
+	`<a attr='single "quoted"'/>`,
+	"<a  spaced = \"v\" ></a>",
+	"<deep><deep><deep><leaf/></deep></deep></deep>",
+	"<a>one<b/>two<c/>three</a>",
+	"  \n\t<a/>  \n",
+	"<a><?pi data?><b/></a>",
+	"<mixed>pre<x y=\"1\"/>post</mixed>",
+	"<ns:elem ns:attr=\"v\"/>",
+	"<a>mixed &amp; entities &#x4E; in one run</a>",
+	// Error cases: truncated constructs must fail identically after the
+	// final chunk.
+	"",
+	"   ",
+	"<a>",
+	"<a></b>",
+	"<a/><b/>",
+	"</a>",
+	"<a>&unknown;</a>",
+	"<a b=c/>",
+	"<a b=\"<\"/>",
+	"<a><![CDATA[unterminated</a>",
+	"<a><!-- unterminated</a>",
+	"text outside<a/>",
+	"<a/>trailing text",
+	"<a", "<a b", "<a b=", "<a b=\"v", "<a>&am", "<a><!", "<a><![CD",
+	"<a>&toolongentityname;</a>",
+}
+
+// streamEvents runs the chunked tokenizer over doc split at the given
+// offsets (sorted, in-range), materializing the stream.
+func streamEvents(tok *sax.StreamTokenizer, doc string, splits []int) ([]sax.Event, error) {
+	tok.Reset()
+	var out []sax.Event
+	prev := 0
+	feed := func(chunk string, last bool) error {
+		tok.Feed([]byte(chunk))
+		if last {
+			tok.Finish()
+		}
+		for {
+			ev, err := tok.Next()
+			if err == sax.ErrNeedMoreData {
+				if last {
+					return io.ErrUnexpectedEOF // must not happen after Finish
+				}
+				return nil
+			}
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			out = append(out, ev.Event(tok.Table()))
+		}
+	}
+	for _, s := range splits {
+		if err := feed(doc[prev:s], false); err != nil {
+			return out, err
+		}
+		prev = s
+	}
+	return out, feed(doc[prev:], true)
+}
+
+// TestStreamTokenizerSplitEveryOffset is the chunk-boundary differential
+// test: every corpus document, split into two chunks at every byte
+// offset, must yield an event stream (and error-ness) identical to the
+// whole-buffer TokenizerBytes.
+func TestStreamTokenizerSplitEveryOffset(t *testing.T) {
+	tok := sax.NewStreamTokenizer(nil)
+	for _, doc := range streamCorpus {
+		want, wantErr := sax.ParseBytes([]byte(doc))
+		for off := 0; off <= len(doc); off++ {
+			got, gotErr := streamEvents(tok, doc, []int{off})
+			if (wantErr != nil) != (gotErr != nil) {
+				t.Fatalf("doc %q split at %d: whole-buffer err = %v, chunked err = %v",
+					doc, off, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			diffEvents(t, doc, got, want)
+		}
+	}
+}
+
+// TestStreamTokenizerMultiSplitRandom splits corpus documents and random
+// serialized trees at many random offsets at once — including runs of
+// empty chunks — and requires byte-identical event streams.
+func TestStreamTokenizerMultiSplitRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	tok := sax.NewStreamTokenizer(nil)
+	names := []string{"a", "b", "catalog", "item", "x"}
+	texts := []string{"v", "1 < 2 & 3", "", "  spaced  ", "\"quotes\"", "päivää"}
+	docs := append([]string{}, streamCorpus...)
+	for i := 0; i < 40; i++ {
+		d := workload.RandomTree(rng, names, texts, 5, 3)
+		doc, err := sax.SerializeString(d.Events())
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, doc)
+	}
+	for trial, doc := range docs {
+		want, wantErr := sax.ParseBytes([]byte(doc))
+		for rep := 0; rep < 8; rep++ {
+			n := rng.Intn(6)
+			splits := make([]int, 0, n)
+			for i := 0; i < n && len(doc) > 0; i++ {
+				splits = append(splits, rng.Intn(len(doc)+1))
+			}
+			sort.Ints(splits)
+			got, gotErr := streamEvents(tok, doc, splits)
+			if (wantErr != nil) != (gotErr != nil) {
+				t.Fatalf("trial %d doc %q splits %v: whole-buffer err = %v, chunked err = %v",
+					trial, doc, splits, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			diffEvents(t, doc, got, want)
+		}
+	}
+}
+
+// TestStreamTokenizerSteadyStateAllocs: once warm, re-streaming a
+// document in fixed-size chunks allocates nothing — the tail buffer,
+// symbol table and scratch all persist across Reset.
+func TestStreamTokenizerSteadyStateAllocs(t *testing.T) {
+	doc := []byte(`<catalog><item id="7">go &amp; xml</item><item><f1>deep &lt;text&gt;</f1></item></catalog>`)
+	tok := sax.NewStreamTokenizer(nil)
+	run := func() {
+		tok.Reset()
+		for pos := 0; pos < len(doc); pos += 16 {
+			end := pos + 16
+			if end > len(doc) {
+				end = len(doc)
+			}
+			tok.Feed(doc[pos:end])
+			if end == len(doc) {
+				tok.Finish()
+			}
+			for {
+				_, err := tok.Next()
+				if err == sax.ErrNeedMoreData || err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if tok.Consumed() != len(doc) {
+			t.Fatalf("consumed %d bytes, want %d", tok.Consumed(), len(doc))
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run() // warm symbols, tail buffer, scratch
+	}
+	allocs := testing.AllocsPerRun(100, run)
+	if allocs != 0 {
+		t.Fatalf("steady-state chunked tokenize: %v allocs/run, want 0", allocs)
+	}
+}
+
+// TestStreamTokenizerFeedReader drives the direct-fill path over a
+// reader, checking events against the whole-buffer tokenizer and the
+// Consumed accounting.
+func TestStreamTokenizerFeedReader(t *testing.T) {
+	doc := "<catalog><item id=\"7\">go &amp; xml</item><note><![CDATA[x<y]]></note></catalog>"
+	want, err := sax.ParseBytes([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 3, 7, 64 << 10} {
+		tok := sax.NewStreamTokenizer(nil)
+		r := strings.NewReader(doc)
+		var got []sax.Event
+		for {
+			_, rerr := tok.FeedReader(r, chunk)
+			if rerr == io.EOF {
+				tok.Finish()
+			} else if rerr != nil {
+				t.Fatal(rerr)
+			}
+			drained := false
+			for {
+				ev, err := tok.Next()
+				if err == sax.ErrNeedMoreData {
+					break
+				}
+				if err == io.EOF {
+					drained = true
+					break
+				}
+				if err != nil {
+					t.Fatalf("chunk %d: %v", chunk, err)
+				}
+				got = append(got, ev.Event(tok.Table()))
+			}
+			if drained {
+				break
+			}
+		}
+		diffEvents(t, doc, got, want)
+		if tok.Consumed() != len(doc) {
+			t.Fatalf("chunk %d: consumed %d, want %d", chunk, tok.Consumed(), len(doc))
+		}
+	}
+}
+
+// TestStreamTokenizerBoundedTail pins the memory claim: streaming a
+// document much larger than the chunk size, the retained tail never
+// exceeds one chunk plus the largest single token, regardless of
+// document size.
+func TestStreamTokenizerBoundedTail(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<catalog>")
+	for j := 0; j < 20000; j++ {
+		fmt.Fprintf(&b, "<item id=\"%d\"><name>element %d &amp; text</name></item>", j, j)
+	}
+	b.WriteString("</catalog>")
+	doc := []byte(b.String())
+	const chunk = 1 << 10
+	tok := sax.NewStreamTokenizer(nil)
+	r := bytes.NewReader(doc)
+	peak := 0
+	for {
+		_, rerr := tok.FeedReader(r, chunk)
+		if rerr == io.EOF {
+			tok.Finish()
+		} else if rerr != nil {
+			t.Fatal(rerr)
+		}
+		done := false
+		for {
+			_, err := tok.Next()
+			if err == sax.ErrNeedMoreData {
+				break
+			}
+			if err == io.EOF {
+				done = true
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if tok.Buffered() > peak {
+			peak = tok.Buffered()
+		}
+		if done {
+			break
+		}
+	}
+	// The largest token here is a ~60-byte tag; allow chunk + 256.
+	if peak > chunk+256 {
+		t.Fatalf("retained tail peaked at %d bytes for a %d-byte document (chunk %d)", peak, len(doc), chunk)
+	}
+	if tok.Consumed() != len(doc) {
+		t.Fatalf("consumed %d, want %d", tok.Consumed(), len(doc))
+	}
+}
+
+// FuzzStreamTokenizerSplits fuzzes documents together with split
+// positions: however the document is cut, the chunked stream must agree
+// with the whole-buffer one.
+func FuzzStreamTokenizerSplits(f *testing.F) {
+	f.Add("<a><b>text &amp; more</b><!--c--><![CDATA[d]]></a>", uint16(3), uint16(17))
+	f.Add(`<a id="1" x='&lt;'>t</a>`, uint16(7), uint16(9))
+	f.Add("<a>&#x41;<b/></a>", uint16(0), uint16(5))
+	f.Fuzz(func(t *testing.T, doc string, s1, s2 uint16) {
+		if len(doc) > 1<<12 {
+			return
+		}
+		want, wantErr := sax.ParseBytes([]byte(doc))
+		splits := []int{int(s1) % (len(doc) + 1), int(s2) % (len(doc) + 1)}
+		sort.Ints(splits)
+		tok := sax.NewStreamTokenizer(nil)
+		got, gotErr := streamEvents(tok, doc, splits)
+		if (wantErr != nil) != (gotErr != nil) {
+			t.Fatalf("doc %q splits %v: whole-buffer err = %v, chunked err = %v", doc, splits, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		if len(got) != len(want) {
+			t.Fatalf("doc %q splits %v: %d events, want %d", doc, splits, len(got), len(want))
+		}
+		for i := range got {
+			g, w := got[i], want[i]
+			if g.Kind != w.Kind || g.Name != w.Name || g.Data != w.Data || g.Attribute != w.Attribute {
+				t.Fatalf("doc %q splits %v: event %d = %+v, want %+v", doc, splits, i, g, w)
+			}
+		}
+	})
+}

@@ -2,11 +2,20 @@ package sax
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 
 	"streamxpath/internal/symtab"
 )
+
+// ErrNeedMoreData is returned by Next in streaming mode (see
+// StreamTokenizer) when the remaining input is a prefix of an incomplete
+// construct — a partial tag, name, entity reference, comment, CDATA
+// section, or an unterminated text run — whose outcome the next chunk
+// could change. The tokenizer rewinds to the construct's first byte, so
+// after more data arrives the construct is rescanned from the start.
+var ErrNeedMoreData = errors.New("sax: need more data")
 
 // TokenizerBytes converts a whole XML document held in a byte slice into
 // the five-event stream, with zero allocations per event in the steady
@@ -32,6 +41,25 @@ type TokenizerBytes struct {
 	pos  int
 	tab  *symtab.Table
 
+	// streaming marks the tokenizer as fed incrementally (by a
+	// StreamTokenizer): running out of data mid-construct yields
+	// ErrNeedMoreData instead of a syntax error, until final marks the
+	// last chunk. base is the document offset of data[0], so error
+	// offsets stay absolute while the window slides.
+	streaming bool
+	final     bool
+	base      int
+
+	// Resume state for suspended unbounded terminator scans (text runs,
+	// CDATA, comments/PIs, attribute values): suspendAt is the absolute
+	// document offset of the search region whose first scanned bytes
+	// were already verified terminator-free, so the rescan after the
+	// next chunk skips them — without this, a single construct spanning
+	// k chunks would cost O(k·construct) rescanning. suspendAt is -1
+	// when no scan is suspended.
+	suspendAt int
+	scanned   int
+
 	started  bool
 	ended    bool
 	rootSeen bool
@@ -56,7 +84,7 @@ func NewTokenizerBytes(data []byte, tab *symtab.Table) *TokenizerBytes {
 	if tab == nil {
 		tab = symtab.New()
 	}
-	return &TokenizerBytes{data: data, tab: tab}
+	return &TokenizerBytes{data: data, tab: tab, suspendAt: -1}
 }
 
 // Table returns the symbol table names are interned into.
@@ -67,6 +95,10 @@ func (t *TokenizerBytes) Table() *symtab.Table { return t.tab }
 func (t *TokenizerBytes) Reset(data []byte) {
 	t.data = data
 	t.pos = 0
+	t.final = false
+	t.base = 0
+	t.suspendAt = -1
+	t.scanned = 0
 	t.started = false
 	t.ended = false
 	t.rootSeen = false
@@ -79,7 +111,36 @@ func (t *TokenizerBytes) Reset(data []byte) {
 }
 
 func (t *TokenizerBytes) errf(format string, args ...any) error {
-	return &SyntaxError{Offset: t.pos, Msg: fmt.Sprintf(format, args...)}
+	return &SyntaxError{Offset: t.base + t.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// suspendable reports that running out of input here should suspend the
+// scan (more data may arrive) rather than fail it.
+func (t *TokenizerBytes) suspendable() bool { return t.streaming && !t.final }
+
+// scanFrom returns how many bytes of the search region starting at the
+// given window offset a previously suspended scan of this same construct
+// already verified terminator-free (0 for a fresh scan). The region is
+// identified by its absolute document offset, which is stable while the
+// window slides.
+func (t *TokenizerBytes) scanFrom(searchStart int) int {
+	if t.base+searchStart == t.suspendAt {
+		return t.scanned
+	}
+	return 0
+}
+
+// noteScan records, on suspension, that the search region starting at
+// searchStart holds no terminator before len(data)-overlap (overlap =
+// len(terminator)-1, the bytes a boundary-straddling terminator could
+// begin in).
+func (t *TokenizerBytes) noteScan(searchStart, overlap int) {
+	n := len(t.data) - searchStart - overlap
+	if n < 0 {
+		n = 0
+	}
+	t.suspendAt = t.base + searchStart
+	t.scanned = n
 }
 
 // Next returns the next event. The first event is always StartDocument
@@ -104,6 +165,9 @@ func (t *TokenizerBytes) Next() (ByteEvent, error) {
 	}
 	for {
 		if t.pos >= len(t.data) {
+			if t.suspendable() {
+				return ByteEvent{}, ErrNeedMoreData
+			}
 			if len(t.stack) > 0 {
 				return ByteEvent{}, t.errf("unexpected end of input: %d unclosed element(s), innermost <%s>",
 					len(t.stack), t.tab.Name(t.stack[len(t.stack)-1]))
@@ -114,9 +178,17 @@ func (t *TokenizerBytes) Next() (ByteEvent, error) {
 			t.ended = true
 			return ByteEvent{Kind: EndDocument}, nil
 		}
+		// mark is the construct's first byte: a suspended scan rewinds here
+		// (dropping any half-queued attribute events) and rescans once more
+		// data arrives.
+		mark := t.pos
 		if t.data[t.pos] == '<' {
 			ev, skip, err := t.readMarkup()
 			if err != nil {
+				if err == ErrNeedMoreData {
+					t.pos = mark
+					t.pending = t.pending[:0]
+				}
 				return ByteEvent{}, err
 			}
 			if skip {
@@ -126,6 +198,9 @@ func (t *TokenizerBytes) Next() (ByteEvent, error) {
 		}
 		ev, skip, err := t.readText()
 		if err != nil {
+			if err == ErrNeedMoreData {
+				t.pos = mark
+			}
 			return ByteEvent{}, err
 		}
 		if skip {
@@ -143,9 +218,18 @@ func (t *TokenizerBytes) Next() (ByteEvent, error) {
 // text-heavy documents approaches a memory scan.
 func (t *TokenizerBytes) readText() (ByteEvent, bool, error) {
 	start := t.pos
-	end := bytes.IndexByte(t.data[start:], '<')
+	skip := t.scanFrom(start)
+	end := bytes.IndexByte(t.data[start+skip:], '<')
 	if end < 0 {
+		if t.suspendable() {
+			// The run may continue into the next chunk; a text event never
+			// splits at a chunk boundary, so the whole run waits.
+			t.noteScan(start, 0)
+			return ByteEvent{}, false, ErrNeedMoreData
+		}
 		end = len(t.data) - start
+	} else {
+		end += skip
 	}
 	t.pos = start + end
 	out := t.data[start:t.pos]
@@ -189,6 +273,9 @@ func (t *TokenizerBytes) appendReference(buf []byte, p int) ([]byte, int, error)
 	start := p
 	for {
 		if p >= len(t.data) {
+			if t.suspendable() {
+				return nil, 0, ErrNeedMoreData
+			}
 			t.pos = len(t.data)
 			return nil, 0, t.errf("unterminated entity reference")
 		}
@@ -216,6 +303,9 @@ func (t *TokenizerBytes) appendReference(buf []byte, p int) ([]byte, int, error)
 func (t *TokenizerBytes) readMarkup() (ev ByteEvent, skip bool, err error) {
 	t.pos++ // consume '<'
 	if t.pos >= len(t.data) {
+		if t.suspendable() {
+			return ByteEvent{}, false, ErrNeedMoreData
+		}
 		return ByteEvent{}, false, t.errf("unterminated markup")
 	}
 	switch t.data[t.pos] {
@@ -238,17 +328,30 @@ var cdataOpen = []byte("[CDATA[")
 // readBang handles comments, CDATA and DOCTYPE after "<!".
 func (t *TokenizerBytes) readBang() (ByteEvent, bool, error) {
 	rest := t.data[t.pos:]
+	if t.suspendable() && (len(rest) == 0 ||
+		(rest[0] == '-' && len(rest) < 2) ||
+		(rest[0] == '[' && len(rest) < 7 && bytes.HasPrefix(cdataOpen, rest))) {
+		// "<!", "<!-", "<![", "<![CDA"... — the construct kind itself is
+		// still ambiguous until more bytes arrive.
+		return ByteEvent{}, false, ErrNeedMoreData
+	}
 	switch {
 	case len(rest) >= 2 && rest[0] == '-' && rest[1] == '-':
 		t.pos += 2
 		return ByteEvent{}, true, t.skipUntil("-->")
 	case len(rest) >= 7 && bytes.Equal(rest[:7], cdataOpen):
 		t.pos += 7
-		end := bytes.Index(t.data[t.pos:], []byte("]]>"))
+		skip := t.scanFrom(t.pos)
+		end := bytes.Index(t.data[t.pos+skip:], []byte("]]>"))
 		if end < 0 {
+			if t.suspendable() {
+				t.noteScan(t.pos, 2)
+				return ByteEvent{}, false, ErrNeedMoreData
+			}
 			t.pos = len(t.data)
 			return ByteEvent{}, false, t.errf("unterminated CDATA section")
 		}
+		end += skip
 		text := t.data[t.pos : t.pos+end]
 		t.pos += end + 3
 		if len(t.stack) == 0 {
@@ -265,12 +368,17 @@ func (t *TokenizerBytes) readBang() (ByteEvent, bool, error) {
 
 // skipUntil advances past the first occurrence of terminator.
 func (t *TokenizerBytes) skipUntil(terminator string) error {
-	i := bytes.Index(t.data[t.pos:], []byte(terminator))
+	skip := t.scanFrom(t.pos)
+	i := bytes.Index(t.data[t.pos+skip:], []byte(terminator))
 	if i < 0 {
+		if t.suspendable() {
+			t.noteScan(t.pos, len(terminator)-1)
+			return ErrNeedMoreData
+		}
 		t.pos = len(t.data)
 		return t.errf("unterminated construct (expected %q)", terminator)
 	}
-	t.pos += i + len(terminator)
+	t.pos += skip + i + len(terminator)
 	return nil
 }
 
@@ -285,6 +393,9 @@ func (t *TokenizerBytes) skipDecl() error {
 			return nil
 		}
 	}
+	if t.suspendable() {
+		return ErrNeedMoreData
+	}
 	return t.errf("unterminated declaration")
 }
 
@@ -295,6 +406,10 @@ func (t *TokenizerBytes) readName() ([]byte, error) {
 		t.pos++
 	}
 	if t.pos >= len(t.data) {
+		if t.suspendable() {
+			// Even a complete-looking name may continue in the next chunk.
+			return nil, ErrNeedMoreData
+		}
 		return nil, t.errf("unterminated name")
 	}
 	if t.pos == start {
@@ -331,6 +446,9 @@ func (t *TokenizerBytes) readStartTag() (ByteEvent, bool, error) {
 	t.attrSyms = t.attrSyms[:0]
 	for {
 		if !t.skipSpace() {
+			if t.suspendable() {
+				return ByteEvent{}, false, ErrNeedMoreData
+			}
 			return ByteEvent{}, false, t.errf("unterminated start tag <%s", name)
 		}
 		c := t.data[t.pos]
@@ -341,6 +459,9 @@ func (t *TokenizerBytes) readStartTag() (ByteEvent, bool, error) {
 		}
 		if c == '/' {
 			t.pos++
+			if t.pos >= len(t.data) && t.suspendable() {
+				return ByteEvent{}, false, ErrNeedMoreData
+			}
 			if t.pos >= len(t.data) || t.data[t.pos] != '>' {
 				return ByteEvent{}, false, t.errf("malformed self-closing tag <%s", name)
 			}
@@ -359,6 +480,9 @@ func (t *TokenizerBytes) readStartTag() (ByteEvent, bool, error) {
 		}
 		asym := t.tab.InternBytes(aname)
 		if !t.skipSpace() {
+			if t.suspendable() {
+				return ByteEvent{}, false, ErrNeedMoreData
+			}
 			return ByteEvent{}, false, t.errf("unterminated attribute %s", aname)
 		}
 		if t.data[t.pos] != '=' {
@@ -366,6 +490,9 @@ func (t *TokenizerBytes) readStartTag() (ByteEvent, bool, error) {
 		}
 		t.pos++
 		if !t.skipSpace() {
+			if t.suspendable() {
+				return ByteEvent{}, false, ErrNeedMoreData
+			}
 			return ByteEvent{}, false, t.errf("unterminated attribute %s", aname)
 		}
 		quote := t.data[t.pos]
@@ -397,11 +524,17 @@ func (t *TokenizerBytes) readStartTag() (ByteEvent, bool, error) {
 // enough for the queued Text event to be delivered).
 func (t *TokenizerBytes) readAttrValue(aname []byte, quote byte) ([]byte, error) {
 	start := t.pos
-	end := bytes.IndexByte(t.data[start:], quote)
+	skip := t.scanFrom(start)
+	end := bytes.IndexByte(t.data[start+skip:], quote)
 	if end < 0 {
+		if t.suspendable() {
+			t.noteScan(start, 0)
+			return nil, ErrNeedMoreData
+		}
 		t.pos = len(t.data)
 		return nil, t.errf("unterminated attribute value for %s", aname)
 	}
+	end += skip
 	raw := t.data[start : start+end]
 	if lt := bytes.IndexByte(raw, '<'); lt >= 0 {
 		t.pos = start + lt
@@ -436,6 +569,9 @@ func (t *TokenizerBytes) readEndTag() (ByteEvent, bool, error) {
 		return ByteEvent{}, false, err
 	}
 	if !t.skipSpace() {
+		if t.suspendable() {
+			return ByteEvent{}, false, ErrNeedMoreData
+		}
 		return ByteEvent{}, false, t.errf("unterminated end tag </%s", name)
 	}
 	if t.data[t.pos] != '>' {

@@ -27,11 +27,11 @@ import (
 // A ParallelFilterSet owns worker goroutines: call Close when done.
 type ParallelFilterSet struct {
 	s *parallel.Sharded
-	// mu guards buf, the document staging buffer of MatchReader and
-	// MatchString (the engine serializes Match calls itself, but the
-	// staging happens before the engine is entered).
-	mu  sync.Mutex
-	buf []byte
+	// mu guards buf (the MatchString staging buffer) and chunk; the
+	// engine serializes Match calls itself.
+	mu    sync.Mutex
+	buf   []byte
+	chunk int
 }
 
 // NewParallelFilterSet returns an empty set with the given number of
@@ -78,19 +78,36 @@ func (s *ParallelFilterSet) MatchBytes(doc []byte) ([]string, error) {
 	return s.s.MatchBytes(doc)
 }
 
-// MatchReader buffers the document from r and matches it through the
-// parallel byte path. (Event sharding needs the whole document's symbol
-// stream; callers with bounded-memory needs should use the sequential
-// FilterSet.MatchReader.)
+// MatchReader streams the document from r through the chunked parallel
+// path: the calling goroutine tokenizes each chunk as it arrives
+// (SetChunkSize; DefaultChunkSize otherwise) and broadcasts event
+// batches to the shard workers immediately, overlapping I/O,
+// tokenization and matching — the document is never buffered whole.
+// Results are identical to MatchBytes on the same bytes. Once every
+// shard's verdicts are decided mid-stream the reader is abandoned
+// (ReaderStats reports the early exit) and the document's remainder is
+// not validated.
 func (s *ParallelFilterSet) MatchReader(r io.Reader) ([]string, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	b, err := readAll(r, s.buf[:0])
-	s.buf = b
-	if err != nil {
-		return nil, err
-	}
-	return s.s.MatchBytes(s.buf)
+	chunk := s.chunk
+	s.mu.Unlock()
+	return s.s.MatchReader(r, chunk)
+}
+
+// SetChunkSize sets the read granularity of MatchReader (n <= 0 restores
+// DefaultChunkSize).
+func (s *ParallelFilterSet) SetChunkSize(n int) {
+	s.mu.Lock()
+	s.chunk = n
+	s.mu.Unlock()
+}
+
+// ReaderStats returns the input accounting of the last MatchReader call:
+// bytes read, bytes tokenized, and whether every verdict was decided
+// before end of input.
+func (s *ParallelFilterSet) ReaderStats() ReaderStats {
+	rs := s.s.ReadStats()
+	return ReaderStats(rs)
 }
 
 // MatchString is MatchBytes over a string.
@@ -109,26 +126,6 @@ func (s *ParallelFilterSet) Stats() FilterSetStats { return s.s.Stats() }
 // afterwards; Close is idempotent.
 func (s *ParallelFilterSet) Close() { s.s.Close() }
 
-// readAll appends r's contents to buf, reusing its capacity.
-func readAll(r io.Reader, buf []byte) ([]byte, error) {
-	if cap(buf) == 0 {
-		buf = make([]byte, 0, 4096)
-	}
-	for {
-		if len(buf) == cap(buf) {
-			buf = append(buf, 0)[:len(buf)]
-		}
-		n, err := r.Read(buf[len(buf):cap(buf)])
-		buf = buf[:len(buf)+n]
-		if err == io.EOF {
-			return buf, nil
-		}
-		if err != nil {
-			return buf, err
-		}
-	}
-}
-
 // FilterPool is the document-parallel dissemination engine: a pool of
 // complete engine replicas, each carrying every subscription, matching
 // whole documents independently. MatchBytes is safe to call from any
@@ -143,7 +140,9 @@ func readAll(r io.Reader, buf []byte) ([]byte, error) {
 // single document must be matched against a very large subscription set
 // as fast as possible.
 type FilterPool struct {
-	p *parallel.Pool
+	p     *parallel.Pool
+	mu    sync.Mutex
+	chunk int
 }
 
 // NewFilterPool returns an empty pool with the given number of replica
@@ -195,6 +194,139 @@ func (p *FilterPool) MatchString(xml string) ([]string, error) {
 	return p.p.MatchBytes([]byte(xml))
 }
 
+// MatchReader streams one document from r on a checked-out replica
+// through the chunked byte path: sequential bounded-memory matching with
+// mid-stream early exit, safe to call from any number of goroutines
+// concurrently (each call owns one replica).
+func (p *FilterPool) MatchReader(r io.Reader) ([]string, error) {
+	p.mu.Lock()
+	chunk := p.chunk
+	p.mu.Unlock()
+	return p.p.MatchReader(r, chunk)
+}
+
+// SetChunkSize sets the read granularity of MatchReader (n <= 0 restores
+// DefaultChunkSize).
+func (p *FilterPool) SetChunkSize(n int) {
+	p.mu.Lock()
+	p.chunk = n
+	p.mu.Unlock()
+}
+
+// ReaderStats returns the input accounting of the last MatchReader call
+// (with concurrent calls, "last" is whichever finished most recently).
+func (p *FilterPool) ReaderStats() ReaderStats {
+	return ReaderStats(p.p.ReadStats())
+}
+
 // Stats returns one replica's engine statistics (replicas are identical
 // in structure).
 func (p *FilterPool) Stats() FilterSetStats { return p.p.Stats() }
+
+// AdaptiveFilterSet picks the parallel mode per document: documents
+// below a size threshold — or subscription sets below a count threshold,
+// where per-shard work is too thin to amortize the event broadcast —
+// match on a FilterPool replica (document-parallel, no fan-out
+// overhead), and everything else fans out on the event-sharded engine.
+// Both halves share one symbol table and carry every subscription, so
+// the routing decision is free and results are identical either way
+// (and identical to the sequential FilterSet). MatchReader peeks the
+// first threshold bytes to learn the size class before committing.
+//
+// An AdaptiveFilterSet owns worker goroutines: call Close when done.
+type AdaptiveFilterSet struct {
+	a *parallel.Auto
+	// mu guards chunk and buf, the MatchString staging buffer.
+	mu    sync.Mutex
+	chunk int
+	buf   []byte
+}
+
+// NewAdaptiveFilterSet returns an empty adaptive set with the given
+// number of shards/replicas; workers < 1 selects GOMAXPROCS. The default
+// thresholds (parallel.AutoSizeThreshold/AutoMinSubs) apply.
+func NewAdaptiveFilterSet(workers int) *AdaptiveFilterSet {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &AdaptiveFilterSet{a: parallel.NewAuto(workers, 0, 0)}
+}
+
+// Add compiles a subscription under the given id on both halves. Ids
+// must be unique. Queries outside the streamable fragment (see
+// Query.NewFilter) are rejected.
+func (s *AdaptiveFilterSet) Add(id, querySrc string) error {
+	q, err := Compile(querySrc)
+	if err != nil {
+		return err
+	}
+	if err := s.a.Add(id, q.q); err != nil {
+		return fmt.Errorf("streamxpath: subscription %q: %w", id, err)
+	}
+	return nil
+}
+
+// Remove deregisters a subscription, reporting whether it existed.
+func (s *AdaptiveFilterSet) Remove(id string) bool { return s.a.Remove(id) }
+
+// Len returns the number of subscriptions.
+func (s *AdaptiveFilterSet) Len() int { return s.a.Len() }
+
+// IDs returns the subscription ids in insertion order.
+func (s *AdaptiveFilterSet) IDs() []string { return s.a.IDs() }
+
+// Shards returns the worker count of each half.
+func (s *AdaptiveFilterSet) Shards() int { return s.a.Shards() }
+
+// MatchBytes matches one in-memory document on the half the size policy
+// picks, returning the matching ids in insertion order (identical to
+// FilterSet.MatchBytes). Copy the slice if it must outlive the call.
+func (s *AdaptiveFilterSet) MatchBytes(doc []byte) ([]string, error) {
+	return s.a.MatchBytes(doc)
+}
+
+// MatchString is MatchBytes over a string, staged through a reusable
+// buffer (calls serialize on it).
+func (s *AdaptiveFilterSet) MatchString(xml string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = append(s.buf[:0], xml...)
+	return s.a.MatchBytes(s.buf)
+}
+
+// MatchReader streams one document from r: documents ending within the
+// size threshold match on a pooled replica; larger ones stream chunked —
+// sequentially on a replica when the subscription set is below the count
+// threshold (bounded memory without fan-out overhead), event-sharded
+// otherwise (I/O, tokenization and matching overlap) — with mid-stream
+// early exit once every verdict is decided.
+func (s *AdaptiveFilterSet) MatchReader(r io.Reader) ([]string, error) {
+	s.mu.Lock()
+	chunk := s.chunk
+	s.mu.Unlock()
+	return s.a.MatchReader(r, chunk)
+}
+
+// SetChunkSize sets the read granularity of MatchReader (n <= 0 restores
+// DefaultChunkSize).
+func (s *AdaptiveFilterSet) SetChunkSize(n int) {
+	s.mu.Lock()
+	s.chunk = n
+	s.mu.Unlock()
+}
+
+// ReaderStats returns the input accounting of the last MatchReader call.
+func (s *AdaptiveFilterSet) ReaderStats() ReaderStats {
+	return ReaderStats(s.a.ReadStats())
+}
+
+// LastMode reports which half the last Match call ran on: "shard" or
+// "pool".
+func (s *AdaptiveFilterSet) LastMode() string { return s.a.LastMode() }
+
+// Stats returns the sharded half's aggregated engine statistics.
+func (s *AdaptiveFilterSet) Stats() FilterSetStats { return s.a.Stats() }
+
+// Close stops the worker goroutines. The set is unusable afterwards;
+// Close is idempotent.
+func (s *AdaptiveFilterSet) Close() { s.a.Close() }

@@ -1,0 +1,41 @@
+package streamxpath
+
+import (
+	"io"
+
+	"streamxpath/internal/sax"
+)
+
+// DefaultChunkSize is the read granularity of the chunked reader entry
+// points (Filter.MatchReader, FilterSet.MatchReader,
+// ParallelFilterSet.MatchReader, StreamEvaluator.EvaluateReader) when no
+// chunk size has been set.
+const DefaultChunkSize = sax.DefaultChunkSize
+
+// ReaderStats describes the last MatchReader/EvaluateReader call of the
+// object that returned it: how much input was pulled from the reader,
+// how much of it the tokenizer consumed, and whether the call stopped
+// early because the verdict was already decided.
+type ReaderStats struct {
+	// BytesRead is the number of bytes read from the io.Reader.
+	BytesRead int64
+	// BytesConsumed is the number of document bytes fully tokenized —
+	// on early exit, how much of the document the verdict needed.
+	BytesConsumed int64
+	// Chunks is the number of non-empty reads.
+	Chunks int
+	// EarlyExit reports that reading stopped before end of input because
+	// every verdict was decided. The unread remainder (and any unread
+	// suffix of the last chunk) was not validated.
+	EarlyExit bool
+}
+
+// streamDoc drives one document from r through the chunked tokenizer
+// (see sax.StreamTokenizer.Drive), recording the input accounting into
+// st. The caller resets tok and the consumer first.
+func streamDoc(r io.Reader, tok *sax.StreamTokenizer, chunkSize int, st *ReaderStats, process func(sax.ByteEvent) error, decided func() bool) (bool, error) {
+	var ss sax.StreamStats
+	sawEnd, err := tok.Drive(r, chunkSize, &ss, process, nil, decided)
+	*st = ReaderStats(ss)
+	return sawEnd, err
+}

@@ -3,23 +3,25 @@
 # so the performance trajectory is tracked PR over PR.
 #
 # Usage:
-#   scripts/bench.sh [output.json]          # default: BENCH_pr3.json
+#   scripts/bench.sh [output.json]          # default: BENCH_pr4.json
 #   BENCHTIME=1s scripts/bench.sh           # longer, steadier numbers
 #   CPUS=1,2,4,8 scripts/bench.sh           # parallel-arm scaling sweep
 #
-# The main pass runs the sequential hot-path arms; the second pass runs
-# the parallel dissemination arms (BenchmarkParallelFilterSet) across the
-# CPUS list so the snapshot records the cores-vs-throughput curve.
+# The main pass runs the sequential hot-path arms — including the
+# chunked-vs-buffered BenchmarkMatchReader family with alloc tracking —
+# and the second pass runs the parallel dissemination arms
+# (BenchmarkParallelFilterSet) across the CPUS list so the snapshot
+# records the cores-vs-throughput curve.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr3.json}"
+out="${1:-BENCH_pr4.json}"
 benchtime="${BENCHTIME:-1x}"
 cpus="${CPUS:-1,2,4}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench '^BenchmarkFilterSet$|Throughput' -benchmem -benchtime "$benchtime" . | tee "$raw"
+go test -run '^$' -bench '^BenchmarkFilterSet$|Throughput|^BenchmarkMatchReader$' -benchmem -benchtime "$benchtime" . | tee "$raw"
 go test -run '^$' -bench 'Parallel' -benchtime "$benchtime" -cpu "$cpus" . | tee -a "$raw"
 
 {

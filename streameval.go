@@ -17,6 +17,12 @@ import (
 // until the c arrives. The evaluator's Stats expose that buffering.)
 type StreamEvaluator struct {
 	e *streameval.Evaluator
+	// Chunked-reader state of EvaluateReader: resumable tokenizer, chunk
+	// size (0 = DefaultChunkSize), last-call stats, cached event callback.
+	stok   *sax.StreamTokenizer
+	chunk  int
+	rs     ReaderStats
+	procFn func(ev sax.ByteEvent) error
 }
 
 // NewStreamEvaluator compiles the streaming evaluator. The query must be
@@ -36,21 +42,29 @@ func (q *Query) NewStreamEvaluator() (*StreamEvaluator, error) {
 func (s *StreamEvaluator) OnValue(fn func(value string)) { s.e.Emit = fn }
 
 // EvaluateReader streams a document and returns the selected values in
-// document order.
+// document order. The document is read in fixed-size chunks
+// (SetChunkSize; DefaultChunkSize otherwise) through the resumable byte
+// tokenizer, so the input is never buffered whole — only the evaluator's
+// own candidate buffering (see Stats) and the tokenizer's
+// unconsumed-tail window are held. Full evaluation can never exit early:
+// every selected value must be read, so the stream is always consumed to
+// the end.
 func (s *StreamEvaluator) EvaluateReader(r io.Reader) ([]string, error) {
 	s.e.Reset()
-	tok := sax.NewTokenizer(r)
-	for {
-		ev, err := tok.Next()
-		if err == io.EOF {
-			break
+	if s.stok == nil {
+		s.stok = sax.NewStreamTokenizer(nil)
+		tab := s.stok.Table()
+		s.procFn = func(ev sax.ByteEvent) error {
+			// The evaluator buffers and emits string values, so its event
+			// surface stays the string Event; symbol names resolve without
+			// copying, text payloads are materialized per event.
+			return s.e.Process(ev.Event(tab))
 		}
-		if err != nil {
-			return nil, err
-		}
-		if err := s.e.Process(ev); err != nil {
-			return nil, err
-		}
+	} else {
+		s.stok.Reset()
+	}
+	if _, err := streamDoc(r, s.stok, s.chunk, &s.rs, s.procFn, nil); err != nil {
+		return nil, err
 	}
 	if res := s.e.Results(); res != nil {
 		return res, nil
@@ -60,6 +74,14 @@ func (s *StreamEvaluator) EvaluateReader(r io.Reader) ([]string, error) {
 	}
 	return nil, nil
 }
+
+// SetChunkSize sets the read granularity of EvaluateReader (n <= 0
+// restores DefaultChunkSize).
+func (s *StreamEvaluator) SetChunkSize(n int) { s.chunk = n }
+
+// ReaderStats returns the input accounting of the last EvaluateReader
+// call.
+func (s *StreamEvaluator) ReaderStats() ReaderStats { return s.rs }
 
 // EvaluateString is EvaluateReader over a string.
 func (s *StreamEvaluator) EvaluateString(xml string) ([]string, error) {

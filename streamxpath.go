@@ -57,7 +57,6 @@ package streamxpath
 import (
 	"fmt"
 	"io"
-	"strings"
 
 	"streamxpath/internal/core"
 	"streamxpath/internal/query"
@@ -108,6 +107,17 @@ type Filter struct {
 	f   *core.Filter
 	tab *symtab.Table
 	tok *sax.TokenizerBytes
+
+	// Chunked-reader state: the resumable tokenizer of MatchReader, its
+	// chunk size (0 = DefaultChunkSize), the stats of the last call, and
+	// the MatchString staging buffer. procFn/decFn are the streamDoc
+	// callbacks, built once so repeat MatchReader calls allocate nothing.
+	stok   *sax.StreamTokenizer
+	chunk  int
+	rs     ReaderStats
+	buf    []byte
+	procFn func(sax.ByteEvent) error
+	decFn  func() bool
 }
 
 // NewFilter compiles the streaming filter. It returns an error if the
@@ -125,32 +135,55 @@ func (q *Query) NewFilter() (*Filter, error) {
 	return &Filter{f: f, tab: tab}, nil
 }
 
-// MatchReader streams an XML document from r and reports whether it
-// matches the query.
+// MatchReader streams an XML document from r through the chunked
+// interned-symbol byte path: the document is read in fixed-size chunks
+// (SetChunkSize; DefaultChunkSize otherwise), tokenized by a resumable
+// tokenizer that retains only the unconsumed tail across chunk
+// boundaries, and matched event by event — peak memory is bounded by the
+// chunk size plus the open-element depth, never the document size, and
+// the steady-state per-event cost is allocation-free. The moment the
+// verdict is decided (conjunctive matching is monotone, so a provisional
+// match is final) the reader stops being consumed; ReaderStats reports
+// the early exit and how many bytes it needed. Note that on early exit
+// the remainder of the document is not validated.
 func (f *Filter) MatchReader(r io.Reader) (bool, error) {
 	f.f.Reset()
-	tok := sax.NewTokenizer(r)
-	for {
-		e, err := tok.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return false, err
-		}
-		if err := f.f.Process(e); err != nil {
-			return false, err
-		}
+	if f.stok == nil {
+		f.stok = sax.NewStreamTokenizer(f.tab)
+		f.procFn = f.f.ProcessBytes
+		f.decFn = f.f.Decided
+	} else {
+		f.stok.Reset()
+	}
+	_, err := streamDoc(r, f.stok, f.chunk, &f.rs, f.procFn, f.decFn)
+	if err != nil {
+		return false, err
 	}
 	if !f.f.Done() {
+		if f.rs.EarlyExit {
+			// Only a positive verdict is decidable mid-stream.
+			return true, nil
+		}
 		return false, fmt.Errorf("streamxpath: document ended prematurely")
 	}
 	return f.f.Matched(), nil
 }
 
-// MatchString filters an XML document given as a string.
+// SetChunkSize sets the read granularity of MatchReader (n <= 0 restores
+// DefaultChunkSize).
+func (f *Filter) SetChunkSize(n int) { f.chunk = n }
+
+// ReaderStats returns the input accounting of the last MatchReader call:
+// bytes read, bytes tokenized, and whether the verdict was decided
+// before end of input.
+func (f *Filter) ReaderStats() ReaderStats { return f.rs }
+
+// MatchString filters an XML document given as a string: it is staged
+// into a reusable buffer and matched through the MatchBytes fast path,
+// so the whole document is validated (no early exit).
 func (f *Filter) MatchString(xml string) (bool, error) {
-	return f.MatchReader(strings.NewReader(xml))
+	f.buf = append(f.buf[:0], xml...)
+	return f.MatchBytes(f.buf)
 }
 
 // MatchBytes filters an XML document held in a byte slice through the

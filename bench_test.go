@@ -733,6 +733,104 @@ func BenchmarkMatchReader(b *testing.B) {
 	})
 }
 
+// BenchmarkMatchReaderNoMatch quantifies the negative early exit (PR 5)
+// on the common dissemination case of a document that matches nothing: a
+// /news-rooted subscription set fed a large <catalog> document. The
+// buffered arm validates the whole document (MatchBytes has no early
+// exit); the chunked-fullread arm adds one universally live descendant
+// subscription, pinning the chunked reader to end of input — the pre-
+// dead-state-analysis cost; the chunked-negexit arm runs the /news set
+// alone, and the dead-state analysis abandons the reader at the first
+// chunk. readFrac is the fraction of the document the verdict consumed.
+func BenchmarkMatchReaderNoMatch(b *testing.B) {
+	// ~1.2MB catalog document with a bounded name vocabulary (unlike
+	// disseminationDoc's per-item leaf names, which would drag the known
+	// O(n²) symtab-interning cost into every arm's setup).
+	var big strings.Builder
+	big.WriteString("<catalog>")
+	for j := 0; j < 22000; j++ {
+		fmt.Fprintf(&big, "<item><priority>%d</priority><f%d/><f%d/></item>", j%12, j%10, (j+5)%10)
+	}
+	big.WriteString("</catalog>")
+	doc := []byte(big.String())
+	newsSubs := make([]string, 40)
+	for i := range newsSubs {
+		switch i % 3 {
+		case 0:
+			newsSubs[i] = fmt.Sprintf("/news/sports/item/f%d", i)
+		case 1:
+			newsSubs[i] = fmt.Sprintf("/news//f%d", i)
+		default:
+			newsSubs[i] = fmt.Sprintf("/news/item[priority > %d]/f%d", i%10, i)
+		}
+	}
+	newSet := func(b *testing.B, extra ...string) *streamxpath.FilterSet {
+		s := streamxpath.NewFilterSet()
+		for i, src := range append(append([]string(nil), newsSubs...), extra...) {
+			if err := s.Add(fmt.Sprintf("s%d", i), src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.MatchBytes(doc); err != nil { // compile + warm
+			b.Fatal(err)
+		}
+		return s
+	}
+	b.Run("buffered", func(b *testing.B) {
+		s := newSet(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.MatchBytes(doc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("chunked-fullread", func(b *testing.B) {
+		s := newSet(b, "//never/matches")
+		r := bytes.NewReader(doc)
+		for i := 0; i < 3; i++ { // warm the tail buffer and scratch
+			r.Reset(doc)
+			if _, err := s.MatchReader(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Reset(doc)
+			if _, err := s.MatchReader(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if rs := s.ReaderStats(); rs.EarlyExit {
+			b.Fatal("fullread arm exited early")
+		}
+	})
+	b.Run("chunked-negexit", func(b *testing.B) {
+		s := newSet(b)
+		r := bytes.NewReader(doc)
+		for i := 0; i < 3; i++ {
+			r.Reset(doc)
+			if _, err := s.MatchReader(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Reset(doc)
+			if _, err := s.MatchReader(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		rs := s.ReaderStats()
+		if !rs.EarlyExit || !rs.DecidedNegative {
+			b.Fatalf("expected negative early exit, got %+v", rs)
+		}
+		b.ReportMetric(float64(rs.BytesConsumed)/float64(len(doc)), "readFrac")
+	})
+}
+
 // --- the parallel dissemination family (PR 3) ---
 //
 // Run with -cpu 1,2,4,8 to trace the scaling curve: the sequential arm

@@ -171,11 +171,17 @@ func openInput(name string) (io.Reader, func(), error) {
 }
 
 // reportEarlyExit prints the bytes-consumed line when a streaming match
-// stopped before end of input.
+// stopped before end of input, tagging the decision direction: positive
+// (everything matched) or negative (the dead-state analysis proved the
+// remaining subscriptions can never match this document).
 func reportEarlyExit(rs streamxpath.ReaderStats) {
 	if rs.EarlyExit {
-		fmt.Printf("  early exit: verdicts decided after %d bytes consumed (%d read)\n",
-			rs.BytesConsumed, rs.BytesRead)
+		outcome := "positive"
+		if rs.DecidedNegative {
+			outcome = "negative"
+		}
+		fmt.Printf("  early exit (%s): verdicts decided after %d bytes consumed (%d read)\n",
+			outcome, rs.BytesConsumed, rs.BytesRead)
 	}
 }
 

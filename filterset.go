@@ -88,10 +88,14 @@ func (s *FilterSet) Reset() { s.e.Reset() }
 // depth rather than document size, and steady-state per-event cost is
 // allocation-free — the same pipeline as MatchBytes, without buffering
 // the document. When every subscription's verdict is decided mid-stream
-// (all matched; matching is monotone) the reader stops being consumed —
-// ReaderStats reports the early exit — and the document's remainder is
-// not validated. The result is non-nil even when empty and is reused by
-// the next Match call on this set.
+// the reader stops being consumed — ReaderStats reports the early exit,
+// and whether it was (partly) negative — and the document's remainder is
+// not validated. Positive verdicts latch by monotonicity; negative ones
+// by the dead-state analysis (no continuation of the document can reach
+// the subscription's remaining steps), so a `/news/...`-only set
+// abandons a <catalog> document at its first start tag. The result is
+// non-nil even when empty and is reused by the next Match call on this
+// set.
 func (s *FilterSet) MatchReader(r io.Reader) ([]string, error) {
 	// Reset up front so a previous document that failed mid-stream (and
 	// never reached endDocument) cannot wedge the engine in its
@@ -116,7 +120,9 @@ func (s *FilterSet) MatchReader(r io.Reader) ([]string, error) {
 	if !sawEnd && !s.rs.EarlyExit {
 		return nil, fmt.Errorf("streamxpath: document ended prematurely")
 	}
-	return s.appendIDs(), nil
+	ids := s.appendIDs()
+	s.rs.DecidedNegative = s.rs.EarlyExit && len(ids) < s.e.Len()
+	return ids, nil
 }
 
 // SetChunkSize sets the read granularity of MatchReader (n <= 0 restores

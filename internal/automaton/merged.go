@@ -40,6 +40,16 @@ type mstate struct {
 	// outputs are the subscription ids accepted when this state is
 	// entered by a direct match (not retained across a gap).
 	outputs []int
+	// reachFresh/reachLoop are the dead-state analysis: the output ids
+	// any path of one or more further elements can still emit from this
+	// state in fresh respectively looping mode. Fresh states may advance
+	// into any child; looping states only into descendant-axis children
+	// (a child-axis step must match exactly one level below the fresh
+	// occurrence). Both sets are computed once by Bind; the runner unions
+	// them per interned item set to learn which subscriptions a document
+	// suffix can still satisfy.
+	reachFresh []int
+	reachLoop  []int
 }
 
 // NewMergedNFA returns an automaton containing only the root state.
@@ -80,8 +90,9 @@ func (m *MergedNFA) Add(q *query.Query, out int) error {
 }
 
 // Bind interns every state's node test into tab, enabling the symbol
-// step path. It must be called (by NewSharedRunner) after the last Add
-// and before the first event.
+// step path, and computes the per-state reachable-output sets of the
+// dead-state analysis. It must be called (by NewSharedRunner) after the
+// last Add and before the first event.
 func (m *MergedNFA) Bind(tab *symtab.Table) {
 	for i := range m.states {
 		st := &m.states[i]
@@ -94,6 +105,82 @@ func (m *MergedNFA) Bind(tab *symtab.Table) {
 			st.sym = tab.Intern(st.ntest)
 		}
 	}
+	m.computeReach()
+}
+
+// computeReach fills every state's reachFresh/reachLoop sets bottom-up.
+// The state graph is a trie (plus self loops, which add nothing to
+// reachability), so children strictly follow their parents in state
+// order and a reverse sweep visits each subtree before its root:
+//
+//	reachFresh(s) = ∪ over all children c of outputs(c) ∪ reachFresh(c)
+//	reachLoop(s)  = the same union over descendant-axis children only
+//
+// Total size is bounded by the sum of all subscriptions' path lengths
+// (each output appears only in its trie ancestors' sets).
+func (m *MergedNFA) computeReach() {
+	var seen map[int]bool
+	union := func(children []int, descOnly bool) []int {
+		for k := range seen {
+			delete(seen, k)
+		}
+		var out []int
+		for _, ci := range children {
+			c := &m.states[ci]
+			if descOnly && !c.descendant {
+				continue
+			}
+			for _, o := range c.outputs {
+				if !seen[o] {
+					seen[o] = true
+					out = append(out, o)
+				}
+			}
+			for _, o := range c.reachFresh {
+				if !seen[o] {
+					seen[o] = true
+					out = append(out, o)
+				}
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+	seen = make(map[int]bool)
+	for i := len(m.states) - 1; i >= 0; i-- {
+		st := &m.states[i]
+		st.reachFresh = union(st.children, false)
+		if st.hasDescChild {
+			st.reachLoop = union(st.children, true)
+		} else {
+			st.reachLoop = nil
+		}
+	}
+}
+
+// liveOutputs returns the sorted union of the outputs any continuation
+// of one or more elements can still emit from an item set — the fresh
+// items' reachFresh sets plus the looping items' reachLoop sets. Outputs
+// of the set's own states are excluded: they were emitted (and latched)
+// when the set was entered.
+func (m *MergedNFA) liveOutputs(items []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, it := range items {
+		st := &m.states[it>>1]
+		reach := st.reachFresh
+		if it&loopingBit != 0 {
+			reach = st.reachLoop
+		}
+		for _, o := range reach {
+			if !seen[o] {
+				seen[o] = true
+				out = append(out, o)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Size returns the number of trie states (including the root) — the
@@ -172,13 +259,25 @@ type SharedRunner struct {
 	index map[string]int
 	// rows[set][sym] holds the memoized successor set id + 1; 0 means not
 	// yet computed. Rows grow lazily to the symbol table's size.
-	rows    [][]uint32
+	rows [][]uint32
+	// liveOut[set] is the cached MergedNFA.liveOutputs of the set — which
+	// outputs a continuation from it can still emit.
+	liveOut [][]int
 	startID int // interned id of the initial item set
 	stack   []int
 	depth   int // levels processed while short-circuited
 	Matched []bool
 	left    int // outputs not yet matched
-	stats   DFAStats
+	// Dead-state bookkeeping. XML has exactly one root element (the
+	// tokenizers reject a second), so the moment the root's item set is
+	// pushed, the outputs any document suffix can still emit are fixed:
+	// liveOut of that set. live marks them; liveLeft counts those not yet
+	// matched — when it hits zero every remaining output is decided
+	// negative and the runner stops doing per-element work. Before the
+	// root element everything is considered live.
+	live     []bool
+	liveLeft int
+	stats    DFAStats
 }
 
 // NewSharedRunner returns a runner over the merged automaton with a
@@ -219,6 +318,13 @@ func (r *SharedRunner) Reset() {
 		r.Matched = make([]bool, r.m.outputs)
 	}
 	r.left = r.m.outputs
+	if len(r.live) != r.m.outputs {
+		r.live = make([]bool, r.m.outputs)
+	}
+	for i := range r.live {
+		r.live[i] = true
+	}
+	r.liveLeft = r.m.outputs
 	r.stats.PeakStack = 0
 }
 
@@ -231,6 +337,7 @@ func (r *SharedRunner) intern(items []int) int {
 	r.sets = append(r.sets, items)
 	r.index[k] = id
 	r.emit = append(r.emit, r.m.emitted(items))
+	r.liveOut = append(r.liveOut, r.m.liveOutputs(items))
 	r.rows = append(r.rows, nil)
 	r.stats.States = len(r.sets)
 	return id
@@ -250,11 +357,15 @@ func (r *SharedRunner) StartElement(name string) {
 
 // StartElementSym processes a startElement event whose name was interned
 // by the tokenizer, latching any outputs accepted by the transition.
-// Once every output has matched the runner only counts depth (the
+// Once every output has matched — or every still-live output has, so the
+// rest are decided negative — the runner only counts depth (the
 // per-subscription monotone early exit, applied to the whole shared
-// index). Warm transitions touch no map and allocate nothing.
+// index). The liveLeft shortcut applies only inside an element (stack
+// depth > 1): a start at depth 1 would be a new root, whose subtree the
+// live set does not describe, so it is processed in full and refreshes
+// the live set. Warm transitions touch no map and allocate nothing.
 func (r *SharedRunner) StartElementSym(sym symtab.Sym) {
-	if r.left == 0 || len(r.stack) == 0 {
+	if len(r.stack) == 0 || r.left == 0 || (r.liveLeft == 0 && len(r.stack) > 1) {
 		r.depth++
 		return
 	}
@@ -292,11 +403,37 @@ func (r *SharedRunner) StartElementSym(sym symtab.Sym) {
 		if !r.Matched[out] {
 			r.Matched[out] = true
 			r.left--
+			if r.live[out] {
+				r.liveLeft--
+			}
 		}
 	}
 	r.stack = append(r.stack, nextID)
+	if len(r.stack) == 2 {
+		// The root element just opened: from here on only its subtree can
+		// produce elements, so the outputs reachable from its item set are
+		// the only ones still undecided. Applied after this transition's
+		// own emissions so freshly latched outputs are not double-counted.
+		r.applyLive(nextID)
+	}
 	if len(r.stack) > r.stats.PeakStack {
 		r.stats.PeakStack = len(r.stack)
+	}
+}
+
+// applyLive narrows the live set to the outputs reachable from set id —
+// the dead-state analysis applied at the document root. O(outputs), once
+// per document.
+func (r *SharedRunner) applyLive(id int) {
+	for i := range r.live {
+		r.live[i] = false
+	}
+	r.liveLeft = 0
+	for _, o := range r.liveOut[id] {
+		r.live[o] = true
+		if !r.Matched[o] {
+			r.liveLeft++
+		}
 	}
 }
 
@@ -314,6 +451,15 @@ func (r *SharedRunner) EndElement() {
 // AllMatched reports whether every output has latched (so callers may stop
 // feeding elements entirely).
 func (r *SharedRunner) AllMatched() bool { return r.left == 0 }
+
+// Undecided returns the number of outputs whose verdict is still open:
+// not yet matched and still reachable by some continuation of the
+// document. Before the root element everything unmatched is undecided;
+// afterwards, unmatched outputs outside the root item set's reachable
+// set are decided negative (no continuation can emit them) and stop
+// counting. Zero means a streaming caller may abandon the document —
+// the remaining verdicts are final either way.
+func (r *SharedRunner) Undecided() int { return r.liveLeft }
 
 // MatchedCount returns the number of outputs latched so far.
 func (r *SharedRunner) MatchedCount() int { return r.m.outputs - r.left }

@@ -124,3 +124,80 @@ func TestMergedEquivalentToIndividual(t *testing.T) {
 		}
 	}
 }
+
+// feedMerged drives a SAX stream and returns Undecided after each
+// element-start, for asserting when the dead-state analysis fires.
+func feedMerged(r *SharedRunner, events []sax.Event) []int {
+	var trace []int
+	for _, e := range events {
+		switch e.Kind {
+		case sax.StartDocument:
+			r.StartDocument()
+		case sax.StartElement:
+			r.StartElement(e.Name)
+			trace = append(trace, r.Undecided())
+		case sax.EndElement:
+			r.EndElement()
+		}
+	}
+	return trace
+}
+
+// TestMergedUndecidedDeadStateAnalysis pins the per-state reachable-
+// output sets: once the document root opens, outputs unreachable from
+// its item set are decided negative, while descendant-axis queries (and
+// anything reachable through a // gap) stay undecided.
+func TestMergedUndecidedDeadStateAnalysis(t *testing.T) {
+	build := func(srcs ...string) *SharedRunner {
+		m := NewMergedNFA()
+		for i, src := range srcs {
+			if err := m.Add(query.MustParse(src), i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return NewSharedRunner(m)
+	}
+
+	// Disjoint root: /a/b and /a/*/c die at <z>; //d survives any root
+	// (its gap loop can still reach d at any depth).
+	r := build("/a/b", "/a/*/c", "//d")
+	trace := feedMerged(r, sax.MustParse("<z><y/></z>"))
+	if trace[0] != 1 {
+		t.Fatalf("after <z>: undecided=%d, want 1 (only //d alive)", trace[0])
+	}
+	if r.MatchedCount() != 0 {
+		t.Fatalf("nothing should have matched, got %d", r.MatchedCount())
+	}
+
+	// Matching root: everything below /a stays undecided until it
+	// matches or the document ends.
+	r.Reset()
+	trace = feedMerged(r, sax.MustParse("<a><b/><x><c/></x></a>"))
+	if trace[0] != 3 {
+		t.Fatalf("after <a>: undecided=%d, want 3", trace[0])
+	}
+	// <b> matches /a/b; /a/*/c and //d remain open.
+	if trace[1] != 2 {
+		t.Fatalf("after <b>: undecided=%d, want 2", trace[1])
+	}
+	// <x> opens the wildcard's scope; <c> below it matches /a/*/c.
+	if trace[3] != 1 {
+		t.Fatalf("after <c>: undecided=%d, want 1 (//d)", trace[3])
+	}
+	if !r.Matched[0] || !r.Matched[1] || r.Matched[2] {
+		t.Fatalf("matched = %v, want [true true false]", r.Matched)
+	}
+
+	// All-dead: the runner must keep verdicts latched and stop doing
+	// per-element work (Undecided 0 from the first tag on).
+	r2 := build("/news/item", "/news/sports")
+	trace = feedMerged(r2, sax.MustParse("<catalog><item/><sports/></catalog>"))
+	for i, u := range trace {
+		if u != 0 {
+			t.Fatalf("element %d: undecided=%d, want 0", i, u)
+		}
+	}
+	if r2.MatchedCount() != 0 {
+		t.Fatalf("dead queries matched: %v", r2.Matched)
+	}
+}

@@ -582,15 +582,29 @@ func (f *Filter) WouldMatchIfClosedNow() bool {
 
 // Decided reports whether the filter's verdict is already final
 // mid-stream, so a reader-driven caller may stop consuming input. After
-// endDocument it is trivially true. Before that, only a positive verdict
-// can be decided early (a dormant frontier can always revive on deeper
-// input): Decided answers WouldMatchIfClosedNow's question — resolve the
-// open candidate scopes bottom-up under the all-children-matched rule —
-// but allocation-free, by marking provisional tuples in place with a
-// scratch flag that is cleared before returning. Monotonicity (matched
-// flags latch; scope child sets are fixed at open) makes a true answer
-// final: when the open scopes really close, every provisionally matched
-// child has latched for real.
+// endDocument it is trivially true. Before that, both verdicts can latch
+// early:
+//
+//   - Positive: Decided answers WouldMatchIfClosedNow's question —
+//     resolve the open candidate scopes bottom-up under the
+//     all-children-matched rule — but allocation-free, by marking
+//     provisional tuples in place with a scratch flag that is cleared
+//     before returning. Monotonicity (matched flags latch; scope child
+//     sets are fixed at open) makes a true answer final.
+//
+//   - Negative (the dead-state analysis): the root scope's children are
+//     the query root's unconditional conjunctive obligations, and XML
+//     has exactly one root element. A child- or attribute-axis
+//     obligation expects its candidate at level 1, so once the document
+//     root has opened with no live avenue for it — no open candidate
+//     scope, no buffering leaf candidate, not already (provisionally)
+//     matched — no continuation can ever satisfy it and the false
+//     verdict is final. Descendant-axis obligations accept candidates
+//     at any level and never die mid-stream.
+//
+// The caller may therefore stop streaming on true and read the verdict
+// off WouldMatchIfClosedNow (equivalently: Matched after a hypothetical
+// close), knowing buffered matching of the full document would agree.
 func (f *Filter) Decided() bool {
 	if f.finished {
 		return true
@@ -612,11 +626,44 @@ func (f *Filter) Decided() bool {
 		}
 	}
 	decided := f.root.Matched || f.root.prov
+	if !decided && len(f.scopes) > 0 && f.stats.MaxLevel > 0 {
+		// Negative check, while the prov marks from the positive walk are
+		// still in place (a provisionally matched obligation is alive).
+		for _, c := range f.scopes[0].Children {
+			if !c.Matched && !c.prov && !f.canStillMatch(c) {
+				decided = true
+				break
+			}
+		}
+	}
 	for i := range f.scopes {
 		f.scopes[i].Tup.prov = false
 	}
 	f.root.prov = false
 	return decided
+}
+
+// canStillMatch reports whether some continuation of the document could
+// still match a root-scope obligation tuple (level 1). After the
+// document root has opened, the only live avenues for a non-descendant
+// obligation are an already open candidate scope (the root element was
+// its candidate; the conjunction resolves when it closes) or an open
+// buffering leaf candidate awaiting its truth-set evaluation.
+func (f *Filter) canStillMatch(c *Tuple) bool {
+	if c.Ref.Axis == query.AxisDescendant {
+		return true
+	}
+	for i := 1; i < len(f.scopes); i++ {
+		if f.scopes[i].Tup == c {
+			return true
+		}
+	}
+	for _, p := range f.pendings {
+		if p.Tup == c {
+			return true
+		}
+	}
+	return false
 }
 
 // ProcessAll streams a pre-materialized event sequence and returns the

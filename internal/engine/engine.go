@@ -385,17 +385,27 @@ func (e *Engine) MatchedCount() int {
 // Decided reports whether every subscription's verdict for the current
 // document is already final, so a streaming caller may stop feeding
 // events. Matching is monotone — matched flags latch and future events
-// only add matches — so the only mid-stream decision point is "everything
-// has matched": all linear runners satisfied (SharedRunner.AllMatched)
-// and every trie-routed subscription latched globally, which implies no
-// live predicate scope still gates a commit. The check is O(1) per call.
-// An empty engine reports false (there is no verdict to decide), and a
-// reader that exits on Decided skips validating the document's remainder.
+// only add matches — so a verdict is final mid-stream in two ways:
+// positively, the subscription has matched; negatively, the dead-state
+// analysis shows no continuation of the document can still match it (its
+// outputs are unreachable from the merged NFA's root item set, or no
+// live frontier avenue in the shared trie supports it). The all-matched
+// fast path is O(1); otherwise the NFA side is an O(1) counter probe and
+// the trie side an O(live structures) sweep — callers probe Decided per
+// chunk, not per event. An empty engine reports false (there is no
+// verdict to decide), and a reader that exits on Decided skips
+// validating the document's remainder.
 func (e *Engine) Decided() bool {
 	if e.dirty || !e.started || len(e.subs) == 0 {
 		return false
 	}
-	return e.runner.AllMatched() && e.mt.matchedCount == len(e.mt.tr.paths)
+	if e.finished {
+		return true
+	}
+	if e.runner.AllMatched() && e.mt.matchedCount == len(e.mt.tr.paths) {
+		return true
+	}
+	return e.runner.Undecided() == 0 && e.mt.undecided() == 0
 }
 
 // Stats reports the size of the shared structures and the work done on

@@ -61,6 +61,11 @@ type tnode struct {
 	// spine node is: reaching it (with all predicates on the way
 	// satisfied) matches them.
 	terminals []int
+	// subs are the indexes of every subscription whose spine passes
+	// through this node (terminals included) — the subscriptions a live
+	// candidate avenue at this node can still satisfy, consulted by the
+	// matcher's dead-state sweep.
+	subs []int
 
 	// through counts the subscriptions whose spine passes through this
 	// node; remaining is the per-document count of those not yet matched.
@@ -136,6 +141,7 @@ func (t *trie) add(q *query.Query, prog *core.Program) int {
 		}
 		t.steps++
 		child.through++
+		child.subs = append(child.subs, idx)
 		path = append(path, child)
 		cur = child
 	}
@@ -250,6 +256,7 @@ type matcher struct {
 	cands      []*tuple // scratch, reused across startElement calls
 	freeTuples []*tuple
 	freeScopes []*scope
+	support    []bool // scratch for the undecided sweep
 	stats      matchStats
 }
 
@@ -630,6 +637,93 @@ func (m *matcher) deliver(outs []int, from *scope) {
 			n.remaining--
 		}
 	}
+}
+
+// viable reports whether a live spine tuple can still be offered a
+// candidate element by some continuation of the document. Deeper tuples
+// always can — their creating scope's element is still open, so more
+// children (or, for descendant axes, arbitrary descendants) may start —
+// but a non-descendant tuple expecting its candidate at level 1 died
+// the moment the document's one root element opened: no second level-1
+// element will ever start. (Attribute-axis tuples at level 1 could
+// never match at all; the same test retires them.)
+func (m *matcher) viable(t *tuple, rootSeen bool) bool {
+	return t.node.axis == query.AxisDescendant || t.level > 1 || !rootSeen
+}
+
+// markSupport latches support for the not-yet-matched subscriptions in
+// outs, returning how many became newly supported.
+func (m *matcher) markSupport(outs []int) int {
+	n := 0
+	for _, sub := range outs {
+		if !m.matched[sub] && !m.support[sub] {
+			m.support[sub] = true
+			n++
+		}
+	}
+	return n
+}
+
+// undecided counts the subscriptions whose verdict is still open: not
+// yet matched, and supported by at least one avenue a continuation of
+// the document could still complete. Avenues are
+//
+//   - a viable spine tuple on the frontier (the subscription's next step
+//     is still awaiting a candidate),
+//   - a parked child-axis spine owner of an open scope (it returns to
+//     the frontier for sibling candidates when the scope closes), and
+//   - an open spine scope with unresolved predicates: its conditional
+//     commits — and the node's own terminals — resolve when it closes,
+//     so they are pessimistically alive until then.
+//
+// A subscription with no avenue left can never match (conjunctive
+// matching is monotone and candidates only arrive through the frontier),
+// so its negative verdict is final mid-stream. The sweep is
+// O(frontier + scopes + their subscription lists); callers probe it per
+// chunk, not per event.
+func (m *matcher) undecided() int {
+	open := len(m.tr.paths) - m.matchedCount
+	if open == 0 {
+		return 0
+	}
+	if len(m.support) != len(m.tr.paths) {
+		m.support = make([]bool, len(m.tr.paths))
+	} else {
+		for i := range m.support {
+			m.support[i] = false
+		}
+	}
+	rootSeen := m.stats.MaxLevel > 0
+	n := 0
+	for _, b := range m.buckets {
+		for _, t := range b {
+			if t.node.kind == kindSpine && t.node.remaining > 0 && m.viable(t, rootSeen) {
+				n += m.markSupport(t.node.subs)
+			}
+		}
+	}
+	for _, t := range m.wild {
+		if t.node.kind == kindSpine && t.node.remaining > 0 && m.viable(t, rootSeen) {
+			n += m.markSupport(t.node.subs)
+		}
+	}
+	for _, sc := range m.scopes {
+		tn := sc.tup.node
+		if tn.kind != kindSpine {
+			// A predicate scope's resolution only feeds the spine scope
+			// that gated it, which is accounted below.
+			continue
+		}
+		if sc.nconj > 0 {
+			n += m.markSupport(tn.terminals)
+			n += m.markSupport(sc.commits)
+		}
+		if tn.axis == query.AxisChild && sc.tup.origin != nil && !sc.tup.matched &&
+			tn.remaining > 0 && m.viable(sc.tup, rootSeen) {
+			n += m.markSupport(tn.subs)
+		}
+	}
+	return n
 }
 
 // endDocument closes every remaining scope bottom-up; afterwards matched

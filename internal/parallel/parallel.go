@@ -105,8 +105,34 @@ type Sharded struct {
 	decCb      func() bool
 }
 
-// ReadStats is the input accounting of the last MatchReader call.
-type ReadStats = sax.StreamStats
+// ReadStats is the input accounting of the last MatchReader call. It is
+// field-compatible with streamxpath.ReaderStats (the public layer
+// converts directly).
+type ReadStats struct {
+	// BytesRead is the number of bytes read from the io.Reader.
+	BytesRead int64
+	// BytesConsumed is the number of document bytes fully tokenized.
+	BytesConsumed int64
+	// Chunks is the number of non-empty reads.
+	Chunks int
+	// EarlyExit reports that reading stopped before end of input because
+	// every verdict was decided.
+	EarlyExit bool
+	// DecidedNegative refines EarlyExit: at least one subscription's
+	// verdict was decided negatively (it can never match the document).
+	DecidedNegative bool
+}
+
+// fromStream fills the Drive-level accounting; DecidedNegative is
+// settled by the caller once the verdicts are merged.
+func fromStream(ss sax.StreamStats) ReadStats {
+	return ReadStats{
+		BytesRead:     ss.BytesRead,
+		BytesConsumed: ss.BytesConsumed,
+		Chunks:        ss.Chunks,
+		EarlyExit:     ss.EarlyExit,
+	}
+}
 
 // NewSharded returns an engine with n shards (n < 1 is treated as 1).
 func NewSharded(n int) *Sharded { return NewShardedTab(n, nil) }
@@ -357,8 +383,10 @@ func (s *Sharded) finishDoc(b *batch, tokErr error) ([]string, error) {
 // nothing ever buffers the whole document. Results are identical to
 // MatchBytes on the document's bytes. Between chunks the producer polls
 // the shards' decided flags; once every shard has nothing left to prove
-// the reader is abandoned (ReadStats reports the early exit) and the
-// remainder goes unvalidated.
+// — all its subscriptions matched, or the rest proven unable to match by
+// the dead-state analysis — the reader is abandoned (ReadStats reports
+// the early exit and whether it was negative) and the remainder goes
+// unvalidated.
 func (s *Sharded) MatchReader(r io.Reader, chunkSize int) ([]string, error) {
 	ids, _, err := s.matchReader(r, chunkSize)
 	return ids, err
@@ -413,12 +441,17 @@ func (s *Sharded) matchReader(r io.Reader, chunkSize int) ([]string, ReadStats, 
 	s.wg.Add(len(s.shards))
 	s.curB = s.getBatch()
 	s.curB.first = true
-	sawEnd, tokErr := s.stok.Drive(r, chunkSize, &s.rstats, s.procCb, s.chunkCb, s.decCb)
-	if tokErr == nil && !sawEnd && !s.rstats.EarlyExit {
+	var ss sax.StreamStats
+	sawEnd, tokErr := s.stok.Drive(r, chunkSize, &ss, s.procCb, s.chunkCb, s.decCb)
+	if tokErr == nil && !sawEnd && !ss.EarlyExit {
 		tokErr = fmt.Errorf("streamxpath: document ended prematurely")
 	}
 	ids, err := s.finishDoc(s.curB, tokErr)
 	s.curB = nil
+	s.rstats = fromStream(ss)
+	if err == nil {
+		s.rstats.DecidedNegative = s.rstats.EarlyExit && len(ids) < len(s.order)
+	}
 	return ids, s.rstats, err
 }
 

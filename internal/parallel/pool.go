@@ -209,7 +209,7 @@ func (p *Pool) ReadStats() ReadStats {
 // (concurrent calls make the stored "last call" stats ambiguous; the
 // adaptive engine needs its own call's numbers).
 func (p *Pool) matchReader(r io.Reader, chunkSize int) ([]string, ReadStats, error) {
-	var rs ReadStats
+	var ss sax.StreamStats
 	rep := <-p.idle
 	defer func() { p.idle <- rep }()
 	rep.eng.Reset()
@@ -224,7 +224,8 @@ func (p *Pool) matchReader(r io.Reader, chunkSize int) ([]string, ReadStats, err
 		}
 		return nil
 	}
-	sawEnd, err := rep.stok.Drive(r, chunkSize, &rs, process, nil, rep.eng.Decided)
+	sawEnd, err := rep.stok.Drive(r, chunkSize, &ss, process, nil, rep.eng.Decided)
+	rs := fromStream(ss)
 	if err != nil {
 		return nil, rs, err
 	}
@@ -232,6 +233,7 @@ func (p *Pool) matchReader(r io.Reader, chunkSize int) ([]string, ReadStats, err
 		return nil, rs, fmt.Errorf("streamxpath: document ended prematurely")
 	}
 	rep.ids = rep.eng.AppendMatchedIDs(rep.ids[:0])
+	rs.DecidedNegative = rs.EarlyExit && len(rep.ids) < rep.eng.Len()
 	out := make([]string, len(rep.ids))
 	copy(out, rep.ids)
 	return out, rs, nil

@@ -28,14 +28,26 @@ type ReaderStats struct {
 	// every verdict was decided. The unread remainder (and any unread
 	// suffix of the last chunk) was not validated.
 	EarlyExit bool
+	// DecidedNegative refines EarlyExit: at least one verdict was decided
+	// negatively — the dead-state analysis proved no continuation of the
+	// document could match it. False on an all-positive exit (every
+	// subscription, or the single query, had already matched) and
+	// whenever EarlyExit is false.
+	DecidedNegative bool
 }
 
 // streamDoc drives one document from r through the chunked tokenizer
 // (see sax.StreamTokenizer.Drive), recording the input accounting into
-// st. The caller resets tok and the consumer first.
+// st. The caller resets tok and the consumer first, and fills
+// st.DecidedNegative afterwards (only the consumer knows the verdicts).
 func streamDoc(r io.Reader, tok *sax.StreamTokenizer, chunkSize int, st *ReaderStats, process func(sax.ByteEvent) error, decided func() bool) (bool, error) {
 	var ss sax.StreamStats
 	sawEnd, err := tok.Drive(r, chunkSize, &ss, process, nil, decided)
-	*st = ReaderStats(ss)
+	*st = ReaderStats{
+		BytesRead:     ss.BytesRead,
+		BytesConsumed: ss.BytesConsumed,
+		Chunks:        ss.Chunks,
+		EarlyExit:     ss.EarlyExit,
+	}
 	return sawEnd, err
 }

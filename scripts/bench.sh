@@ -3,26 +3,34 @@
 # so the performance trajectory is tracked PR over PR.
 #
 # Usage:
-#   scripts/bench.sh [output.json]          # default: BENCH_pr4.json
+#   scripts/bench.sh [output.json]          # default: BENCH_pr5.json
 #   BENCHTIME=1s scripts/bench.sh           # longer, steadier numbers
 #   CPUS=1,2,4,8 scripts/bench.sh           # parallel-arm scaling sweep
+#   BENCH_FILTER='^BenchmarkMatchReader' scripts/bench.sh  # pinned subset
+#   BENCH_PARALLEL=0 scripts/bench.sh       # skip the -cpu sweep pass
 #
 # The main pass runs the sequential hot-path arms — including the
-# chunked-vs-buffered BenchmarkMatchReader family with alloc tracking —
-# and the second pass runs the parallel dissemination arms
+# chunked-vs-buffered BenchmarkMatchReader family and the
+# BenchmarkMatchReaderNoMatch negative-early-exit family, with alloc
+# tracking — and the second pass runs the parallel dissemination arms
 # (BenchmarkParallelFilterSet) across the CPUS list so the snapshot
-# records the cores-vs-throughput curve.
+# records the cores-vs-throughput curve. BENCH_FILTER narrows the main
+# pass to a pinned arm subset (the CI regression gate uses this to
+# compare stable arms only; see scripts/benchcmp).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr4.json}"
+out="${1:-BENCH_pr5.json}"
 benchtime="${BENCHTIME:-1x}"
 cpus="${CPUS:-1,2,4}"
+filter="${BENCH_FILTER:-^BenchmarkFilterSet$|Throughput|^BenchmarkMatchReader$|^BenchmarkMatchReaderNoMatch$}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run '^$' -bench '^BenchmarkFilterSet$|Throughput|^BenchmarkMatchReader$' -benchmem -benchtime "$benchtime" . | tee "$raw"
-go test -run '^$' -bench 'Parallel' -benchtime "$benchtime" -cpu "$cpus" . | tee -a "$raw"
+go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" . | tee "$raw"
+if [ "${BENCH_PARALLEL:-1}" != "0" ]; then
+  go test -run '^$' -bench 'Parallel' -benchtime "$benchtime" -cpu "$cpus" . | tee -a "$raw"
+fi
 
 {
   printf '{\n'
@@ -34,17 +42,19 @@ go test -run '^$' -bench 'Parallel' -benchtime "$benchtime" -cpu "$cpus" . | tee
   awk '
     /^Benchmark/ {
       name = $1; iters = $2
-      ns = ""; bop = ""; allocs = ""; extra = ""
+      ns = ""; bop = ""; allocs = ""; extra = ""; frac = ""
       for (i = 3; i < NF; i++) {
         if ($(i+1) == "ns/op")     ns = $i
         if ($(i+1) == "B/op")      bop = $i
         if ($(i+1) == "allocs/op") allocs = $i
         if ($(i+1) == "ns/event")  extra = $i
+        if ($(i+1) == "readFrac")  frac = $i
       }
       if (n++) printf ",\n"
       printf "    {\"name\": \"%s\", \"iterations\": %s", name, iters
       if (ns != "")     printf ", \"ns_per_op\": %s", ns
       if (extra != "")  printf ", \"ns_per_event\": %s", extra
+      if (frac != "")   printf ", \"read_frac\": %s", frac
       if (bop != "")    printf ", \"bytes_per_op\": %s", bop
       if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
       printf "}"

@@ -1,0 +1,127 @@
+// Command benchcmp compares two bench.sh JSON snapshots and exits
+// non-zero on regressions — the CI benchmark gate.
+//
+// Usage:
+//
+//	go run ./scripts/benchcmp -baseline BENCH_pr5.json -current ci.json
+//
+// Two rules, matching arms by exact benchmark name:
+//
+//   - Time: an arm whose ns/op grew by more than -time-tolerance
+//     (default 0.15, i.e. 15%) regresses. Arms faster than -min-ns
+//     (default 0: compare everything) are skipped as noise-dominated.
+//   - Allocations: an arm that was allocation-free in the baseline
+//     (allocs/op == 0) must stay allocation-free; ANY growth fails.
+//     The zero-allocation steady state is a hard invariant of the hot
+//     paths, not a statistical property, so no tolerance applies.
+//
+// Arms present on only one side (e.g. -cpu suffixed arms from a host
+// with a different core count, or newly added arms) are reported and
+// skipped. -allocs-only disables the time rule for cross-host runs
+// where absolute ns/op is not comparable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type snapshot struct {
+	Captured   string `json:"captured"`
+	Go         string `json:"go"`
+	Benchtime  string `json:"benchtime"`
+	Benchmarks []arm  `json:"benchmarks"`
+}
+
+type arm struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     *float64 `json:"ns_per_op"`
+	NsPerEvent  *float64 `json:"ns_per_event"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+func load(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed baseline snapshot (bench.sh JSON)")
+	currentPath := flag.String("current", "", "freshly captured snapshot to check")
+	timeTolerance := flag.Float64("time-tolerance", 0.15, "allowed fractional ns/op growth before an arm counts as regressed")
+	minNs := flag.Float64("min-ns", 0, "skip the time rule for arms whose baseline ns/op is below this (noise floor)")
+	allocsOnly := flag.Bool("allocs-only", false, "only enforce the zero-alloc rule (for cross-host comparisons)")
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -baseline and -current are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("baseline: %s (%s, benchtime %s)\n", *baselinePath, base.Captured, base.Benchtime)
+	fmt.Printf("current:  %s (%s, benchtime %s)\n", *currentPath, cur.Captured, cur.Benchtime)
+
+	curByName := map[string]arm{}
+	for _, a := range cur.Benchmarks {
+		curByName[a.Name] = a
+	}
+	regressions, compared, skipped := 0, 0, 0
+	for _, b := range base.Benchmarks {
+		c, ok := curByName[b.Name]
+		if !ok {
+			fmt.Printf("  skip %-60s (not in current run)\n", b.Name)
+			skipped++
+			continue
+		}
+		delete(curByName, b.Name)
+		compared++
+		if b.AllocsPerOp != nil && *b.AllocsPerOp == 0 {
+			if c.AllocsPerOp != nil && *c.AllocsPerOp > 0 {
+				fmt.Printf("  FAIL %-60s allocs/op 0 -> %.0f (zero-alloc arm regressed)\n", b.Name, *c.AllocsPerOp)
+				regressions++
+			}
+		}
+		if *allocsOnly || b.NsPerOp == nil || c.NsPerOp == nil {
+			continue
+		}
+		if *b.NsPerOp < *minNs {
+			continue
+		}
+		ratio := *c.NsPerOp / *b.NsPerOp
+		if ratio > 1+*timeTolerance {
+			fmt.Printf("  FAIL %-60s ns/op %.0f -> %.0f (%+.1f%%, tolerance %.0f%%)\n",
+				b.Name, *b.NsPerOp, *c.NsPerOp, (ratio-1)*100, *timeTolerance*100)
+			regressions++
+		}
+	}
+	for name := range curByName {
+		fmt.Printf("  new  %-60s (not in baseline)\n", name)
+	}
+	fmt.Printf("compared %d arms, %d skipped, %d regression(s)\n", compared, skipped, regressions)
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+	os.Exit(1)
+}

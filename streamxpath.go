@@ -142,10 +142,14 @@ func (q *Query) NewFilter() (*Filter, error) {
 // boundaries, and matched event by event — peak memory is bounded by the
 // chunk size plus the open-element depth, never the document size, and
 // the steady-state per-event cost is allocation-free. The moment the
-// verdict is decided (conjunctive matching is monotone, so a provisional
-// match is final) the reader stops being consumed; ReaderStats reports
-// the early exit and how many bytes it needed. Note that on early exit
-// the remainder of the document is not validated.
+// verdict is decided the reader stops being consumed; ReaderStats
+// reports the early exit, how many bytes it needed, and whether the
+// decision was negative. A provisional match is final by monotonicity;
+// a negative verdict latches when the dead-state analysis proves no
+// continuation of the document can satisfy one of the query root's
+// obligations (e.g. /news/item against a <catalog> document dies at the
+// first start tag). Note that on early exit the remainder of the
+// document is not validated.
 func (f *Filter) MatchReader(r io.Reader) (bool, error) {
 	f.f.Reset()
 	if f.stok == nil {
@@ -161,8 +165,12 @@ func (f *Filter) MatchReader(r io.Reader) (bool, error) {
 	}
 	if !f.f.Done() {
 		if f.rs.EarlyExit {
-			// Only a positive verdict is decidable mid-stream.
-			return true, nil
+			// Decided mid-stream: the provisional-scope walk yields the
+			// final verdict — true on a positive decision, false when the
+			// dead-state analysis killed an obligation.
+			matched := f.f.WouldMatchIfClosedNow()
+			f.rs.DecidedNegative = !matched
+			return matched, nil
 		}
 		return false, fmt.Errorf("streamxpath: document ended prematurely")
 	}

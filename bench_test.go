@@ -831,6 +831,129 @@ func BenchmarkMatchReaderNoMatch(b *testing.B) {
 	})
 }
 
+// --- the tokenizer family (PR 6) ---
+//
+// BenchmarkTokenizer measures the byte tokenizer alone — no matching —
+// in MB/s (via b.SetBytes) on two document shapes: an ASCII-heavy news
+// corpus (text-dominated, the structural index's best case) and a
+// pathological many-attribute document (markup-dominated, the
+// per-construct resumability stress). Each shape runs whole-buffer
+// (TokenizerBytes over the full document) and chunked (StreamTokenizer
+// fed 4KiB windows, so the many-attribute tags span chunk boundaries
+// and exercise suspended-tag resumption).
+
+// tokenizerNewsDoc builds an ASCII-heavy news document of n items:
+// mostly prose text runs with occasional entities, light markup.
+func tokenizerNewsDoc(n int) []byte {
+	var b strings.Builder
+	b.WriteString("<news>")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `<item id="%d"><title>Story %d of the day</title>`, i, i)
+		fmt.Fprintf(&b, "<body>The quick brown fox jumps over the lazy dog %d times; "+
+			"markets rallied while engineers shipped &amp; measured throughput. "+
+			"A second sentence pads the run out to realistic paragraph length, "+
+			"and a third keeps the ratio of text to markup high.</body>", i)
+		fmt.Fprintf(&b, "<keyword>go</keyword><priority>%d</priority></item>", i%10)
+	}
+	b.WriteString("</news>")
+	return []byte(b.String())
+}
+
+// tokenizerManyAttrDoc builds the pathological many-attribute document:
+// elems elements each carrying attrs attributes, so a single start tag
+// is several KiB and spans multiple 4KiB chunks when streamed.
+func tokenizerManyAttrDoc(elems, attrs int) []byte {
+	var b strings.Builder
+	b.WriteString("<doc>")
+	for e := 0; e < elems; e++ {
+		fmt.Fprintf(&b, "<rec%d", e)
+		for a := 0; a < attrs; a++ {
+			fmt.Fprintf(&b, ` attr%03d="value-%d-%d"`, a, e, a)
+		}
+		b.WriteString("/>")
+	}
+	b.WriteString("</doc>")
+	return []byte(b.String())
+}
+
+// drainBytes runs a whole-buffer tokenize pass, returning the event count.
+func drainBytes(b *testing.B, tok *sax.TokenizerBytes, doc []byte) int {
+	tok.Reset(doc)
+	n := 0
+	for {
+		_, err := tok.Next()
+		if err == io.EOF {
+			return n
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		n++
+	}
+}
+
+// drainStream runs one chunked tokenize pass, returning the event count.
+func drainStream(b *testing.B, tok *sax.StreamTokenizer, doc []byte, chunk int) int {
+	tok.Reset()
+	n := 0
+	for pos := 0; pos < len(doc); pos += chunk {
+		end := pos + chunk
+		if end > len(doc) {
+			end = len(doc)
+		}
+		tok.Feed(doc[pos:end])
+		if end == len(doc) {
+			tok.Finish()
+		}
+		for {
+			_, err := tok.Next()
+			if err == sax.ErrNeedMoreData || err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+	}
+	return n
+}
+
+func BenchmarkTokenizer(b *testing.B) {
+	const chunk = 4096
+	docs := []struct {
+		name string
+		doc  []byte
+	}{
+		{"news", tokenizerNewsDoc(2500)},
+		{"manyattr", tokenizerManyAttrDoc(40, 250)},
+	}
+	for _, tc := range docs {
+		b.Run(tc.name+"/whole", func(b *testing.B) {
+			tok := sax.NewTokenizerBytes(tc.doc, nil)
+			events := drainBytes(b, tok, tc.doc) // warm symbols + scratch
+			b.SetBytes(int64(len(tc.doc)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drainBytes(b, tok, tc.doc)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+		})
+		b.Run(tc.name+"/chunked", func(b *testing.B) {
+			tok := sax.NewStreamTokenizer(nil)
+			events := drainStream(b, tok, tc.doc, chunk) // warm tail buffer + scratch
+			b.SetBytes(int64(len(tc.doc)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drainStream(b, tok, tc.doc, chunk)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+		})
+	}
+}
+
 // --- the parallel dissemination family (PR 3) ---
 //
 // Run with -cpu 1,2,4,8 to trace the scaling curve: the sequential arm

@@ -211,6 +211,36 @@ func benchReport(doc []byte, iters int, run func() error) error {
 	fmt.Printf("  bench: %d iters x %d events: %.2fM events/sec, %.4f allocs/event, %.1f ns/event\n",
 		iters, len(events), total/elapsed.Seconds()/1e6,
 		float64(m1.Mallocs-m0.Mallocs)/total, float64(elapsed.Nanoseconds())/total)
+	// Tokenizer-only pass: how fast the structural-index scanner turns
+	// bytes into events before any matching work, so field measurements
+	// of raw tokenization throughput don't need the Go bench harness.
+	tok := sax.NewTokenizerBytes(doc, nil)
+	drain := func() error {
+		tok.Reset(doc)
+		for {
+			ev, err := tok.Next()
+			if err != nil {
+				return err
+			}
+			if ev.Kind == sax.EndDocument {
+				return nil
+			}
+		}
+	}
+	if err := drain(); err != nil { // warm symbols and scratch
+		return err
+	}
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if err := drain(); err != nil {
+			return err
+		}
+	}
+	tokElapsed := time.Since(start)
+	bytesTotal := float64(len(doc)) * float64(iters)
+	fmt.Printf("  tokenizer: %.1f MB/s (%d iters x %d bytes, %.1f ns/event)\n",
+		bytesTotal/tokElapsed.Seconds()/1e6,
+		iters, len(doc), float64(tokElapsed.Nanoseconds())/total)
 	return nil
 }
 

@@ -75,6 +75,7 @@ func (s *StreamTokenizer) compact() {
 	if t.pos == 0 {
 		return
 	}
+	t.idx.rebase(t.pos)
 	tail := copy(s.buf, s.buf[t.pos:])
 	s.buf = s.buf[:tail]
 	t.base += t.pos
@@ -130,6 +131,12 @@ func (s *StreamTokenizer) Next() (ByteEvent, error) {
 // the absolute offset of the scan position. On early exit this is how
 // much of the document the consumer actually needed.
 func (s *StreamTokenizer) Consumed() int { return s.t.base + s.t.pos }
+
+// Rescanned reports the total input bytes re-examined after chunk
+// boundary suspensions — the chunked parse's deviation from single-pass
+// scanning. It stays O(document) regardless of where chunk boundaries
+// fall; see TokenizerBytes.Rescanned.
+func (s *StreamTokenizer) Rescanned() int { return s.t.Rescanned() }
 
 // StreamStats is the input accounting of one Drive call.
 type StreamStats struct {

@@ -39,6 +39,9 @@ var streamCorpus = []string{
 	"<mixed>pre<x y=\"1\"/>post</mixed>",
 	"<ns:elem ns:attr=\"v\"/>",
 	"<a>mixed &amp; entities &#x4E; in one run</a>",
+	manyAttrTagDoc(200),
+	"<a><![CDATA[" + strings.Repeat("raw <>& bytes ", 100) + "]]>tail</a>",
+	"<a><!-- " + strings.Repeat("long comment body ", 80) + "--><b/></a>",
 	// Error cases: truncated constructs must fail identically after the
 	// final chunk.
 	"",
@@ -56,6 +59,76 @@ var streamCorpus = []string{
 	"<a/>trailing text",
 	"<a", "<a b", "<a b=", "<a b=\"v", "<a>&am", "<a><!", "<a><![CD",
 	"<a>&toolongentityname;</a>",
+}
+
+// manyAttrTagDoc returns a document whose root start tag carries n
+// attributes — the pathological tag that used to be rescanned from its
+// '<' on every chunk refill before start-tag suspension kept
+// already-parsed attributes.
+func manyAttrTagDoc(n int) string {
+	var b strings.Builder
+	b.WriteString("<root")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, " attr%04d=%q", i, fmt.Sprintf("value &amp; %04d", i))
+	}
+	b.WriteString("><leaf/>body text</root>")
+	return b.String()
+}
+
+// TestStreamTokenizerResumptionBounds feeds pathological documents —
+// a start tag with hundreds of attributes, and CDATA/comment bodies
+// many times the chunk size — in small fixed chunks, and asserts both
+// byte-identical events and an upper bound on the total bytes rescanned
+// after suspensions. This pins the per-construct resumability fix: the
+// old rewind-to-construct-start suspension rescanned O(chunks × tag)
+// bytes on the many-attribute tag (quadratic in tag size), while
+// per-attribute resume keeps the whole parse O(doc).
+func TestStreamTokenizerResumptionBounds(t *testing.T) {
+	const chunk = 256
+	cases := []struct {
+		name string
+		doc  string
+		// maxRescan bounds tok.Rescanned() given the chunk count.
+		maxRescan func(docLen, chunks int) int
+	}{
+		// Each suspension may rescan at most the one attribute in
+		// progress, so the total stays within one document length.
+		{"manyattr", manyAttrTagDoc(250), func(docLen, chunks int) int { return docLen }},
+		// Terminator scans are memoized (suspendAt/scanned), so a chunk
+		// boundary inside a CDATA or comment body rescans only the few
+		// construct lead bytes — a small constant per boundary.
+		{"cdata", "<a><![CDATA[" + strings.Repeat("x<y>&z ", 2000) + "]]></a>",
+			func(docLen, chunks int) int { return 32 * (chunks + 1) }},
+		{"comment", "<a><!-- " + strings.Repeat("lorem ipsum ", 1500) + "--><b/></a>",
+			func(docLen, chunks int) int { return 32 * (chunks + 1) }},
+	}
+	tok := sax.NewStreamTokenizer(nil)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want, err := sax.ParseBytes([]byte(c.doc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var splits []int
+			for off := chunk; off < len(c.doc); off += chunk {
+				splits = append(splits, off)
+			}
+			got, err := streamEvents(tok, c.doc, splits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffEvents(t, c.doc, got, want)
+			chunks := len(splits) + 1
+			if chunks < 5 {
+				t.Fatalf("degenerate case: doc of %d bytes made only %d chunks", len(c.doc), chunks)
+			}
+			bound := c.maxRescan(len(c.doc), chunks)
+			if got := tok.Rescanned(); got > bound {
+				t.Errorf("rescanned %d bytes across %d-chunk parse of %d-byte doc, bound %d",
+					got, chunks, len(c.doc), bound)
+			}
+		})
+	}
 }
 
 // streamEvents runs the chunked tokenizer over doc split at the given

@@ -1,0 +1,191 @@
+package sax
+
+import (
+	"bytes"
+	"testing"
+)
+
+// naiveScan is the per-byte reference the bulk scanner is checked
+// against: the positions of c in data[from:], found one byte at a time.
+func naiveScan(data []byte, from int, c byte) []int32 {
+	var out []int32
+	for i := from; i < len(data); i++ {
+		if data[i] == c {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func TestPosListScanMatchesNaive(t *testing.T) {
+	docs := []string{
+		"",
+		"&",
+		"no entities here",
+		"&amp;&lt;&gt;",
+		"a&b&&c&",
+		"<a id=\"1\" name=\"x&amp;y\">body &lt;here&gt;</a>",
+	}
+	for _, doc := range docs {
+		var l posList
+		l.scan([]byte(doc), 0, '&')
+		want := naiveScan([]byte(doc), 0, '&')
+		if !equalPos(l.p, want) {
+			t.Errorf("scan(%q): got %v, want %v", doc, l.p, want)
+		}
+	}
+}
+
+func TestPosListNextAndHas(t *testing.T) {
+	data := []byte("a&bb&ccc&d")
+	var l posList
+	l.scan(data, 0, '&')
+	// Monotone forward queries.
+	if got := l.next(0); got != 1 {
+		t.Fatalf("next(0) = %d, want 1", got)
+	}
+	if got := l.next(2); got != 4 {
+		t.Fatalf("next(2) = %d, want 4", got)
+	}
+	if got := l.next(9); got != -1 {
+		t.Fatalf("next(9) = %d, want -1", got)
+	}
+	// Backward query after the cursor ran off the end (a suspension
+	// rewind in tokenizer terms) must walk the cursor back.
+	if got := l.next(0); got != 1 {
+		t.Fatalf("rewound next(0) = %d, want 1", got)
+	}
+	if !l.has(0, 2) || l.has(2, 4) || !l.has(2, 5) || l.has(9, 100) {
+		t.Fatal("has ranges wrong")
+	}
+}
+
+func TestPosListRebase(t *testing.T) {
+	data := []byte("&a&b&c")
+	var l posList
+	l.scan(data, 0, '&')
+	l.next(5) // push the cursor forward so rebase must reset it
+	l.rebase(3)
+	want := naiveScan(data[3:], 0, '&')
+	if !equalPos(l.p, want) {
+		t.Fatalf("rebase(3): got %v, want %v", l.p, want)
+	}
+	if got := l.next(0); got != 1 {
+		t.Fatalf("next(0) after rebase = %d, want 1", got)
+	}
+}
+
+// TestStructIndexIncrementalExtend grows a window chunk by chunk —
+// with a mid-stream rebase, the streaming compaction — and checks the
+// index always equals a naive scan of the current window.
+func TestStructIndexIncrementalExtend(t *testing.T) {
+	doc := []byte(`<a href="x&amp;y">&lt;text&gt; &#65; more &amp; tail</a>`)
+	for chunk := 1; chunk <= len(doc); chunk++ {
+		var ix structIndex
+		window := []byte(nil)
+		for off := 0; off < len(doc); off += chunk {
+			end := off + chunk
+			if end > len(doc) {
+				end = len(doc)
+			}
+			window = append(window, doc[off:end]...)
+			ix.extend(window)
+			if ix.synced != len(window) {
+				t.Fatalf("chunk=%d: synced=%d, want %d", chunk, ix.synced, len(window))
+			}
+			if want := naiveScan(window, 0, '&'); !equalPos(ix.amp.p, want) {
+				t.Fatalf("chunk=%d window=%q: amp=%v, want %v", chunk, window, ix.amp.p, want)
+			}
+		}
+		// Compact away half the window and extend again.
+		drop := len(window) / 2
+		window = append(window[:0], window[drop:]...)
+		ix.rebase(drop)
+		window = append(window, "&x&"...)
+		ix.extend(window)
+		if want := naiveScan(window, 0, '&'); !equalPos(ix.amp.p, want) {
+			t.Fatalf("chunk=%d after rebase: amp=%v, want %v", chunk, ix.amp.p, want)
+		}
+	}
+}
+
+func equalPos(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzStructuralIndex cross-checks the bulk scanner against the naive
+// per-byte reference on arbitrary bytes, arbitrary feed splits, and
+// arbitrary compaction offsets: positions, the synced high-water mark,
+// and the next/has query layer must all agree with a fresh naive scan
+// of the same window.
+//
+// Run with: go test -fuzz FuzzStructuralIndex ./internal/sax
+func FuzzStructuralIndex(f *testing.F) {
+	seeds := []string{
+		"<a/>",
+		"<a><b>text</b><c/></a>",
+		`<a id="1" name="x&amp;y">body &lt;here&gt;</a>`,
+		"<a><!-- c --><![CDATA[x]]y]]></a>",
+		"<?xml version=\"1.0\"?><!DOCTYPE a><a>&#x41;&#66;</a>",
+		"<a>&amp;&lt;&gt;&quot;&apos;</a>",
+		"a&b&&c&",
+		"&&&&&&&&",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), uint16(3), uint16(1))
+	}
+	f.Fuzz(func(t *testing.T, data []byte, split uint16, drop uint16) {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		// Feed in two pieces at the fuzzed split.
+		cut := 0
+		if len(data) > 0 {
+			cut = int(split) % (len(data) + 1)
+		}
+		var ix structIndex
+		ix.extend(data[:cut])
+		ix.extend(data)
+		if want := naiveScan(data, 0, '&'); !equalPos(ix.amp.p, want) {
+			t.Fatalf("split=%d: amp=%v, want %v", cut, ix.amp.p, want)
+		}
+		if ix.synced != len(data) {
+			t.Fatalf("synced=%d, want %d", ix.synced, len(data))
+		}
+		// Query layer vs reference on every start position, exercising the
+		// cursor both monotonically and after a rewind to 0.
+		for pass := 0; pass < 2; pass++ {
+			for p := 0; p <= len(data); p++ {
+				want := -1
+				if i := bytes.IndexByte(data[p:], '&'); i >= 0 {
+					want = p + i
+				}
+				if got := ix.amp.next(p); got != want {
+					t.Fatalf("pass=%d next(%d) = %d, want %d", pass, p, got, want)
+				}
+			}
+		}
+		// Compact at the fuzzed offset and re-verify against a naive scan
+		// of the remaining window.
+		if len(data) == 0 {
+			return
+		}
+		off := int(drop) % (len(data) + 1)
+		ix.rebase(off)
+		rest := data[off:]
+		if want := naiveScan(rest, 0, '&'); !equalPos(ix.amp.p, want) {
+			t.Fatalf("rebase(%d): amp=%v, want %v", off, ix.amp.p, want)
+		}
+		if ix.synced != len(rest) {
+			t.Fatalf("synced after rebase = %d, want %d", ix.synced, len(rest))
+		}
+	})
+}

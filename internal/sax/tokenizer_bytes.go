@@ -2,6 +2,7 @@ package sax
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -13,18 +14,30 @@ import (
 // StreamTokenizer) when the remaining input is a prefix of an incomplete
 // construct — a partial tag, name, entity reference, comment, CDATA
 // section, or an unterminated text run — whose outcome the next chunk
-// could change. The tokenizer rewinds to the construct's first byte, so
-// after more data arrives the construct is rescanned from the start.
+// could change. Most constructs rewind to their first byte and rescan
+// once more data arrives; a start tag suspended between attributes keeps
+// its already-parsed attributes and resumes at the attribute boundary
+// (see scanAttrs), so a tag with hundreds of attributes spanning chunks
+// is not re-walked on every refill.
 var ErrNeedMoreData = errors.New("sax: need more data")
 
 // TokenizerBytes converts a whole XML document held in a byte slice into
 // the five-event stream, with zero allocations per event in the steady
 // state: element and attribute names are interned into a shared symbol
-// table as they are scanned (a warm intern is one map probe, no copy),
-// character data is returned as a subslice of the input wherever no
-// entity decoding is needed and otherwise decoded into a reusable
-// scratch buffer, and attributes are folded into attribute child events
-// at scan time so no per-element attribute list is built.
+// table as they are scanned (a warm intern hits a direct-mapped name
+// cache — one hash, one memeq, no map probe), character data is returned
+// as a subslice of the input wherever no entity decoding is needed and
+// otherwise decoded into a reusable scratch buffer, and attributes are
+// folded into attribute child events at scan time so no per-element
+// attribute list is built.
+//
+// Scanning is split in two, simdjson-style: a structural-index pass
+// (structidx.go) bulk-sweeps each newly arrived window once and records
+// entity and quote positions, and the event assembler below walks that
+// index plus anchored per-construct IndexByte/Index hops — so text runs,
+// attribute values, comments and CDATA sections are delimited by single
+// bulk scans, and the entity-presence bit from the index decides whether
+// the decode path runs at all.
 //
 // It accepts exactly the syntax of the streaming Tokenizer and produces
 // the same event stream (modulo attribute expansion — apply
@@ -40,6 +53,7 @@ type TokenizerBytes struct {
 	data []byte
 	pos  int
 	tab  *symtab.Table
+	idx  structIndex
 
 	// streaming marks the tokenizer as fed incrementally (by a
 	// StreamTokenizer): running out of data mid-construct yields
@@ -51,14 +65,27 @@ type TokenizerBytes struct {
 	base      int
 
 	// Resume state for suspended unbounded terminator scans (text runs,
-	// CDATA, comments/PIs, attribute values): suspendAt is the absolute
-	// document offset of the search region whose first scanned bytes
-	// were already verified terminator-free, so the rescan after the
-	// next chunk skips them — without this, a single construct spanning
-	// k chunks would cost O(k·construct) rescanning. suspendAt is -1
-	// when no scan is suspended.
+	// CDATA, comments/PIs): suspendAt is the absolute document offset of
+	// the search region whose first scanned bytes were already verified
+	// terminator-free, so the rescan after the next chunk skips them —
+	// without this, a single construct spanning k chunks would cost
+	// O(k·construct) rescanning. suspendAt is -1 when no scan is
+	// suspended.
 	suspendAt int
 	scanned   int
+
+	// Resume state for a start tag suspended between attributes: when
+	// tagActive is set, pos sits at an attribute boundary inside the tag
+	// whose element is tagSym, pending holds the attribute events staged
+	// so far, and the next call re-enters scanAttrs there instead of
+	// rewinding to '<'.
+	tagActive bool
+	tagSym    symtab.Sym
+
+	// rescanned counts input bytes re-examined after suspension rewinds —
+	// the chunked parse's deviation from single-pass scanning. Tests pin
+	// it to O(document) on pathological chunk splits.
+	rescanned int
 
 	started  bool
 	ended    bool
@@ -67,15 +94,48 @@ type TokenizerBytes struct {
 
 	// pending holds events synthesized ahead of parsing: attribute child
 	// events and the endElement of a self-closing tag. head indexes the
-	// next one to deliver; the backing array is reused.
-	pending []ByteEvent
-	head    int
+	// next one to deliver; the backing array is reused. While tagActive,
+	// pending is staged, not deliverable — the element's StartElement
+	// must come first. stabilized is the suspendTag watermark: events
+	// below it no longer alias the window, so each staged value is
+	// copied at most once however many times the tag suspends.
+	pending    []ByteEvent
+	head       int
+	stabilized int
 
 	// textBuf holds entity-decoded character data; attrBuf holds decoded
-	// attribute values (per start tag); attrSyms detects duplicates.
-	textBuf  []byte
-	attrBuf  []byte
-	attrSyms []symtab.Sym
+	// (and, in streaming mode, window-stabilized) attribute values per
+	// start tag.
+	textBuf []byte
+	attrBuf []byte
+
+	// attrSeen detects duplicate attributes in O(1) per attribute: the
+	// slot for a symbol holds the epoch of the last tag that used it, so
+	// "seen in this tag" is one stamped compare instead of a linear scan
+	// of the attributes so far (quadratic on many-attribute tags). The
+	// epoch advances per start tag; on uint32 wraparound the table is
+	// cleared.
+	attrSeen  []uint32
+	attrEpoch uint32
+
+	// nameCache is a direct-mapped cache in front of the symbol table:
+	// element and attribute names repeat heavily, and a cache hit (hash +
+	// length check + memeq) is several times cheaper than an interning
+	// map probe. Misses fall through to InternBytes and overwrite the
+	// slot.
+	nameCache []nameCacheEntry
+}
+
+// nameCacheBits sizes the direct-mapped name cache (the hash's top bits
+// index it).
+const (
+	nameCacheBits = 9
+	nameCacheSize = 1 << nameCacheBits
+)
+
+type nameCacheEntry struct {
+	name string
+	sym  symtab.Sym
 }
 
 // NewTokenizerBytes returns a tokenizer over data, interning names into
@@ -84,31 +144,48 @@ func NewTokenizerBytes(data []byte, tab *symtab.Table) *TokenizerBytes {
 	if tab == nil {
 		tab = symtab.New()
 	}
-	return &TokenizerBytes{data: data, tab: tab, suspendAt: -1}
+	return &TokenizerBytes{
+		data:      data,
+		tab:       tab,
+		suspendAt: -1,
+		nameCache: make([]nameCacheEntry, nameCacheSize),
+	}
 }
 
 // Table returns the symbol table names are interned into.
 func (t *TokenizerBytes) Table() *symtab.Table { return t.tab }
 
 // Reset points the tokenizer at a new document, keeping the symbol table
-// and all scratch capacity.
+// and all scratch capacity (including the warm name cache — symbols are
+// stable across documents of one table).
 func (t *TokenizerBytes) Reset(data []byte) {
 	t.data = data
 	t.pos = 0
+	t.idx.reset()
 	t.final = false
 	t.base = 0
 	t.suspendAt = -1
 	t.scanned = 0
+	t.tagActive = false
+	t.rescanned = 0
 	t.started = false
 	t.ended = false
 	t.rootSeen = false
 	t.stack = t.stack[:0]
 	t.pending = t.pending[:0]
 	t.head = 0
+	t.stabilized = 0
 	t.textBuf = t.textBuf[:0]
 	t.attrBuf = t.attrBuf[:0]
-	t.attrSyms = t.attrSyms[:0]
 }
+
+// Rescanned reports the total input bytes re-examined after suspension
+// rewinds so far. Whole-buffer parses report 0; a chunked parse stays
+// O(document) regardless of how chunk boundaries fall, because text,
+// value and terminator scans resume from the structural index or the
+// suspendAt memo, and suspended start tags resume at the attribute
+// boundary instead of the '<'.
+func (t *TokenizerBytes) Rescanned() int { return t.rescanned }
 
 func (t *TokenizerBytes) errf(format string, args ...any) error {
 	return &SyntaxError{Offset: t.base + t.pos, Msg: fmt.Sprintf(format, args...)}
@@ -143,16 +220,50 @@ func (t *TokenizerBytes) noteScan(searchStart, overlap int) {
 	t.scanned = n
 }
 
+// internName interns a scanned name through the direct-mapped cache. The
+// hash mixes the length with the first byte and the trailing word —
+// enough to spread realistic vocabularies (enumerated names differ in
+// their trailing digits) without walking the whole name on every probe.
+func (t *TokenizerBytes) internName(b []byte) symtab.Sym {
+	n := len(b)
+	h := uint32(n)*0x9E3779B1 ^ uint32(b[0])<<24
+	if n >= 4 {
+		h ^= binary.LittleEndian.Uint32(b[n-4:])
+	} else {
+		h ^= uint32(b[n-1]) | uint32(b[n>>1])<<8
+	}
+	h *= 0x85EBCA77
+	e := &t.nameCache[h>>(32-nameCacheBits)]
+	if len(e.name) == n && string(b) == e.name {
+		return e.sym
+	}
+	sym := t.tab.InternBytes(b)
+	e.name, e.sym = t.tab.Name(sym), sym
+	return sym
+}
+
+// syncIndex brings the structural index up to date with a grown window.
+// Next guards the call with one integer compare per event; the sweep
+// itself runs once per newly fed byte.
+func (t *TokenizerBytes) syncIndex() error {
+	t.idx.extend(t.data)
+	if t.idx.huge {
+		return t.errf("document window exceeds the 2 GiB structural index limit")
+	}
+	return nil
+}
+
 // Next returns the next event. The first event is always StartDocument
 // and the last EndDocument; io.EOF follows. The Data slice of a Text
 // event is only valid until the next call.
 func (t *TokenizerBytes) Next() (ByteEvent, error) {
-	if t.head < len(t.pending) {
+	if t.head < len(t.pending) && !t.tagActive {
 		ev := t.pending[t.head]
 		t.head++
 		if t.head == len(t.pending) {
 			t.pending = t.pending[:0]
 			t.head = 0
+			t.stabilized = 0
 		}
 		return ev, nil
 	}
@@ -162,6 +273,28 @@ func (t *TokenizerBytes) Next() (ByteEvent, error) {
 	if !t.started {
 		t.started = true
 		return ByteEvent{Kind: StartDocument}, nil
+	}
+	// From here on Next is the event assembler: it dispatches on the
+	// construct's lead bytes once and hands off to the per-construct
+	// scanner, which delimits the construct with index hops and single
+	// bulk scans. The flat shape is deliberate — scanners return the
+	// minimum (a symbol or a subslice) and the event is materialized
+	// directly into Next's result registers; this is the per-event hot
+	// path.
+	if t.idx.synced != len(t.data) {
+		if err := t.syncIndex(); err != nil {
+			return ByteEvent{}, err
+		}
+	}
+	if t.tagActive {
+		// Resume the start tag suspended between attributes; pos sits at
+		// the attribute boundary scanAttrs rewound to.
+		t.tagActive = false
+		sym := t.tagSym
+		if err := t.scanAttrs(sym); err != nil {
+			return ByteEvent{}, err
+		}
+		return ByteEvent{Kind: StartElement, Sym: sym}, nil
 	}
 	for {
 		if t.pos >= len(t.data) {
@@ -178,27 +311,55 @@ func (t *TokenizerBytes) Next() (ByteEvent, error) {
 			t.ended = true
 			return ByteEvent{Kind: EndDocument}, nil
 		}
-		// mark is the construct's first byte: a suspended scan rewinds here
-		// (dropping any half-queued attribute events) and rescans once more
-		// data arrives.
+		// mark is the construct's first byte: a suspended scan that has no
+		// finer-grained resume state rewinds here (dropping any half-queued
+		// attribute events) and rescans once more data arrives.
 		mark := t.pos
 		if t.data[t.pos] == '<' {
-			ev, skip, err := t.readMarkup()
-			if err != nil {
-				if err == ErrNeedMoreData {
+			t.pos++
+			if t.pos >= len(t.data) {
+				if t.suspendable() {
 					t.pos = mark
-					t.pending = t.pending[:0]
+					return ByteEvent{}, ErrNeedMoreData
 				}
-				return ByteEvent{}, err
+				return ByteEvent{}, t.errf("unterminated markup")
 			}
-			if skip {
+			switch t.data[t.pos] {
+			case '/':
+				t.pos++
+				sym, err := t.readEndTag()
+				if err != nil {
+					return ByteEvent{}, t.rewind(mark, err)
+				}
+				return ByteEvent{Kind: EndElement, Sym: sym}, nil
+			case '?':
+				t.pos++
+				if err := t.skipUntil("?>"); err != nil {
+					return ByteEvent{}, t.rewind(mark, err)
+				}
 				continue
+			case '!':
+				t.pos++
+				text, skip, err := t.readBang()
+				if err != nil {
+					return ByteEvent{}, t.rewind(mark, err)
+				}
+				if skip {
+					continue
+				}
+				return ByteEvent{Kind: Text, Data: text}, nil
+			default:
+				sym, err := t.readStartTag()
+				if err != nil {
+					return ByteEvent{}, t.rewind(mark, err)
+				}
+				return ByteEvent{Kind: StartElement, Sym: sym}, nil
 			}
-			return ev, nil
 		}
-		ev, skip, err := t.readText()
+		out, skip, err := t.readText()
 		if err != nil {
 			if err == ErrNeedMoreData {
+				t.rescanned += t.pos - mark
 				t.pos = mark
 			}
 			return ByteEvent{}, err
@@ -206,17 +367,32 @@ func (t *TokenizerBytes) Next() (ByteEvent, error) {
 		if skip {
 			continue
 		}
-		return ev, nil
+		return ByteEvent{Kind: Text, Data: out}, nil
 	}
 }
 
+// rewind handles a markup scanner's error: a suspension without
+// construct-level resume state rewinds to the construct's '<' and drops
+// half-queued attribute events, so the next attempt rescans the whole
+// construct. Cold path.
+func (t *TokenizerBytes) rewind(mark int, err error) error {
+	if err == ErrNeedMoreData && !t.tagActive {
+		t.rescanned += t.pos - mark
+		t.pos = mark
+		t.pending = t.pending[:0]
+		t.head = 0
+		t.stabilized = 0
+	}
+	return err
+}
+
 // readText consumes character data up to the next '<' or end of input.
-// Runs without references are returned as input subslices; runs with
-// references decode into the scratch buffer. Scanning is delegated to
-// bytes.IndexByte, which the runtime vectorizes: text runs advance at
-// SIMD width instead of byte-at-a-time, so the tokenizer's cost on
-// text-heavy documents approaches a memory scan.
-func (t *TokenizerBytes) readText() (ByteEvent, bool, error) {
+// The run is delimited by a single bulk IndexByte scan (resumed via the
+// suspendAt memo across refills), and the structural index's
+// entity-presence bit decides whether the decode path runs: runs without
+// references are returned as input subslices untouched, runs with
+// references decode by hopping the '&' position list.
+func (t *TokenizerBytes) readText() ([]byte, bool, error) {
 	start := t.pos
 	skip := t.scanFrom(start)
 	end := bytes.IndexByte(t.data[start+skip:], '<')
@@ -225,7 +401,7 @@ func (t *TokenizerBytes) readText() (ByteEvent, bool, error) {
 			// The run may continue into the next chunk; a text event never
 			// splits at a chunk boundary, so the whole run waits.
 			t.noteScan(start, 0)
-			return ByteEvent{}, false, ErrNeedMoreData
+			return nil, false, ErrNeedMoreData
 		}
 		end = len(t.data) - start
 	} else {
@@ -233,35 +409,35 @@ func (t *TokenizerBytes) readText() (ByteEvent, bool, error) {
 	}
 	t.pos = start + end
 	out := t.data[start:t.pos]
-	if bytes.IndexByte(out, '&') >= 0 {
+	if t.idx.amp.has(start, t.pos) {
 		t.textBuf = t.textBuf[:0]
 		p := start
 		for p < t.pos {
-			// Bulk-copy the literal run up to the next reference.
-			run := bytes.IndexByte(t.data[p:t.pos], '&')
-			if run < 0 {
+			// Bulk-copy the literal run up to the next indexed reference.
+			a := t.idx.amp.next(p)
+			if a < 0 || a >= t.pos {
 				t.textBuf = append(t.textBuf, t.data[p:t.pos]...)
 				break
 			}
-			t.textBuf = append(t.textBuf, t.data[p:p+run]...)
+			t.textBuf = append(t.textBuf, t.data[p:a]...)
 			var err error
-			t.textBuf, p, err = t.appendReference(t.textBuf, p+run+1)
+			t.textBuf, p, err = t.appendReference(t.textBuf, a+1)
 			if err != nil {
-				return ByteEvent{}, false, err
+				return nil, false, err
 			}
 		}
 		out = t.textBuf
 	}
 	if len(t.stack) == 0 {
 		if len(bytes.TrimSpace(out)) != 0 {
-			return ByteEvent{}, false, t.errf("character data outside root element")
+			return nil, false, t.errf("character data outside root element")
 		}
-		return ByteEvent{}, true, nil
+		return nil, true, nil
 	}
 	if len(out) == 0 {
-		return ByteEvent{}, true, nil
+		return nil, true, nil
 	}
-	return ByteEvent{Kind: Text, Data: out}, false, nil
+	return out, false, nil
 }
 
 // appendReference decodes one entity or character reference starting just
@@ -298,47 +474,22 @@ func (t *TokenizerBytes) appendReference(buf []byte, p int) ([]byte, int, error)
 	return out, p, nil
 }
 
-// readMarkup consumes one markup construct beginning at '<'. skip reports
-// that the construct produced no event.
-func (t *TokenizerBytes) readMarkup() (ev ByteEvent, skip bool, err error) {
-	t.pos++ // consume '<'
-	if t.pos >= len(t.data) {
-		if t.suspendable() {
-			return ByteEvent{}, false, ErrNeedMoreData
-		}
-		return ByteEvent{}, false, t.errf("unterminated markup")
-	}
-	switch t.data[t.pos] {
-	case '/':
-		t.pos++
-		return t.readEndTag()
-	case '?':
-		t.pos++
-		return ByteEvent{}, true, t.skipUntil("?>")
-	case '!':
-		t.pos++
-		return t.readBang()
-	default:
-		return t.readStartTag()
-	}
-}
-
 var cdataOpen = []byte("[CDATA[")
 
 // readBang handles comments, CDATA and DOCTYPE after "<!".
-func (t *TokenizerBytes) readBang() (ByteEvent, bool, error) {
+func (t *TokenizerBytes) readBang() ([]byte, bool, error) {
 	rest := t.data[t.pos:]
 	if t.suspendable() && (len(rest) == 0 ||
 		(rest[0] == '-' && len(rest) < 2) ||
 		(rest[0] == '[' && len(rest) < 7 && bytes.HasPrefix(cdataOpen, rest))) {
 		// "<!", "<!-", "<![", "<![CDA"... — the construct kind itself is
 		// still ambiguous until more bytes arrive.
-		return ByteEvent{}, false, ErrNeedMoreData
+		return nil, false, ErrNeedMoreData
 	}
 	switch {
 	case len(rest) >= 2 && rest[0] == '-' && rest[1] == '-':
 		t.pos += 2
-		return ByteEvent{}, true, t.skipUntil("-->")
+		return nil, true, t.skipUntil("-->")
 	case len(rest) >= 7 && bytes.Equal(rest[:7], cdataOpen):
 		t.pos += 7
 		skip := t.scanFrom(t.pos)
@@ -346,23 +497,23 @@ func (t *TokenizerBytes) readBang() (ByteEvent, bool, error) {
 		if end < 0 {
 			if t.suspendable() {
 				t.noteScan(t.pos, 2)
-				return ByteEvent{}, false, ErrNeedMoreData
+				return nil, false, ErrNeedMoreData
 			}
 			t.pos = len(t.data)
-			return ByteEvent{}, false, t.errf("unterminated CDATA section")
+			return nil, false, t.errf("unterminated CDATA section")
 		}
 		end += skip
 		text := t.data[t.pos : t.pos+end]
 		t.pos += end + 3
 		if len(t.stack) == 0 {
-			return ByteEvent{}, false, t.errf("CDATA outside root element")
+			return nil, false, t.errf("CDATA outside root element")
 		}
 		if len(text) == 0 {
-			return ByteEvent{}, true, nil
+			return nil, true, nil
 		}
-		return ByteEvent{Kind: Text, Data: text}, false, nil
+		return text, false, nil
 	default:
-		return ByteEvent{}, true, t.skipDecl()
+		return nil, true, t.skipDecl()
 	}
 }
 
@@ -433,37 +584,75 @@ func (t *TokenizerBytes) skipSpace() bool {
 
 // readStartTag parses <name attr="v" ...> or <name/>, queueing attribute
 // child events and the self-closing endElement.
-func (t *TokenizerBytes) readStartTag() (ByteEvent, bool, error) {
+func (t *TokenizerBytes) readStartTag() (symtab.Sym, error) {
 	name, err := t.readName()
 	if err != nil {
-		return ByteEvent{}, false, err
+		return 0, err
 	}
 	if len(t.stack) == 0 && t.rootSeen {
-		return ByteEvent{}, false, t.errf("second root element <%s>", name)
+		return 0, t.errf("second root element <%s>", name)
 	}
-	sym := t.tab.InternBytes(name)
+	sym := t.internName(name)
 	t.attrBuf = t.attrBuf[:0]
-	t.attrSyms = t.attrSyms[:0]
+	t.attrEpoch++
+	if t.attrEpoch == 0 {
+		clear(t.attrSeen)
+		t.attrEpoch = 1
+	}
+	return sym, t.scanAttrs(sym)
+}
+
+// suspendTag suspends the start tag at an attribute boundary: pos rewinds
+// only to the current attribute's first byte (attrMark), the attributes
+// already staged in pending/attrBuf are kept, and the next call resumes
+// scanAttrs there. This is what keeps a many-attribute tag spanning k
+// chunks at O(tag) total scanning instead of O(k·tag). Staged attribute
+// values still aliasing the window are copied into attrBuf here — the
+// refill is about to slide the window — so stabilization costs nothing
+// on tags that never suspend.
+func (t *TokenizerBytes) suspendTag(sym symtab.Sym, attrMark int) error {
+	for i := t.stabilized; i < len(t.pending); i++ {
+		if t.pending[i].Kind == Text && len(t.pending[i].Data) > 0 {
+			vstart := len(t.attrBuf)
+			t.attrBuf = append(t.attrBuf, t.pending[i].Data...)
+			t.pending[i].Data = t.attrBuf[vstart:]
+		}
+	}
+	t.stabilized = len(t.pending)
+	t.rescanned += t.pos - attrMark
+	t.pos = attrMark
+	t.tagActive = true
+	t.tagSym = sym
+	return ErrNeedMoreData
+}
+
+// scanAttrs scans the attribute list of the start tag for sym, from an
+// attribute boundary to the closing '>' or '/>'. Each completed
+// attribute stages its three child events in pending; on success the
+// caller emits the element's StartElement, and Next then drains the
+// staged events.
+func (t *TokenizerBytes) scanAttrs(sym symtab.Sym) error {
 	for {
+		attrMark := t.pos
 		if !t.skipSpace() {
 			if t.suspendable() {
-				return ByteEvent{}, false, ErrNeedMoreData
+				return t.suspendTag(sym, attrMark)
 			}
-			return ByteEvent{}, false, t.errf("unterminated start tag <%s", name)
+			return t.errf("unterminated start tag <%s", t.tab.Name(sym))
 		}
 		c := t.data[t.pos]
 		if c == '>' {
 			t.pos++
 			t.stack = append(t.stack, sym)
-			return ByteEvent{Kind: StartElement, Sym: sym}, false, nil
+			return nil
 		}
 		if c == '/' {
 			t.pos++
 			if t.pos >= len(t.data) && t.suspendable() {
-				return ByteEvent{}, false, ErrNeedMoreData
+				return t.suspendTag(sym, attrMark)
 			}
 			if t.pos >= len(t.data) || t.data[t.pos] != '>' {
-				return ByteEvent{}, false, t.errf("malformed self-closing tag <%s", name)
+				return t.errf("malformed self-closing tag <%s", t.tab.Name(sym))
 			}
 			t.pos++
 			// <n/> is shorthand for <n></n>: emit start now, queue end
@@ -472,44 +661,51 @@ func (t *TokenizerBytes) readStartTag() (ByteEvent, bool, error) {
 				t.rootSeen = true
 			}
 			t.pending = append(t.pending, ByteEvent{Kind: EndElement, Sym: sym})
-			return ByteEvent{Kind: StartElement, Sym: sym}, false, nil
+			return nil
 		}
 		aname, err := t.readName()
 		if err != nil {
-			return ByteEvent{}, false, err
+			if err == ErrNeedMoreData {
+				err = t.suspendTag(sym, attrMark)
+			}
+			return err
 		}
-		asym := t.tab.InternBytes(aname)
+		asym := t.internName(aname)
 		if !t.skipSpace() {
 			if t.suspendable() {
-				return ByteEvent{}, false, ErrNeedMoreData
+				return t.suspendTag(sym, attrMark)
 			}
-			return ByteEvent{}, false, t.errf("unterminated attribute %s", aname)
+			return t.errf("unterminated attribute %s", aname)
 		}
 		if t.data[t.pos] != '=' {
-			return ByteEvent{}, false, t.errf("expected '=' after attribute name %s", aname)
+			return t.errf("expected '=' after attribute name %s", aname)
 		}
 		t.pos++
 		if !t.skipSpace() {
 			if t.suspendable() {
-				return ByteEvent{}, false, ErrNeedMoreData
+				return t.suspendTag(sym, attrMark)
 			}
-			return ByteEvent{}, false, t.errf("unterminated attribute %s", aname)
+			return t.errf("unterminated attribute %s", aname)
 		}
 		quote := t.data[t.pos]
 		if quote != '"' && quote != '\'' {
-			return ByteEvent{}, false, t.errf("expected quoted value for attribute %s", aname)
+			return t.errf("expected quoted value for attribute %s", aname)
 		}
 		t.pos++
 		val, err := t.readAttrValue(aname, quote)
 		if err != nil {
-			return ByteEvent{}, false, err
-		}
-		for _, seen := range t.attrSyms {
-			if seen == asym {
-				return ByteEvent{}, false, t.errf("duplicate attribute %s", aname)
+			if err == ErrNeedMoreData {
+				err = t.suspendTag(sym, attrMark)
 			}
+			return err
 		}
-		t.attrSyms = append(t.attrSyms, asym)
+		if int(asym) >= len(t.attrSeen) {
+			t.attrSeen = append(t.attrSeen, make([]uint32, int(asym)+1-len(t.attrSeen))...)
+		}
+		if t.attrSeen[asym] == t.attrEpoch {
+			return t.errf("duplicate attribute %s", aname)
+		}
+		t.attrSeen[asym] = t.attrEpoch
 		t.pending = append(t.pending,
 			ByteEvent{Kind: StartElement, Sym: asym, Attribute: true},
 			ByteEvent{Kind: Text, Data: val},
@@ -519,9 +715,13 @@ func (t *TokenizerBytes) readStartTag() (ByteEvent, bool, error) {
 }
 
 // readAttrValue scans a quoted attribute value after the opening quote.
-// Values without references are input subslices; values with references
-// decode into attrBuf (which survives until the next start tag, long
-// enough for the queued Text event to be delivered).
+// The closing quote is one bulk IndexByte scan (resumed via the
+// suspendAt memo across refills), and the structural index's
+// entity-presence bit gates the decode path. Reference-free values are
+// input subslices (suspendTag copies them into attrBuf if the tag later
+// suspends — queued Text events must survive window compaction); values
+// with references decode into attrBuf, which survives until the next
+// start tag, long enough for the queued events to be delivered.
 func (t *TokenizerBytes) readAttrValue(aname []byte, quote byte) ([]byte, error) {
 	start := t.pos
 	skip := t.scanFrom(start)
@@ -534,28 +734,27 @@ func (t *TokenizerBytes) readAttrValue(aname []byte, quote byte) ([]byte, error)
 		t.pos = len(t.data)
 		return nil, t.errf("unterminated attribute value for %s", aname)
 	}
-	end += skip
-	raw := t.data[start : start+end]
+	end += start + skip
+	raw := t.data[start:end]
 	if lt := bytes.IndexByte(raw, '<'); lt >= 0 {
 		t.pos = start + lt
 		return nil, t.errf("'<' in attribute value for %s", aname)
 	}
-	t.pos = start + end + 1 // consume closing quote
-	if bytes.IndexByte(raw, '&') < 0 {
+	t.pos = end + 1 // consume closing quote
+	if !t.idx.amp.has(start, end) {
 		return raw, nil
 	}
 	vstart := len(t.attrBuf)
 	p := start
-	stop := start + len(raw)
-	for p < stop {
-		run := bytes.IndexByte(t.data[p:stop], '&')
-		if run < 0 {
-			t.attrBuf = append(t.attrBuf, t.data[p:stop]...)
+	for p < end {
+		a := t.idx.amp.next(p)
+		if a < 0 || a >= end {
+			t.attrBuf = append(t.attrBuf, t.data[p:end]...)
 			break
 		}
-		t.attrBuf = append(t.attrBuf, t.data[p:p+run]...)
+		t.attrBuf = append(t.attrBuf, t.data[p:a]...)
 		var err error
-		t.attrBuf, p, err = t.appendReference(t.attrBuf, p+run+1)
+		t.attrBuf, p, err = t.appendReference(t.attrBuf, a+1)
 		if err != nil {
 			return nil, err
 		}
@@ -563,34 +762,51 @@ func (t *TokenizerBytes) readAttrValue(aname []byte, quote byte) ([]byte, error)
 	return t.attrBuf[vstart:], nil
 }
 
-func (t *TokenizerBytes) readEndTag() (ByteEvent, bool, error) {
+// readEndTag parses an end tag after "</". The fast path handles the
+// overwhelmingly common shape — "</name>" exactly matching the open
+// element — with one memeq against the interned top-of-stack name and no
+// symbol-table probe at all; anything else (whitespace before '>',
+// window boundary, mismatch) falls through to the general scanner.
+func (t *TokenizerBytes) readEndTag() (symtab.Sym, error) {
+	if n := len(t.stack); n > 0 {
+		top := t.stack[n-1]
+		name := t.tab.Name(top)
+		if end := t.pos + len(name); end < len(t.data) && t.data[end] == '>' && string(t.data[t.pos:end]) == name {
+			t.pos = end + 1
+			t.stack = t.stack[:n-1]
+			if n == 1 {
+				t.rootSeen = true
+			}
+			return top, nil
+		}
+	}
 	name, err := t.readName()
 	if err != nil {
-		return ByteEvent{}, false, err
+		return 0, err
 	}
 	if !t.skipSpace() {
 		if t.suspendable() {
-			return ByteEvent{}, false, ErrNeedMoreData
+			return 0, ErrNeedMoreData
 		}
-		return ByteEvent{}, false, t.errf("unterminated end tag </%s", name)
+		return 0, t.errf("unterminated end tag </%s", name)
 	}
 	if t.data[t.pos] != '>' {
-		return ByteEvent{}, false, t.errf("malformed end tag </%s", name)
+		return 0, t.errf("malformed end tag </%s", name)
 	}
 	t.pos++
 	if len(t.stack) == 0 {
-		return ByteEvent{}, false, t.errf("end tag </%s> with no open element", name)
+		return 0, t.errf("end tag </%s> with no open element", name)
 	}
 	sym := t.tab.LookupBytes(name)
 	top := t.stack[len(t.stack)-1]
 	if sym != top {
-		return ByteEvent{}, false, t.errf("end tag </%s> does not match open element <%s>", name, t.tab.Name(top))
+		return 0, t.errf("end tag </%s> does not match open element <%s>", name, t.tab.Name(top))
 	}
 	t.stack = t.stack[:len(t.stack)-1]
 	if len(t.stack) == 0 {
 		t.rootSeen = true
 	}
-	return ByteEvent{Kind: EndElement, Sym: sym}, false, nil
+	return sym, nil
 }
 
 // ParseBytes tokenizes a complete document with a fresh TokenizerBytes

@@ -20,8 +20,15 @@
 // lookups — Lookup, LookupBytes, Name, Len, and the warm path of
 // Intern/InternBytes — read an immutable view through one atomic pointer
 // load, taking no lock and performing no allocation. Only the cold path
-// of interning a brand-new name takes the writer mutex, builds the next
-// view, and publishes it atomically.
+// of a snapshot miss takes the writer mutex, where it consults a small
+// mutable overflow map of recently interned names; the overflow is
+// folded into a freshly built immutable view each time it grows to the
+// view's size (doubling thresholds), so every name is copied into a
+// published map O(1) times amortized and interning an n-name vocabulary
+// costs O(n) total instead of the O(n²) a rebuild-per-name COW would.
+// Names still in the overflow pay one uncontended mutex acquisition per
+// occurrence until the next fold publishes them — a bounded warm-up
+// window, since the fold threshold doubles with the table.
 //
 // This makes a Table safe for any number of concurrent readers alongside
 // concurrent interners, which is what lets the parallel dissemination
@@ -61,7 +68,11 @@ type view struct {
 // concurrency contract.
 type Table struct {
 	v  atomic.Pointer[view]
-	mu sync.Mutex // serializes interning of new names
+	mu sync.Mutex // guards overflow and serializes interning
+	// overflow holds names interned since the last fold that are not yet
+	// in the published view's byName map (their symbols ARE in the
+	// published names slice). Read and written only under mu.
+	overflow map[string]Sym
 }
 
 // New returns an empty table. The empty name maps to None, so no dense
@@ -73,59 +84,104 @@ func New() *Table {
 }
 
 // Intern returns the symbol for name, assigning the next dense symbol on
-// first sight. The warm path (name already interned) is lock-free.
+// first sight. The warm path (name already in the published snapshot) is
+// lock-free.
 func (t *Table) Intern(name string) Sym {
 	if s, ok := t.v.Load().byName[name]; ok {
 		return s
 	}
-	return t.internSlow(name)
-}
-
-// InternBytes is Intern for a byte-slice name. When the name is already
-// interned no allocation occurs (the compiler elides the string
-// conversion in the map probe), which is what makes the steady-state
-// tokenizer loop allocation-free.
-func (t *Table) InternBytes(b []byte) Sym {
-	if s, ok := t.v.Load().byName[string(b)]; ok {
-		return s
-	}
-	return t.internSlow(string(b))
-}
-
-// internSlow interns a name not present in the snapshot the caller
-// probed. It re-checks under the writer lock (another goroutine may have
-// interned the same name since), then publishes a new view containing it.
-// The per-new-name map copy keeps every published view immutable; it
-// costs O(names) once per distinct name ever seen, which the read-mostly
-// workload amortizes to nothing.
-func (t *Table) internSlow(name string) Sym {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if s, ok := t.overflow[name]; ok {
+		return s
+	}
 	cur := t.v.Load()
 	if s, ok := cur.byName[name]; ok {
 		return s
 	}
-	s := Sym(len(cur.names))
-	byName := make(map[string]Sym, len(cur.byName)+1)
-	for k, v := range cur.byName {
-		byName[k] = v
+	return t.insertLocked(cur, name)
+}
+
+// InternBytes is Intern for a byte-slice name. When the name is already
+// interned no allocation occurs — the compiler elides the string
+// conversion in both the snapshot and overflow map probes — which is
+// what makes the steady-state tokenizer loop allocation-free. Only a
+// genuinely new name materializes the string.
+func (t *Table) InternBytes(b []byte) Sym {
+	if s, ok := t.v.Load().byName[string(b)]; ok {
+		return s
 	}
-	byName[name] = s
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.overflow[string(b)]; ok {
+		return s
+	}
+	cur := t.v.Load()
+	if s, ok := cur.byName[string(b)]; ok {
+		return s
+	}
+	return t.insertLocked(cur, string(b))
+}
+
+// insertLocked assigns the next dense symbol to a name absent from both
+// the published view and the overflow. The name lands in the mutable
+// overflow map, and a new view is published so Name/Len see the grown
+// names slice; the byName map is rebuilt only when the overflow has
+// doubled the vocabulary (fold below), keeping total map-copy work
+// across n interns at O(n).
+func (t *Table) insertLocked(cur *view, name string) Sym {
+	s := Sym(len(cur.names))
 	// Appending may write into the shared backing array one slot past
 	// every published view's length — a slot no published view can reach —
 	// and the atomic store below publishes that write before any reader
 	// can obtain a view that indexes it.
 	names := append(cur.names, name)
-	t.v.Store(&view{byName: byName, names: names})
+	if t.overflow == nil {
+		t.overflow = make(map[string]Sym)
+	}
+	t.overflow[name] = s
+	if len(t.overflow) >= len(cur.byName) {
+		// Fold: the overflow reached the published map's size, so merging
+		// doubles the vocabulary. Each fold costs O(result size) and sizes
+		// grow geometrically, so each name is copied O(1) times amortized.
+		byName := make(map[string]Sym, len(cur.byName)+len(t.overflow))
+		for k, v := range cur.byName {
+			byName[k] = v
+		}
+		for k, v := range t.overflow {
+			byName[k] = v
+		}
+		t.overflow = nil
+		t.v.Store(&view{byName: byName, names: names})
+	} else {
+		t.v.Store(&view{byName: cur.byName, names: names})
+	}
 	return s
 }
 
 // Lookup returns the symbol for name, or None if it has never been
-// interned.
-func (t *Table) Lookup(name string) Sym { return t.v.Load().byName[name] }
+// interned. The miss path checks the overflow under the lock, so names
+// not yet folded are still found.
+func (t *Table) Lookup(name string) Sym {
+	if s, ok := t.v.Load().byName[name]; ok {
+		return s
+	}
+	t.mu.Lock()
+	s := t.overflow[name]
+	t.mu.Unlock()
+	return s
+}
 
 // LookupBytes is Lookup for a byte-slice name; it never allocates.
-func (t *Table) LookupBytes(b []byte) Sym { return t.v.Load().byName[string(b)] }
+func (t *Table) LookupBytes(b []byte) Sym {
+	if s, ok := t.v.Load().byName[string(b)]; ok {
+		return s
+	}
+	t.mu.Lock()
+	s := t.overflow[string(b)]
+	t.mu.Unlock()
+	return s
+}
 
 // Name returns the canonical string for a symbol of this table. The
 // returned string is shared — callers must not assume freshness — which

@@ -3,7 +3,7 @@
 # so the performance trajectory is tracked PR over PR.
 #
 # Usage:
-#   scripts/bench.sh [output.json]          # default: BENCH_pr5.json
+#   scripts/bench.sh [output.json]          # default: BENCH_pr6.json
 #   BENCHTIME=1s scripts/bench.sh           # longer, steadier numbers
 #   CPUS=1,2,4,8 scripts/bench.sh           # parallel-arm scaling sweep
 #   BENCH_FILTER='^BenchmarkMatchReader' scripts/bench.sh  # pinned subset
@@ -20,10 +20,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr5.json}"
+out="${1:-BENCH_pr6.json}"
 benchtime="${BENCHTIME:-1x}"
 cpus="${CPUS:-1,2,4}"
-filter="${BENCH_FILTER:-^BenchmarkFilterSet$|Throughput|^BenchmarkMatchReader$|^BenchmarkMatchReaderNoMatch$}"
+filter="${BENCH_FILTER:-^BenchmarkFilterSet$|Throughput|^BenchmarkMatchReader$|^BenchmarkMatchReaderNoMatch$|^BenchmarkTokenizer$}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -42,19 +42,21 @@ fi
   awk '
     /^Benchmark/ {
       name = $1; iters = $2
-      ns = ""; bop = ""; allocs = ""; extra = ""; frac = ""
+      ns = ""; bop = ""; allocs = ""; extra = ""; frac = ""; mbs = ""
       for (i = 3; i < NF; i++) {
         if ($(i+1) == "ns/op")     ns = $i
         if ($(i+1) == "B/op")      bop = $i
         if ($(i+1) == "allocs/op") allocs = $i
         if ($(i+1) == "ns/event")  extra = $i
         if ($(i+1) == "readFrac")  frac = $i
+        if ($(i+1) == "MB/s")      mbs = $i
       }
       if (n++) printf ",\n"
       printf "    {\"name\": \"%s\", \"iterations\": %s", name, iters
       if (ns != "")     printf ", \"ns_per_op\": %s", ns
       if (extra != "")  printf ", \"ns_per_event\": %s", extra
       if (frac != "")   printf ", \"read_frac\": %s", frac
+      if (mbs != "")    printf ", \"mb_per_s\": %s", mbs
       if (bop != "")    printf ", \"bytes_per_op\": %s", bop
       if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
       printf "}"

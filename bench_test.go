@@ -591,6 +591,46 @@ func BenchmarkDissemination(b *testing.B) {
 	b.Run("fanout", func(b *testing.B) { benchFanout(b, subs, doc) })
 }
 
+// BenchmarkFilterSetLimits is the budget-mode arm (PR 7): the compact
+// dissemination workload with every resource budget enabled and never
+// hit. The limit checks are plain integer compares against
+// zero-disabled budgets, so this arm must stay allocation-free and
+// within the bench gate's noise band of the unlimited engine arm.
+func BenchmarkFilterSetLimits(b *testing.B) {
+	subs := disseminationSubs("shared", 1000)
+	doc := disseminationDoc(40)
+	s := streamxpath.NewFilterSet()
+	for i, src := range subs {
+		if err := s.Add(fmt.Sprintf("s%d", i), src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.SetLimits(streamxpath.Limits{
+		MaxDepth:         1 << 16,
+		MaxTokenBytes:    1 << 24,
+		MaxBufferedBytes: 1 << 24,
+		MaxLiveTuples:    1 << 24,
+		MaxDocBytes:      1 << 30,
+	})
+	docBytes := []byte(doc)
+	if _, err := s.MatchBytes(docBytes); err != nil { // compile + warm transition tables
+		b.Fatal(err)
+	}
+	events := len(sax.MustParse(doc))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var matched int
+	for i := 0; i < b.N; i++ {
+		ids, err := s.MatchBytes(docBytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		matched = len(ids)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(events), "ns/event")
+	b.ReportMetric(float64(matched), "matched")
+}
+
 // --- the chunked reader family (PR 4) ---
 //
 // BenchmarkMatchReader compares the two ways to match a document that

@@ -38,6 +38,16 @@
 // adaptive threshold match on a pooled replica (no fan-out overhead),
 // larger ones fan out event-sharded. -workers 0 (the default) keeps the
 // sequential engine.
+//
+// Resource limits: -max-depth, -max-token, -max-buffer, -max-tuples and
+// -max-doc set hard per-document budgets on open-element depth, single
+// token size, buffered predicate text, live frontier state and total
+// document bytes (0 = unlimited). A breached budget fails the document
+// with a typed error by default; -on-limit abstain degrades gracefully
+// instead, returning the verdicts decided before the breach (matching
+// is monotone, so they are final) and tagging the output line. -stats
+// additionally prints the live-memory accounting, including the
+// optimality ratio of estimated bits against the paper's lower bound.
 package main
 
 import (
@@ -66,8 +76,29 @@ func main() {
 		workers  = flag.Int("workers", 0, "match with the parallel engine using N workers (0 = sequential)")
 		mode     = flag.String("mode", "shard", "parallel mode: shard (event-sharded, one doc at a time), docs (replica pool, concurrent docs), or auto (pick per document by size)")
 		chunk    = flag.Int("chunk", 0, "streaming read size in bytes (0 = 64KiB default)")
+
+		maxDepth  = flag.Int("max-depth", 0, "max open-element depth per document (0 = unlimited)")
+		maxToken  = flag.Int("max-token", 0, "max bytes of a single token (0 = unlimited)")
+		maxBuffer = flag.Int("max-buffer", 0, "max bytes of buffered predicate text (0 = unlimited)")
+		maxTuples = flag.Int("max-tuples", 0, "max live frontier tuples/scopes/pendings (0 = unlimited)")
+		maxDoc    = flag.Int64("max-doc", 0, "max total document bytes (0 = unlimited)")
+		onLimit   = flag.String("on-limit", "fail", "on budget breach: fail (typed error) or abstain (keep verdicts decided before the breach)")
 	)
 	flag.Parse()
+	if *onLimit != "fail" && *onLimit != "abstain" {
+		fmt.Fprintln(os.Stderr, "xpfilter: -on-limit must be fail or abstain")
+		os.Exit(2)
+	}
+	lim := streamxpath.Limits{
+		MaxDepth:         *maxDepth,
+		MaxTokenBytes:    *maxToken,
+		MaxBufferedBytes: *maxBuffer,
+		MaxLiveTuples:    *maxTuples,
+		MaxDocBytes:      *maxDoc,
+	}
+	if *onLimit == "abstain" {
+		lim.Policy = streamxpath.LimitAbstain
+	}
 	if (*querySrc == "") == (*subsFile == "") {
 		fmt.Fprintln(os.Stderr, "xpfilter: exactly one of -q or -subs is required")
 		flag.Usage()
@@ -95,7 +126,7 @@ func main() {
 	}
 	if *subsFile != "" {
 		if *workers > 0 && *mode == "docs" {
-			os.Exit(runPoolFiles(*subsFile, files, *workers, *stats))
+			os.Exit(runPoolFiles(*subsFile, files, *workers, *stats, lim))
 		}
 		var set matcherSet
 		switch {
@@ -121,6 +152,7 @@ func main() {
 			set = fs
 		}
 		set.SetChunkSize(*chunk)
+		set.SetLimits(lim)
 		exit := 0
 		for _, name := range files {
 			if err := runSet(set, name, *stats, *bench); err != nil {
@@ -140,7 +172,7 @@ func main() {
 	}
 	exit := 0
 	for _, name := range files {
-		if err := runOne(q, name, *stats, *evaluate, *bench, *chunk); err != nil {
+		if err := runOne(q, name, *stats, *evaluate, *bench, *chunk, lim); err != nil {
 			fmt.Fprintf(os.Stderr, "xpfilter: %s: %v\n", name, err)
 			exit = 1
 		}
@@ -251,9 +283,20 @@ type matcherSet interface {
 	MatchBytes([]byte) ([]string, error)
 	MatchReader(io.Reader) ([]string, error)
 	SetChunkSize(int)
+	SetLimits(streamxpath.Limits)
+	Abstained() bool
 	ReaderStats() streamxpath.ReaderStats
+	MemStats() streamxpath.MemStats
 	Len() int
 	Stats() streamxpath.FilterSetStats
+}
+
+// reportAbstain tags an output line's verdicts as partial when the last
+// match degraded on a budget breach.
+func reportAbstain(abstained bool) {
+	if abstained {
+		fmt.Printf("  abstained: resource budget hit; verdicts are those decided before the breach\n")
+	}
 }
 
 // loadSubscriptions reads a subscription file, registering each line
@@ -299,11 +342,12 @@ func loadSubscriptions(path string, add func(id, query string) error) error {
 
 // runPoolFiles is -mode docs: a FilterPool of engine replicas matching
 // the input files concurrently. Results print in argument order.
-func runPoolFiles(subsFile string, files []string, workers int, stats bool) int {
+func runPoolFiles(subsFile string, files []string, workers int, stats bool, lim streamxpath.Limits) int {
 	pool := streamxpath.NewFilterPool(workers)
 	if err := loadSubscriptions(subsFile, pool.Add); err != nil {
 		fatal(err)
 	}
+	pool.SetLimits(lim)
 	type result struct {
 		ids []string
 		err error
@@ -343,6 +387,7 @@ func runPoolFiles(subsFile string, files []string, workers int, stats bool) int 
 	}
 	if stats {
 		fmt.Printf("  %s\n", pool.Stats())
+		fmt.Printf("  %s\n", pool.MemStats())
 	}
 	return exit
 }
@@ -365,6 +410,7 @@ func runSet(set matcherSet, name string, stats bool, bench int) error {
 			return err
 		}
 		fmt.Printf("%s: %d/%d matched: %s\n", name, len(ids), set.Len(), strings.Join(ids, " "))
+		reportAbstain(set.Abstained())
 		return benchReport(doc, bench, func() error {
 			_, err := set.MatchBytes(doc)
 			return err
@@ -381,14 +427,16 @@ func runSet(set matcherSet, name string, stats bool, bench int) error {
 	}
 	fmt.Printf("%s: %d/%d matched: %s\n", name, len(ids), set.Len(), strings.Join(ids, " "))
 	reportEarlyExit(set.ReaderStats())
+	reportAbstain(set.Abstained())
 	if stats {
 		s := set.Stats()
 		fmt.Printf("  %s\n", s)
+		fmt.Printf("  %s\n", set.MemStats())
 	}
 	return nil
 }
 
-func runOne(q *streamxpath.Query, name string, stats, evaluate bool, bench, chunk int) error {
+func runOne(q *streamxpath.Query, name string, stats, evaluate bool, bench, chunk int, lim streamxpath.Limits) error {
 	if evaluate {
 		var vals []string
 		r, closeIn, err := openInput(name)
@@ -411,6 +459,7 @@ func runOne(q *streamxpath.Query, name string, stats, evaluate bool, bench, chun
 		return fmt.Errorf("query is not streamable (%v); use -eval", err)
 	}
 	f.SetChunkSize(chunk)
+	f.SetLimits(lim)
 	if bench > 0 {
 		doc, err := readInput(name)
 		if err != nil {
@@ -424,6 +473,7 @@ func runOne(q *streamxpath.Query, name string, stats, evaluate bool, bench, chun
 			return err
 		}
 		fmt.Printf("%s: %v\n", name, matched)
+		reportAbstain(f.Abstained())
 		return benchReport(doc, bench, func() error {
 			_, err := f.MatchBytes(doc)
 			return err
@@ -440,10 +490,12 @@ func runOne(q *streamxpath.Query, name string, stats, evaluate bool, bench, chun
 	}
 	fmt.Printf("%s: %v\n", name, matched)
 	reportEarlyExit(f.ReaderStats())
+	reportAbstain(f.Abstained())
 	if stats {
 		s := f.Stats()
-		fmt.Printf("  events=%d frontier=%d buffer=%dB depth=%d estBits=%d\n",
-			s.Events, s.PeakFrontierTuples, s.PeakBufferBytes, s.MaxDepth, s.EstimatedBits)
+		fmt.Printf("  events=%d frontier=%d buffer=%dB depth=%d estBits=%d lowerBoundBits=%d optimality=%.2f\n",
+			s.Events, s.PeakFrontierTuples, s.PeakBufferBytes, s.MaxDepth, s.EstimatedBits,
+			s.LowerBoundBits, s.OptimalityRatio)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"streamxpath/internal/engine"
+	"streamxpath/internal/limits"
 	"streamxpath/internal/sax"
 )
 
@@ -46,6 +47,12 @@ type FilterSet struct {
 	buf    []byte
 	procFn func(sax.ByteEvent) error
 	decFn  func() bool
+
+	// lim holds the per-document resource budgets and the breach policy;
+	// abstained records whether the last Match call degraded under
+	// LimitAbstain.
+	lim       Limits
+	abstained bool
 }
 
 // NewFilterSet returns an empty set.
@@ -79,6 +86,48 @@ func (s *FilterSet) IDs() []string { return s.e.IDs() }
 // callers driving the engine event by event across documents.
 func (s *FilterSet) Reset() { s.e.Reset() }
 
+// SetLimits configures the per-document resource budgets and breach
+// policy (the zero value disables them). Limits persist across documents
+// and Reset; a breach under LimitFail surfaces as a *LimitError, under
+// LimitAbstain as a degraded result (see Abstained). Either way the set
+// stays usable — nothing ever panics, and no budget check allocates until
+// a breach actually occurs.
+func (s *FilterSet) SetLimits(l Limits) {
+	s.lim = l
+	s.e.SetLimits(l.internal())
+	if s.tok != nil {
+		s.tok.SetLimits(l.internal())
+	}
+	if s.stok != nil {
+		s.stok.SetLimits(l.internal())
+	}
+}
+
+// Limits returns the configured budgets.
+func (s *FilterSet) Limits() Limits { return s.lim }
+
+// Abstained reports whether the last Match call hit a resource budget
+// under LimitAbstain and returned only the verdicts decided before the
+// breach.
+func (s *FilterSet) Abstained() bool { return s.abstained }
+
+// MemStats returns the live-memory accounting of the last document: the
+// matching state's component peaks, the paper's cost model applied to
+// them, and the optimality ratio against the lower bound.
+func (s *FilterSet) MemStats() MemStats { return s.e.MemStats() }
+
+// limited applies the breach policy to an error carrying a *LimitError:
+// under LimitAbstain the verdicts already decided (definitive, by
+// monotonicity) come back with a nil error. Any other error passes
+// through unchanged.
+func (s *FilterSet) limited(err error) ([]string, error) {
+	if s.lim.Policy == LimitAbstain && limitBreach(err) {
+		s.abstained = true
+		return s.appendIDs(), nil
+	}
+	return nil, err
+}
+
 // MatchReader streams one document past every subscription through the
 // chunked interned-symbol byte path and returns the ids that match, in
 // insertion order. The document is read in fixed-size chunks
@@ -100,9 +149,11 @@ func (s *FilterSet) MatchReader(r io.Reader) ([]string, error) {
 	// Reset up front so a previous document that failed mid-stream (and
 	// never reached endDocument) cannot wedge the engine in its
 	// half-open state.
+	s.abstained = false
 	s.e.Reset()
 	if s.stok == nil {
 		s.stok = sax.NewStreamTokenizer(s.e.Symbols())
+		s.stok.SetLimits(s.lim.internal())
 		s.procFn = func(ev sax.ByteEvent) error {
 			if err := s.e.ProcessBytes(ev); err != nil {
 				return fmt.Errorf("streamxpath: %w", err)
@@ -115,7 +166,9 @@ func (s *FilterSet) MatchReader(r io.Reader) ([]string, error) {
 	}
 	sawEnd, err := streamDoc(r, s.stok, s.chunk, &s.rs, s.procFn, s.decFn)
 	if err != nil {
-		return nil, err
+		ids, err := s.limited(err)
+		s.rs.Abstained = s.abstained
+		return ids, err
 	}
 	if !sawEnd && !s.rs.EarlyExit {
 		return nil, fmt.Errorf("streamxpath: document ended prematurely")
@@ -157,9 +210,15 @@ func (s *FilterSet) MatchString(xml string) ([]string, error) {
 // returned slice is reused by the next MatchBytes call — copy it if it
 // must outlive the call. It is non-nil even when empty.
 func (s *FilterSet) MatchBytes(doc []byte) ([]string, error) {
+	s.abstained = false
 	s.e.Reset() // recover from a document abandoned mid-stream
+	if l := s.lim.MaxDocBytes; l > 0 && int64(len(doc)) > l {
+		return s.limited(fmt.Errorf("streamxpath: %w",
+			&limits.Error{Resource: "doc-bytes", Limit: l, Observed: int64(len(doc))}))
+	}
 	if s.tok == nil {
 		s.tok = sax.NewTokenizerBytes(doc, s.e.Symbols())
+		s.tok.SetLimits(s.lim.internal())
 	} else {
 		s.tok.Reset(doc)
 	}
@@ -170,13 +229,13 @@ func (s *FilterSet) MatchBytes(doc []byte) ([]string, error) {
 			break
 		}
 		if err != nil {
-			return nil, err
+			return s.limited(err)
 		}
 		if e.Kind == sax.EndDocument {
 			sawEnd = true
 		}
 		if err := s.e.ProcessBytes(e); err != nil {
-			return nil, fmt.Errorf("streamxpath: %w", err)
+			return s.limited(fmt.Errorf("streamxpath: %w", err))
 		}
 	}
 	if !sawEnd {

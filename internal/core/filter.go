@@ -45,6 +45,7 @@ import (
 	"strings"
 
 	"streamxpath/internal/bytestr"
+	"streamxpath/internal/limits"
 	"streamxpath/internal/query"
 	"streamxpath/internal/sax"
 	"streamxpath/internal/symtab"
@@ -124,6 +125,9 @@ type Filter struct {
 	opened       []*Tuple // scratch for startElement
 
 	stats Stats
+	// lim holds the per-document resource budgets (zero value: none).
+	// Budgets configure the filter, not the document: they survive Reset.
+	lim limits.Limits
 	// Trace, if non-nil, is invoked after each processed event (used by
 	// the Fig. 22 example-run reproduction).
 	Trace func(e sax.Event, f *Filter)
@@ -183,6 +187,46 @@ func (f *Filter) BindSymbols(tab *symtab.Table) {
 			f.nodeSym[u] = tab.Intern(u.NTest)
 		}
 	}
+}
+
+// SetLimits configures the per-document resource budgets (the zero value
+// disables them). Limits persist across Reset; a breach surfaces as a
+// *limits.Error from Process/ProcessBytes and leaves the filter reusable
+// after the next Reset.
+func (f *Filter) SetLimits(l limits.Limits) { f.lim = l }
+
+// Limits returns the configured budgets.
+func (f *Filter) Limits() limits.Limits { return f.lim }
+
+// checkLive enforces MaxLiveTuples against the filter's live matching
+// state: frontier tuples, open candidate scopes (each holding one parked
+// or in-frontier owner), and buffering leaf candidates.
+func (f *Filter) checkLive() error {
+	if f.lim.MaxLiveTuples <= 0 {
+		return nil
+	}
+	live := len(f.frontier) + len(f.scopes) + len(f.pendings)
+	if live > f.lim.MaxLiveTuples {
+		return &limits.Error{Resource: "live-tuples", Limit: int64(f.lim.MaxLiveTuples), Observed: int64(live)}
+	}
+	return nil
+}
+
+// checkDepth enforces MaxDepth before an element opens.
+func (f *Filter) checkDepth() error {
+	if f.lim.MaxDepth > 0 && f.level+1 > f.lim.MaxDepth {
+		return &limits.Error{Resource: "depth", Limit: int64(f.lim.MaxDepth), Observed: int64(f.level + 1)}
+	}
+	return nil
+}
+
+// checkBuffer enforces MaxBufferedBytes before a text append (only when
+// some leaf candidate is actually buffering).
+func (f *Filter) checkBuffer(n int) error {
+	if f.lim.MaxBufferedBytes > 0 && f.refCount > 0 && len(f.buf)+n > f.lim.MaxBufferedBytes {
+		return &limits.Error{Resource: "buffered-bytes", Limit: int64(f.lim.MaxBufferedBytes), Observed: int64(len(f.buf) + n)}
+	}
+	return nil
 }
 
 // newTuple takes a tuple off the free list (or allocates one), caching
@@ -291,7 +335,13 @@ func (f *Filter) ProcessBytes(e sax.ByteEvent) error {
 		if !f.started || f.finished {
 			return fmt.Errorf("core: startElement outside document")
 		}
+		if err := f.checkDepth(); err != nil {
+			return err
+		}
 		f.startElementSym(e.Sym, e.Attribute)
+		if err := f.checkLive(); err != nil {
+			return err
+		}
 	case sax.EndElement:
 		if !f.started || f.finished {
 			return fmt.Errorf("core: endElement outside document")
@@ -303,6 +353,9 @@ func (f *Filter) ProcessBytes(e sax.ByteEvent) error {
 	case sax.Text:
 		if !f.started || f.finished {
 			return fmt.Errorf("core: text outside document")
+		}
+		if err := f.checkBuffer(len(e.Data)); err != nil {
+			return err
 		}
 		f.textBytes(e.Data)
 	}
@@ -327,7 +380,13 @@ func (f *Filter) process(e sax.Event) error {
 		if !f.started || f.finished {
 			return fmt.Errorf("core: startElement outside document")
 		}
+		if err := f.checkDepth(); err != nil {
+			return err
+		}
 		f.startElement(e.Name, e.Attribute)
+		if err := f.checkLive(); err != nil {
+			return err
+		}
 	case sax.EndElement:
 		if !f.started || f.finished {
 			return fmt.Errorf("core: endElement outside document")
@@ -339,6 +398,9 @@ func (f *Filter) process(e sax.Event) error {
 	case sax.Text:
 		if !f.started || f.finished {
 			return fmt.Errorf("core: text outside document")
+		}
+		if err := f.checkBuffer(len(e.Data)); err != nil {
+			return err
 		}
 		f.text(e.Data)
 	}

@@ -88,6 +88,24 @@ func (s Stats) EstimatedBits(querySize int) int {
 	return s.PeakTuples*perTuple + s.PeakBufferBytes*8 + log2ceil(d)
 }
 
+// LowerBoundBits applies the paper's lower-bound theorems to an observed
+// document shape: any streaming evaluator must distinguish about
+// frontierSize concurrent candidate states (the Section 6 frontier bound),
+// and needs Ω(log d) bits of level information on a document of depth d
+// (Section 4) — so the floor is frontierSize·ceil(log2 d) bits. The ratio
+// EstimatedBits / LowerBoundBits is the evaluator's optimality ratio: how
+// far its actual peak state sits above the information-theoretic floor.
+func LowerBoundBits(frontierSize, maxLevel int) int {
+	d := maxLevel
+	if d < 2 {
+		d = 2
+	}
+	if frontierSize < 1 {
+		frontierSize = 1
+	}
+	return frontierSize * log2ceil(d)
+}
+
 // String renders the stats compactly.
 func (s Stats) String() string {
 	return fmt.Sprintf("events=%d peakTuples=%d peakFrontier=%d peakScopes=%d peakPendings=%d peakBuffer=%dB maxLevel=%d",

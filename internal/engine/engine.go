@@ -39,6 +39,8 @@ import (
 
 	"streamxpath/internal/automaton"
 	"streamxpath/internal/core"
+	"streamxpath/internal/fragment"
+	"streamxpath/internal/limits"
 	"streamxpath/internal/query"
 	"streamxpath/internal/sax"
 	"streamxpath/internal/symtab"
@@ -86,6 +88,13 @@ type Engine struct {
 	started  bool
 	finished bool
 	level    int
+
+	// lim holds the per-document resource budgets (zero value: none).
+	// Depth is checked at startElement, buffered text before each append,
+	// and live tuples after each startElement — with a dead-tuple
+	// eviction sweep before a live-tuple breach is declared, so the
+	// budget measures state that could still influence a verdict.
+	lim limits.Limits
 }
 
 // New returns an empty engine with a private symbol table.
@@ -108,6 +117,24 @@ func NewWithSymbols(tab *symtab.Table) *Engine {
 // Symbols returns the engine's symbol table. Tokenizers that feed the
 // engine through ProcessBytes must intern into this table.
 func (e *Engine) Symbols() *symtab.Table { return e.tab }
+
+// SetLimits configures the per-document resource budgets (the zero value
+// disables them). Limits persist across Reset and recompiles; a breach
+// surfaces as a *limits.Error from Process/ProcessBytes and leaves the
+// engine reusable after the next Reset.
+func (e *Engine) SetLimits(l limits.Limits) { e.lim = l }
+
+// Limits returns the configured budgets.
+func (e *Engine) Limits() limits.Limits { return e.lim }
+
+// Rebuild discards the compiled shared indexes and every piece of
+// per-document run state; the next Reset (or the next document's
+// StartDocument) recompiles them from the intact subscription list. It is
+// the quarantine step after a recovered panic: matching state of
+// unknown integrity is thrown away wholesale instead of trusting Reset's
+// in-place sweeps, while subscriptions — never touched during matching —
+// survive.
+func (e *Engine) Rebuild() { e.dirty = true }
 
 // Add registers a subscription under the given id. It returns an error
 // for duplicate ids and for queries outside the streamable fragment (the
@@ -242,7 +269,20 @@ func (e *Engine) ProcessBytes(ev sax.ByteEvent) error {
 		if !e.started || e.finished {
 			return fmt.Errorf("engine: text outside document")
 		}
+		if err := e.checkBuffer(len(ev.Data)); err != nil {
+			return err
+		}
 		e.mt.textBytes(ev.Data)
+	}
+	return nil
+}
+
+// checkBuffer enforces MaxBufferedBytes before a text append: the check
+// runs only when some value-restricted leaf candidate is consuming text
+// (otherwise nothing is buffered at all).
+func (e *Engine) checkBuffer(n int) error {
+	if e.lim.MaxBufferedBytes > 0 && e.mt.refCount > 0 && len(e.mt.buf)+n > e.lim.MaxBufferedBytes {
+		return &limits.Error{Resource: "buffered-bytes", Limit: int64(e.lim.MaxBufferedBytes), Observed: int64(len(e.mt.buf) + n)}
 	}
 	return nil
 }
@@ -277,6 +317,9 @@ func (e *Engine) startElement(sym symtab.Sym, isAttr bool) error {
 		return fmt.Errorf("engine: startElement outside document")
 	}
 	e.level++
+	if e.lim.MaxDepth > 0 && e.level > e.lim.MaxDepth {
+		return &limits.Error{Resource: "depth", Limit: int64(e.lim.MaxDepth), Observed: int64(e.level)}
+	}
 	if !isAttr {
 		// Attribute pseudo-elements are invisible to the NFA route: its
 		// queries have no attribute steps, and an attribute must never
@@ -284,6 +327,19 @@ func (e *Engine) startElement(sym symtab.Sym, isAttr bool) error {
 		e.runner.StartElementSym(sym)
 	}
 	e.mt.startElementSym(sym, isAttr)
+	if e.lim.MaxLiveTuples > 0 {
+		// Live state is the trie matcher's tuples/scopes/pendings plus one
+		// NFA runner stack entry per open element. Before declaring a
+		// breach, sweep out dead-but-unremoved tuples — fully satisfied
+		// shared state the lazy eviction has not touched yet — so only
+		// state that can still influence a verdict counts.
+		if live := e.mt.live() + e.level; live > e.lim.MaxLiveTuples {
+			e.mt.evictDead()
+			if live = e.mt.live() + e.level; live > e.lim.MaxLiveTuples {
+				return &limits.Error{Resource: "live-tuples", Limit: int64(e.lim.MaxLiveTuples), Observed: int64(live)}
+			}
+		}
+	}
 	return nil
 }
 
@@ -305,6 +361,9 @@ func (e *Engine) endElement(sym symtab.Sym, isAttr bool) error {
 func (e *Engine) text(data string) error {
 	if !e.started || e.finished {
 		return fmt.Errorf("engine: text outside document")
+	}
+	if err := e.checkBuffer(len(data)); err != nil {
+		return err
 	}
 	e.mt.text(data)
 	return nil
@@ -479,4 +538,85 @@ func (s Stats) String() string {
 	return fmt.Sprintf("subs=%d (nfa=%d trie=%d) steps=%d shared=%d predNodes=%d dfa=%d/%d events=%d visits=%d peakTuples=%d",
 		s.Subscriptions, s.NFARouted, s.TrieRouted, s.SpineSteps, s.SharedStates, s.PredNodes,
 		s.DFAStates, s.DFATransitions, s.Events, s.TupleVisits, s.PeakTuples)
+}
+
+// MemStats is the engine's live-memory accounting for the last (or
+// current) document, with the paper's cost model and lower bound applied:
+// the peak concurrent matching state, the bits that state corresponds to
+// under the Theorem 8.8 cost model, and how far above the
+// information-theoretic floor (Sections 4-7) the evaluator actually sat.
+type MemStats struct {
+	// Events is the number of SAX events dispatched to the trie matcher.
+	Events int
+	// PeakLiveTuples is the peak concurrent matching state: frontier
+	// tuples + open candidate scopes + buffering leaf candidates (the
+	// component peaks summed — an upper bound on the true joint peak).
+	PeakLiveTuples int
+	// PeakScopes / PeakPendings / PeakBufferedBytes are the component
+	// peaks: open candidate scopes, buffering leaf candidates, and
+	// buffered candidate-text bytes (the paper's w term).
+	PeakScopes        int
+	PeakPendings      int
+	PeakBufferedBytes int
+	// MaxDepth is the deepest open-element nesting reached (the paper's d;
+	// on fully recursive documents also its recursion term r).
+	MaxDepth int
+	// EstimatedBits applies the paper's cost model to the peaks: each
+	// tuple costs log|Q| + log d + log w bits plus a matched bit, the
+	// buffer 8 bits per byte (core.Stats.EstimatedBits, with |Q| the size
+	// of the shared index).
+	EstimatedBits int
+	// LowerBoundBits is the paper's floor for the same document shape:
+	// FS(Q)·log d bits, with FS(Q) the largest frontier size among the
+	// standing subscriptions (core.LowerBoundBits).
+	LowerBoundBits int
+	// OptimalityRatio is EstimatedBits / LowerBoundBits — how many times
+	// the lower bound the evaluator's accounted peak state occupied.
+	OptimalityRatio float64
+}
+
+// MemStats returns the live-memory accounting of the last (or current)
+// document. With pending Add/Remove calls the indexes are compiled first
+// (clearing any in-progress document state).
+func (e *Engine) MemStats() MemStats {
+	if e.dirty {
+		e.compile()
+	}
+	ms := e.mt.stats
+	st := MemStats{
+		Events:            ms.Events,
+		PeakLiveTuples:    ms.PeakTuples + ms.PeakScopes + ms.PeakPendings,
+		PeakScopes:        ms.PeakScopes,
+		PeakPendings:      ms.PeakPendings,
+		PeakBufferedBytes: ms.PeakBufferBytes,
+		MaxDepth:          ms.MaxLevel,
+	}
+	nodes := (e.nfa.Size() - 1) + len(e.tr.spineNodes) + e.tr.predNodes
+	if nodes < 2 {
+		nodes = 2
+	}
+	cs := core.Stats{
+		PeakTuples:      st.PeakLiveTuples,
+		PeakBufferBytes: ms.PeakBufferBytes,
+		MaxLevel:        ms.MaxLevel,
+	}
+	st.EstimatedBits = cs.EstimatedBits(nodes)
+	fs := 0
+	for _, s := range e.subs {
+		if n := fragment.FrontierSize(s.q); n > fs {
+			fs = n
+		}
+	}
+	st.LowerBoundBits = core.LowerBoundBits(fs, ms.MaxLevel)
+	if st.LowerBoundBits > 0 {
+		st.OptimalityRatio = float64(st.EstimatedBits) / float64(st.LowerBoundBits)
+	}
+	return st
+}
+
+// String renders the memory stats compactly.
+func (s MemStats) String() string {
+	return fmt.Sprintf("events=%d peakLive=%d (scopes=%d pendings=%d) peakBuffer=%dB maxDepth=%d estBits=%d lbBits=%d ratio=%.1f",
+		s.Events, s.PeakLiveTuples, s.PeakScopes, s.PeakPendings, s.PeakBufferedBytes, s.MaxDepth,
+		s.EstimatedBits, s.LowerBoundBits, s.OptimalityRatio)
 }

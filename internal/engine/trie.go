@@ -726,6 +726,58 @@ func (m *matcher) undecided() int {
 	return n
 }
 
+// live returns the matcher's live-state count: frontier tuples, open
+// candidate scopes, and buffering leaf candidates. This is what the
+// MaxLiveTuples budget measures (plus the NFA runner's depth term, added
+// by the engine).
+func (m *matcher) live() int {
+	return m.size + len(m.scopes) + len(m.pendings)
+}
+
+// evictDead sweeps out state that can no longer influence a verdict: dead
+// tuples (matched predicate tuples, and spine steps whose subscriptions
+// have all matched) leave the frontier, and buffering leaf candidates
+// whose tuple already matched stop buffering. Frontier tuples are only
+// unlinked, never recycled — every tuple is owned by the scope that
+// created it, which frees it when the scope closes. The per-touch lazy
+// eviction in collectCands retires most dead state already; this sweep
+// backs the live-tuple budget check, which must not declare a breach on
+// account of state that is already dead.
+func (m *matcher) evictDead() {
+	for s := range m.buckets {
+		for i := 0; i < len(m.buckets[s]); {
+			if dead(m.buckets[s][i]) {
+				m.frRemove(m.buckets[s][i]) // swap-remove: rescan slot i
+				continue
+			}
+			i++
+		}
+	}
+	for i := 0; i < len(m.wild); {
+		if dead(m.wild[i]) {
+			m.frRemove(m.wild[i])
+			continue
+		}
+		i++
+	}
+	// Compact matched pendings in place. Order is preserved, so the
+	// level-suffix invariant endElement pops by survives; buffered bytes
+	// are only reclaimed when the last consumer goes, since earlier
+	// pendings' start offsets index into the shared buffer.
+	out := m.pendings[:0]
+	for _, p := range m.pendings {
+		if p.tup.matched {
+			m.refCount--
+			continue
+		}
+		out = append(out, p)
+	}
+	m.pendings = out
+	if m.refCount == 0 {
+		m.buf = m.buf[:0]
+	}
+}
+
 // endDocument closes every remaining scope bottom-up; afterwards matched
 // holds the final per-subscription verdicts.
 func (m *matcher) endDocument() {

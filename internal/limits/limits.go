@@ -1,0 +1,78 @@
+// Package limits defines the per-document resource budgets shared by the
+// tokenizer, the core filter, the dissemination engine, and the parallel
+// subsystems — the operational form of the paper's memory lower bounds.
+//
+// The paper (Sections 4-7) proves that any streaming XPath evaluator must
+// hold Ω(frontier size) concurrent candidate state, Ω(r) state on
+// documents with recursion depth r, and Ω(log d) bits on documents of
+// depth d; the Section 8 algorithm meets those bounds up to log factors.
+// The contrapositive is the robustness story: a document that drives the
+// evaluator's live state beyond a configured budget is, by the lower
+// bounds, a document no streaming evaluator could handle in that budget
+// either — so the principled response is to stop with a typed, recoverable
+// error rather than grow without bound. Each enforcement site compares a
+// live-state measure against one budget field; a breach surfaces as a
+// *Error that callers detect with errors.As and may convert into an
+// Abstain verdict (the degraded mode of the public API).
+//
+// The zero value of Limits disables every budget: all checks are a single
+// compare against zero, so unlimited operation stays on the existing
+// allocation-free hot path.
+package limits
+
+import "fmt"
+
+// Limits is a per-document resource budget. A field <= 0 leaves that
+// budget unenforced. Breaches surface as *Error.
+type Limits struct {
+	// MaxDepth bounds the open-element nesting depth (the paper's d and,
+	// on recursive documents, its recursion term r). Enforced by the
+	// tokenizer's element stack and the evaluators' level counters.
+	MaxDepth int
+	// MaxTokenBytes bounds the size of a single token: a text run, CDATA
+	// section, comment, processing instruction, or attribute value. In
+	// streaming mode this also bounds the retained unconsumed tail, since
+	// an incomplete construct is held until it completes — the budget that
+	// stops a gigabyte text node from buffering whole.
+	MaxTokenBytes int
+	// MaxBufferedBytes bounds the evaluators' candidate-text buffer (the
+	// paper's text-width term w): bytes held for value-restricted
+	// predicate leaves awaiting truth-set evaluation.
+	MaxBufferedBytes int
+	// MaxLiveTuples bounds the evaluators' live matching state: frontier
+	// tuples plus open candidate scopes plus buffering leaf candidates
+	// (the paper's frontier-size term FS(Q), times recursion on recursive
+	// documents). Before declaring a breach the shared engine evicts
+	// dead-but-unremoved tuples, so the budget measures state that could
+	// still influence a verdict.
+	MaxLiveTuples int
+	// MaxDocBytes bounds the total document size consumed from a reader
+	// or accepted in memory.
+	MaxDocBytes int64
+}
+
+// Enabled reports whether any budget is set.
+func (l Limits) Enabled() bool {
+	return l.MaxDepth > 0 || l.MaxTokenBytes > 0 || l.MaxBufferedBytes > 0 ||
+		l.MaxLiveTuples > 0 || l.MaxDocBytes > 0
+}
+
+// Error reports a resource-budget breach: which budget, its configured
+// value, and the observed value that crossed it. It is returned (never
+// panicked) by every enforcement site, and the breaching component is
+// left reusable after its Reset. Detect with errors.As; the observed
+// value may exceed the limit by at most one event's worth of state, since
+// budgets are checked at event granularity.
+type Error struct {
+	// Resource names the breached budget: "depth", "token-bytes",
+	// "buffered-bytes", "live-tuples", or "doc-bytes".
+	Resource string
+	// Limit is the configured budget.
+	Limit int64
+	// Observed is the live-state measure that crossed it.
+	Observed int64
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("resource limit exceeded: %s %d > %d", e.Resource, e.Observed, e.Limit)
+}

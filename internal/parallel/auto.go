@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"streamxpath/internal/engine"
+	"streamxpath/internal/limits"
 	"streamxpath/internal/query"
 	"streamxpath/internal/symtab"
 )
@@ -104,6 +105,16 @@ func (a *Auto) Shards() int { return a.sh.Shards() }
 
 // Symbols returns the shared symbol table.
 func (a *Auto) Symbols() *symtab.Table { return a.sh.Symbols() }
+
+// SetLimits configures the per-document resource budgets on both halves,
+// so the policy's routing decision never changes which budgets apply.
+func (a *Auto) SetLimits(l limits.Limits) {
+	a.sh.SetLimits(l)
+	a.pool.SetLimits(l)
+}
+
+// Limits returns the configured budgets.
+func (a *Auto) Limits() limits.Limits { return a.sh.Limits() }
 
 // sharded reports whether a document of the given size should fan out.
 func (a *Auto) sharded(docSize int) bool {
@@ -223,6 +234,18 @@ func (a *Auto) ReadStats() ReadStats {
 // Stats aggregates the sharded half's engine statistics (the pool's
 // replicas are structurally identical).
 func (a *Auto) Stats() engine.Stats { return a.sh.Stats() }
+
+// MemStats returns the live-memory accounting of the half the last Match
+// call ran on.
+func (a *Auto) MemStats() engine.MemStats {
+	a.mu.Lock()
+	mode := a.lastMode
+	a.mu.Unlock()
+	if mode == "pool" {
+		return a.pool.MemStats()
+	}
+	return a.sh.MemStats()
+}
 
 // Close stops the sharded half's workers. The engine is unusable
 // afterwards; Close is idempotent.

@@ -36,14 +36,37 @@ package parallel
 import (
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"streamxpath/internal/engine"
+	"streamxpath/internal/limits"
 	"streamxpath/internal/query"
 	"streamxpath/internal/sax"
 	"streamxpath/internal/symtab"
 )
+
+// PanicError reports a panic recovered inside a parallel worker (a shard
+// goroutine or a pool replica). The in-flight document fails with this
+// error; the worker's engine is quarantined and rebuilt from its intact
+// subscription list before the next document, so the set stays usable.
+type PanicError struct {
+	// Recovered is the value the panic carried.
+	Recovered any
+	// Stack is the panicking goroutine's stack trace, captured at the
+	// recovery site.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: recovered panic in worker: %v", e.Recovered)
+}
+
+// newPanicError wraps a recovered value for the public error chain.
+func newPanicError(rec any) error {
+	return fmt.Errorf("streamxpath: %w", &PanicError{Recovered: rec, Stack: debug.Stack()})
+}
 
 // shard is one subscription partition: a sequential engine plus the ring
 // the tokenizer feeds it through. Engines are touched only by their
@@ -59,6 +82,10 @@ type shard struct {
 	// polls it between chunks to stop reading input early. Reset by the
 	// producer before the document's first dispatch.
 	decided atomic.Bool
+	// fault, when non-nil, is invoked once per processed batch inside the
+	// worker's panic-recovery region — the fault-injection hook the
+	// isolation tests use to simulate an engine bug.
+	fault func()
 }
 
 // Sharded is the event-sharded engine. Construct with NewSharded, add
@@ -89,6 +116,10 @@ type Sharded struct {
 	tok     *sax.TokenizerBytes
 	matched []bool
 	ids     []string
+
+	// lim holds the per-document resource budgets, mirrored into every
+	// shard engine and the tokenizers (zero value: none).
+	lim limits.Limits
 
 	// Streaming state of MatchReader: the resumable chunked tokenizer,
 	// the last call's input accounting, and the per-document state the
@@ -121,6 +152,10 @@ type ReadStats struct {
 	// DecidedNegative refines EarlyExit: at least one subscription's
 	// verdict was decided negatively (it can never match the document).
 	DecidedNegative bool
+	// Abstained reports that a resource budget was breached and the
+	// abstain policy degraded the result to the verdicts decided before
+	// the breach (set by the public layer).
+	Abstained bool
 }
 
 // fromStream fills the Drive-level accounting; DecidedNegative is
@@ -166,6 +201,32 @@ func NewShardedTab(n int, tab *symtab.Table) *Sharded {
 
 // Shards returns the shard count.
 func (s *Sharded) Shards() int { return len(s.shards) }
+
+// SetLimits configures the per-document resource budgets on every shard
+// engine and the tokenizers (the zero value disables them). A breach
+// fails only the in-flight document with a *limits.Error; the set stays
+// usable.
+func (s *Sharded) SetLimits(l limits.Limits) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lim = l
+	for _, sh := range s.shards {
+		sh.eng.SetLimits(l)
+	}
+	if s.tok != nil {
+		s.tok.SetLimits(l)
+	}
+	if s.stok != nil {
+		s.stok.SetLimits(l)
+	}
+}
+
+// Limits returns the configured budgets.
+func (s *Sharded) Limits() limits.Limits {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lim
+}
 
 // Symbols returns the shared symbol table.
 func (s *Sharded) Symbols() *symtab.Table { return s.tab }
@@ -265,28 +326,14 @@ func (s *Sharded) dispatch(b *batch) {
 // process records through the sequential engine, recycle the batch, and
 // signal document completion on the last one. On a processing error the
 // shard keeps draining (the tokenizer must never block on a wedged ring)
-// and reports the error after the document completes.
+// and reports the error after the document completes. Batch release and
+// the completion signal stay OUT of processBatch's recovered region, so
+// even a panicking engine cannot wedge the broadcast ring or leak the
+// document WaitGroup.
 func (s *Sharded) run(sh *shard) {
 	defer s.workers.Done()
 	for b := range sh.in {
-		if b.first {
-			sh.eng.Reset()
-			sh.err = nil
-		}
-		if sh.err == nil && !b.abort {
-			for i := range b.recs {
-				if err := sh.eng.ProcessBytes(b.event(i)); err != nil {
-					sh.err = fmt.Errorf("streamxpath: %w", err)
-					break
-				}
-			}
-			// Publish this shard's early decision so a streaming producer
-			// can stop reading input once every shard has one. A shard
-			// with no subscriptions is trivially decided.
-			if sh.err == nil && !sh.decided.Load() && (sh.eng.Len() == 0 || sh.eng.Decided()) {
-				sh.decided.Store(true)
-			}
-		}
+		s.processBatch(sh, b)
 		last := b.last
 		if b.release() {
 			s.free <- b
@@ -294,6 +341,43 @@ func (s *Sharded) run(sh *shard) {
 		if last {
 			s.wg.Done()
 		}
+	}
+}
+
+// processBatch runs one batch through the shard's engine under panic
+// isolation: a recovered panic fails only the in-flight document, with a
+// typed *PanicError carrying the recovered value and stack, and
+// quarantines the shard's engine — Rebuild discards the matching state of
+// unknown integrity wholesale, and the next document recompiles from the
+// intact subscription list.
+func (s *Sharded) processBatch(sh *shard, b *batch) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			sh.err = newPanicError(rec)
+			sh.eng.Rebuild()
+		}
+	}()
+	if b.first {
+		sh.eng.Reset()
+		sh.err = nil
+	}
+	if sh.err != nil || b.abort {
+		return
+	}
+	if sh.fault != nil {
+		sh.fault()
+	}
+	for i := range b.recs {
+		if err := sh.eng.ProcessBytes(b.event(i)); err != nil {
+			sh.err = fmt.Errorf("streamxpath: %w", err)
+			return
+		}
+	}
+	// Publish this shard's early decision so a streaming producer can
+	// stop reading input once every shard has one. A shard with no
+	// subscriptions is trivially decided.
+	if !sh.decided.Load() && (sh.eng.Len() == 0 || sh.eng.Decided()) {
+		sh.decided.Store(true)
 	}
 }
 
@@ -308,8 +392,13 @@ func (s *Sharded) MatchBytes(doc []byte) ([]string, error) {
 	if s.closed {
 		return nil, errClosed
 	}
+	if l := s.lim.MaxDocBytes; l > 0 && int64(len(doc)) > l {
+		return nil, fmt.Errorf("streamxpath: %w",
+			&limits.Error{Resource: "doc-bytes", Limit: l, Observed: int64(len(doc))})
+	}
 	if s.tok == nil {
 		s.tok = sax.NewTokenizerBytes(doc, s.tab)
+		s.tok.SetLimits(s.lim)
 	} else {
 		s.tok.Reset(doc)
 	}
@@ -319,24 +408,35 @@ func (s *Sharded) MatchBytes(doc []byte) ([]string, error) {
 	b.first = true
 	sawEnd := false
 	var tokErr error
-	for {
-		ev, err := s.tok.Next()
-		if err == io.EOF {
-			break
+	// The tokenize loop runs under its own recover: once wg.Add has run,
+	// a producer-side panic abandoned mid-document would leak the
+	// document WaitGroup and wedge every later call — so it degrades to a
+	// failed document instead, with the abort batch still dispatched.
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				tokErr = newPanicError(rec)
+			}
+		}()
+		for {
+			ev, err := s.tok.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				tokErr = err
+				break
+			}
+			if ev.Kind == sax.EndDocument {
+				sawEnd = true
+			}
+			b.add(ev, needText)
+			if b.full() {
+				s.dispatch(b)
+				b = s.getBatch()
+			}
 		}
-		if err != nil {
-			tokErr = err
-			break
-		}
-		if ev.Kind == sax.EndDocument {
-			sawEnd = true
-		}
-		b.add(ev, needText)
-		if b.full() {
-			s.dispatch(b)
-			b = s.getBatch()
-		}
-	}
+	}()
 	if tokErr == nil && !sawEnd {
 		tokErr = fmt.Errorf("streamxpath: document ended prematurely")
 	}
@@ -358,18 +458,22 @@ func (s *Sharded) needText() bool {
 
 // finishDoc dispatches the final batch (flagged abort on a tokenization
 // error), waits for the shards, and surfaces the first error or the
-// merged verdicts.
+// merged verdicts. On an error the merged verdicts decided BEFORE the
+// failure are still returned alongside it — matching is monotone, so
+// they are definitive, and the public abstain policy degrades to them. A
+// shard quarantined by a panic reports no verdicts (its state was
+// discarded), which only makes the partial result smaller, never wrong.
 func (s *Sharded) finishDoc(b *batch, tokErr error) ([]string, error) {
 	b.last = true
 	b.abort = tokErr != nil
 	s.dispatch(b)
 	s.wg.Wait()
 	if tokErr != nil {
-		return nil, tokErr
+		return s.merge(), tokErr
 	}
 	for _, sh := range s.shards {
 		if sh.err != nil {
-			return nil, sh.err
+			return s.merge(), sh.err
 		}
 	}
 	return s.merge(), nil
@@ -403,6 +507,7 @@ func (s *Sharded) matchReader(r io.Reader, chunkSize int) ([]string, ReadStats, 
 	}
 	if s.stok == nil {
 		s.stok = sax.NewStreamTokenizer(s.tab)
+		s.stok.SetLimits(s.lim)
 		// The Drive callbacks operate on per-document fields of s (one
 		// document runs at a time under s.mu), built once so repeat
 		// calls allocate nothing: procCb batches events (dispatching
@@ -442,7 +547,23 @@ func (s *Sharded) matchReader(r io.Reader, chunkSize int) ([]string, ReadStats, 
 	s.curB = s.getBatch()
 	s.curB.first = true
 	var ss sax.StreamStats
-	sawEnd, tokErr := s.stok.Drive(r, chunkSize, &ss, s.procCb, s.chunkCb, s.decCb)
+	var sawEnd bool
+	var tokErr error
+	// Same producer-side panic isolation as MatchBytes: after wg.Add, an
+	// abandoned document would wedge every later call, so a panic in the
+	// drive loop degrades to a failed document with the abort batch still
+	// dispatched.
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if s.curB == nil {
+					s.curB = s.getBatch()
+				}
+				tokErr = newPanicError(rec)
+			}
+		}()
+		sawEnd, tokErr = s.stok.Drive(r, chunkSize, &ss, s.procCb, s.chunkCb, s.decCb)
+	}()
 	if tokErr == nil && !sawEnd && !ss.EarlyExit {
 		tokErr = fmt.Errorf("streamxpath: document ended prematurely")
 	}
@@ -527,6 +648,35 @@ func (s *Sharded) Stats() engine.Stats {
 		if st.MaxLevel > out.MaxLevel {
 			out.MaxLevel = st.MaxLevel
 		}
+	}
+	return out
+}
+
+// MemStats aggregates the shards' live-memory accounting for the last
+// document: component peaks and estimated bits sum across shards (each
+// held its state concurrently), depth and the lower bound are maxima,
+// and the optimality ratio is recomputed from the aggregates.
+func (s *Sharded) MemStats() engine.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out engine.MemStats
+	for _, sh := range s.shards {
+		ms := sh.eng.MemStats()
+		out.Events += ms.Events
+		out.PeakLiveTuples += ms.PeakLiveTuples
+		out.PeakScopes += ms.PeakScopes
+		out.PeakPendings += ms.PeakPendings
+		out.PeakBufferedBytes += ms.PeakBufferedBytes
+		out.EstimatedBits += ms.EstimatedBits
+		if ms.MaxDepth > out.MaxDepth {
+			out.MaxDepth = ms.MaxDepth
+		}
+		if ms.LowerBoundBits > out.LowerBoundBits {
+			out.LowerBoundBits = ms.LowerBoundBits
+		}
+	}
+	if out.LowerBoundBits > 0 {
+		out.OptimalityRatio = float64(out.EstimatedBits) / float64(out.LowerBoundBits)
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"streamxpath/internal/engine"
+	"streamxpath/internal/limits"
 	"streamxpath/internal/query"
 	"streamxpath/internal/sax"
 	"streamxpath/internal/symtab"
@@ -20,6 +21,13 @@ type replica struct {
 	tok  *sax.TokenizerBytes
 	stok *sax.StreamTokenizer
 	ids  []string
+	// lim holds the budgets, stored per replica so Match calls read them
+	// while holding only the replica (SetLimits writes under acquireAll).
+	lim limits.Limits
+	// fault, when non-nil, is invoked at the start of each Match call
+	// inside the recovery region — the fault-injection hook of the
+	// isolation tests.
+	fault func()
 }
 
 // Pool is the document-parallel mode: n engine replicas, each carrying
@@ -70,6 +78,43 @@ func NewPoolTab(n int, tab *symtab.Table) *Pool {
 
 // Workers returns the replica count.
 func (p *Pool) Workers() int { return len(p.reps) }
+
+// SetLimits configures the per-document resource budgets on every
+// replica (the zero value disables them). It acquires the whole pool, so
+// budgets never change under an in-flight match.
+func (p *Pool) SetLimits(l limits.Limits) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.acquireAll()
+	defer p.releaseAll()
+	for _, r := range p.reps {
+		r.lim = l
+		r.eng.SetLimits(l)
+		if r.tok != nil {
+			r.tok.SetLimits(l)
+		}
+		if r.stok != nil {
+			r.stok.SetLimits(l)
+		}
+	}
+}
+
+// Limits returns the configured budgets.
+func (p *Pool) Limits() limits.Limits {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reps[0].lim
+}
+
+// matchedSoFar snapshots the replica's definitively matched ids — on an
+// error mid-document these are still final (matching is monotone), and
+// the public abstain policy degrades to them.
+func matchedSoFar(r *replica) []string {
+	r.ids = r.eng.AppendMatchedIDs(r.ids[:0])
+	out := make([]string, len(r.ids))
+	copy(out, r.ids)
+	return out
+}
 
 // acquireAll checks every replica out of the idle ring, waiting for
 // in-flight matches to complete. The caller must releaseAll.
@@ -151,15 +196,35 @@ func (p *Pool) IDs() []string {
 // MatchBytes matches one in-memory document on a checked-out replica and
 // returns the matching subscription ids in insertion order. Unlike the
 // sequential FilterSet the returned slice is freshly allocated — calls
-// run concurrently, so no shared result buffer exists to reuse.
-func (p *Pool) MatchBytes(doc []byte) ([]string, error) {
+// run concurrently, so no shared result buffer exists to reuse. A panic
+// inside the replica fails only this document with a typed *PanicError
+// and quarantines the replica's engine (rebuilt from its subscription
+// list at the next checkout); errors mid-document still carry the
+// verdicts decided before the failure.
+func (p *Pool) MatchBytes(doc []byte) (ids []string, err error) {
 	r := <-p.idle
 	defer func() { p.idle <- r }()
+	// Declared after the checkout-return defer, so on a panic this runs
+	// FIRST: the replica is quarantined before it re-enters the ring.
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.eng.Rebuild()
+			ids, err = nil, newPanicError(rec)
+		}
+	}()
+	if l := r.lim.MaxDocBytes; l > 0 && int64(len(doc)) > l {
+		return nil, fmt.Errorf("streamxpath: %w",
+			&limits.Error{Resource: "doc-bytes", Limit: l, Observed: int64(len(doc))})
+	}
 	r.eng.Reset()
 	if r.tok == nil {
 		r.tok = sax.NewTokenizerBytes(doc, p.tab)
+		r.tok.SetLimits(r.lim)
 	} else {
 		r.tok.Reset(doc)
+	}
+	if r.fault != nil {
+		r.fault()
 	}
 	sawEnd := false
 	for {
@@ -168,22 +233,19 @@ func (p *Pool) MatchBytes(doc []byte) ([]string, error) {
 			break
 		}
 		if err != nil {
-			return nil, err
+			return matchedSoFar(r), err
 		}
 		if ev.Kind == sax.EndDocument {
 			sawEnd = true
 		}
 		if err := r.eng.ProcessBytes(ev); err != nil {
-			return nil, fmt.Errorf("streamxpath: %w", err)
+			return matchedSoFar(r), fmt.Errorf("streamxpath: %w", err)
 		}
 	}
 	if !sawEnd {
 		return nil, fmt.Errorf("streamxpath: document ended prematurely")
 	}
-	r.ids = r.eng.AppendMatchedIDs(r.ids[:0])
-	out := make([]string, len(r.ids))
-	copy(out, r.ids)
-	return out, nil
+	return matchedSoFar(r), nil
 }
 
 // MatchReader streams one document from r on a checked-out replica
@@ -207,16 +269,27 @@ func (p *Pool) ReadStats() ReadStats {
 
 // matchReader is MatchReader returning this call's accounting directly
 // (concurrent calls make the stored "last call" stats ambiguous; the
-// adaptive engine needs its own call's numbers).
-func (p *Pool) matchReader(r io.Reader, chunkSize int) ([]string, ReadStats, error) {
+// adaptive engine needs its own call's numbers). Panic isolation and
+// partial-verdict error returns work as in MatchBytes.
+func (p *Pool) matchReader(r io.Reader, chunkSize int) (ids []string, rs ReadStats, err error) {
 	var ss sax.StreamStats
 	rep := <-p.idle
 	defer func() { p.idle <- rep }()
+	defer func() {
+		if rec := recover(); rec != nil {
+			rep.eng.Rebuild()
+			ids, rs, err = nil, fromStream(ss), newPanicError(rec)
+		}
+	}()
 	rep.eng.Reset()
 	if rep.stok == nil {
 		rep.stok = sax.NewStreamTokenizer(p.tab)
+		rep.stok.SetLimits(rep.lim)
 	} else {
 		rep.stok.Reset()
+	}
+	if rep.fault != nil {
+		rep.fault()
 	}
 	process := func(ev sax.ByteEvent) error {
 		if err := rep.eng.ProcessBytes(ev); err != nil {
@@ -225,17 +298,15 @@ func (p *Pool) matchReader(r io.Reader, chunkSize int) ([]string, ReadStats, err
 		return nil
 	}
 	sawEnd, err := rep.stok.Drive(r, chunkSize, &ss, process, nil, rep.eng.Decided)
-	rs := fromStream(ss)
+	rs = fromStream(ss)
 	if err != nil {
-		return nil, rs, err
+		return matchedSoFar(rep), rs, err
 	}
 	if !sawEnd && !rs.EarlyExit {
 		return nil, rs, fmt.Errorf("streamxpath: document ended prematurely")
 	}
-	rep.ids = rep.eng.AppendMatchedIDs(rep.ids[:0])
-	rs.DecidedNegative = rs.EarlyExit && len(rep.ids) < rep.eng.Len()
-	out := make([]string, len(rep.ids))
-	copy(out, rep.ids)
+	out := matchedSoFar(rep)
+	rs.DecidedNegative = rs.EarlyExit && len(out) < rep.eng.Len()
 	return out, rs, nil
 }
 
@@ -250,4 +321,21 @@ func (p *Pool) Stats() engine.Stats {
 	p.acquireAll()
 	defer p.releaseAll()
 	return p.reps[0].eng.Stats()
+}
+
+// MemStats returns the live-memory accounting of the busiest replica's
+// last document (with concurrent matching no single replica saw "the"
+// last document; the busiest one is the most informative sample).
+func (p *Pool) MemStats() engine.MemStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.acquireAll()
+	defer p.releaseAll()
+	var out engine.MemStats
+	for _, r := range p.reps {
+		if ms := r.eng.MemStats(); ms.Events > out.Events {
+			out = ms
+		}
+	}
+	return out
 }

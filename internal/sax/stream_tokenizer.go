@@ -1,8 +1,10 @@
 package sax
 
 import (
+	"fmt"
 	"io"
 
+	"streamxpath/internal/limits"
 	"streamxpath/internal/symtab"
 )
 
@@ -58,6 +60,15 @@ func NewStreamTokenizer(tab *symtab.Table) *StreamTokenizer {
 // Table returns the symbol table names are interned into.
 func (s *StreamTokenizer) Table() *symtab.Table { return s.t.tab }
 
+// SetLimits configures the per-document resource budgets (the zero value
+// disables them): token and depth budgets enforce inside the tokenizer,
+// and MaxDocBytes bounds the total bytes Drive will consume from a
+// reader. Limits persist across Reset.
+func (s *StreamTokenizer) SetLimits(l limits.Limits) { s.t.lim = l }
+
+// Limits returns the configured budgets.
+func (s *StreamTokenizer) Limits() limits.Limits { return s.t.lim }
+
 // Reset prepares the tokenizer for the next document, keeping the symbol
 // table and all scratch capacity.
 func (s *StreamTokenizer) Reset() {
@@ -109,6 +120,11 @@ func (s *StreamTokenizer) FeedReader(r io.Reader, chunkSize int) (int, error) {
 		s.buf = grown
 	}
 	n, err := r.Read(s.buf[len(s.buf):need])
+	if n < 0 || n > need-len(s.buf) {
+		// A reader violating the io.Reader contract must not corrupt (or
+		// panic) the window; surface it as an error the caller can handle.
+		return 0, fmt.Errorf("sax: reader returned invalid count %d", n)
+	}
 	s.buf = s.buf[:len(s.buf)+n]
 	s.t.data = s.buf
 	return n, err
@@ -172,6 +188,10 @@ func (s *StreamTokenizer) Drive(r io.Reader, chunkSize int, st *StreamStats, pro
 		if n > 0 {
 			st.BytesRead += int64(n)
 			st.Chunks++
+		}
+		if ml := s.t.lim.MaxDocBytes; ml > 0 && st.BytesRead > ml {
+			st.BytesConsumed = int64(s.Consumed())
+			return false, &limits.Error{Resource: "doc-bytes", Limit: ml, Observed: st.BytesRead}
 		}
 		eof := rerr == io.EOF
 		if eof {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 
+	"streamxpath/internal/limits"
 	"streamxpath/internal/symtab"
 )
 
@@ -118,6 +119,14 @@ type TokenizerBytes struct {
 	attrSeen  []uint32
 	attrEpoch uint32
 
+	// lim holds the per-document resource budgets (zero value: none).
+	// Depth is enforced at the element-stack push; token size at every
+	// unbounded scan — including the suspended-scan paths, where the
+	// budget is what stops an untermined giant construct from buffering
+	// whole before its terminator ever arrives. Budgets survive Reset:
+	// they configure the tokenizer, not the document.
+	lim limits.Limits
+
 	// nameCache is a direct-mapped cache in front of the symbol table:
 	// element and attribute names repeat heavily, and a cache hit (hash +
 	// length check + memeq) is several times cheaper than an interning
@@ -189,6 +198,19 @@ func (t *TokenizerBytes) Rescanned() int { return t.rescanned }
 
 func (t *TokenizerBytes) errf(format string, args ...any) error {
 	return &SyntaxError{Offset: t.base + t.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// SetLimits configures the per-document resource budgets (the zero value
+// disables them). Limits persist across Reset.
+func (t *TokenizerBytes) SetLimits(l limits.Limits) { t.lim = l }
+
+// Limits returns the configured budgets.
+func (t *TokenizerBytes) Limits() limits.Limits { return t.lim }
+
+// limitErr reports a budget breach as a typed, recoverable error (cold
+// path — reached at most once per document).
+func (t *TokenizerBytes) limitErr(resource string, limit, observed int) error {
+	return &limits.Error{Resource: resource, Limit: int64(limit), Observed: int64(observed)}
 }
 
 // suspendable reports that running out of input here should suspend the
@@ -398,14 +420,21 @@ func (t *TokenizerBytes) readText() ([]byte, bool, error) {
 	end := bytes.IndexByte(t.data[start+skip:], '<')
 	if end < 0 {
 		if t.suspendable() {
-			// The run may continue into the next chunk; a text event never
-			// splits at a chunk boundary, so the whole run waits.
+			// The run may continue into the next chunk — but an already
+			// over-budget prefix cannot shrink, so breach now instead of
+			// buffering the rest of an arbitrarily long run.
+			if t.lim.MaxTokenBytes > 0 && len(t.data)-start > t.lim.MaxTokenBytes {
+				return nil, false, t.limitErr("token-bytes", t.lim.MaxTokenBytes, len(t.data)-start)
+			}
 			t.noteScan(start, 0)
 			return nil, false, ErrNeedMoreData
 		}
 		end = len(t.data) - start
 	} else {
 		end += skip
+	}
+	if t.lim.MaxTokenBytes > 0 && end > t.lim.MaxTokenBytes {
+		return nil, false, t.limitErr("token-bytes", t.lim.MaxTokenBytes, end)
 	}
 	t.pos = start + end
 	out := t.data[start:t.pos]
@@ -496,6 +525,9 @@ func (t *TokenizerBytes) readBang() ([]byte, bool, error) {
 		end := bytes.Index(t.data[t.pos+skip:], []byte("]]>"))
 		if end < 0 {
 			if t.suspendable() {
+				if t.lim.MaxTokenBytes > 0 && len(t.data)-t.pos > t.lim.MaxTokenBytes {
+					return nil, false, t.limitErr("token-bytes", t.lim.MaxTokenBytes, len(t.data)-t.pos)
+				}
 				t.noteScan(t.pos, 2)
 				return nil, false, ErrNeedMoreData
 			}
@@ -503,6 +535,9 @@ func (t *TokenizerBytes) readBang() ([]byte, bool, error) {
 			return nil, false, t.errf("unterminated CDATA section")
 		}
 		end += skip
+		if t.lim.MaxTokenBytes > 0 && end > t.lim.MaxTokenBytes {
+			return nil, false, t.limitErr("token-bytes", t.lim.MaxTokenBytes, end)
+		}
 		text := t.data[t.pos : t.pos+end]
 		t.pos += end + 3
 		if len(t.stack) == 0 {
@@ -523,11 +558,17 @@ func (t *TokenizerBytes) skipUntil(terminator string) error {
 	i := bytes.Index(t.data[t.pos+skip:], []byte(terminator))
 	if i < 0 {
 		if t.suspendable() {
+			if t.lim.MaxTokenBytes > 0 && len(t.data)-t.pos > t.lim.MaxTokenBytes {
+				return t.limitErr("token-bytes", t.lim.MaxTokenBytes, len(t.data)-t.pos)
+			}
 			t.noteScan(t.pos, len(terminator)-1)
 			return ErrNeedMoreData
 		}
 		t.pos = len(t.data)
 		return t.errf("unterminated construct (expected %q)", terminator)
+	}
+	if t.lim.MaxTokenBytes > 0 && skip+i > t.lim.MaxTokenBytes {
+		return t.limitErr("token-bytes", t.lim.MaxTokenBytes, skip+i)
 	}
 	t.pos += skip + i + len(terminator)
 	return nil
@@ -611,6 +652,13 @@ func (t *TokenizerBytes) readStartTag() (symtab.Sym, error) {
 // refill is about to slide the window — so stabilization costs nothing
 // on tags that never suspend.
 func (t *TokenizerBytes) suspendTag(sym symtab.Sym, attrMark int) error {
+	// The staged attribute state of one tag grows with the tag itself;
+	// bound it like any other single token so a pathological
+	// many-attribute tag cannot accumulate past the budget across
+	// suspensions.
+	if t.lim.MaxTokenBytes > 0 && len(t.attrBuf) > t.lim.MaxTokenBytes {
+		return t.limitErr("token-bytes", t.lim.MaxTokenBytes, len(t.attrBuf))
+	}
 	for i := t.stabilized; i < len(t.pending); i++ {
 		if t.pending[i].Kind == Text && len(t.pending[i].Data) > 0 {
 			vstart := len(t.attrBuf)
@@ -643,6 +691,9 @@ func (t *TokenizerBytes) scanAttrs(sym symtab.Sym) error {
 		c := t.data[t.pos]
 		if c == '>' {
 			t.pos++
+			if t.lim.MaxDepth > 0 && len(t.stack) >= t.lim.MaxDepth {
+				return t.limitErr("depth", t.lim.MaxDepth, len(t.stack)+1)
+			}
 			t.stack = append(t.stack, sym)
 			return nil
 		}
@@ -728,6 +779,9 @@ func (t *TokenizerBytes) readAttrValue(aname []byte, quote byte) ([]byte, error)
 	end := bytes.IndexByte(t.data[start+skip:], quote)
 	if end < 0 {
 		if t.suspendable() {
+			if t.lim.MaxTokenBytes > 0 && len(t.data)-start > t.lim.MaxTokenBytes {
+				return nil, t.limitErr("token-bytes", t.lim.MaxTokenBytes, len(t.data)-start)
+			}
 			t.noteScan(start, 0)
 			return nil, ErrNeedMoreData
 		}
@@ -735,6 +789,9 @@ func (t *TokenizerBytes) readAttrValue(aname []byte, quote byte) ([]byte, error)
 		return nil, t.errf("unterminated attribute value for %s", aname)
 	}
 	end += start + skip
+	if t.lim.MaxTokenBytes > 0 && end-start > t.lim.MaxTokenBytes {
+		return nil, t.limitErr("token-bytes", t.lim.MaxTokenBytes, end-start)
+	}
 	raw := t.data[start:end]
 	if lt := bytes.IndexByte(raw, '<'); lt >= 0 {
 		t.pos = start + lt

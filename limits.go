@@ -1,0 +1,112 @@
+package streamxpath
+
+import (
+	"errors"
+
+	"streamxpath/internal/engine"
+	"streamxpath/internal/limits"
+	"streamxpath/internal/parallel"
+)
+
+// LimitPolicy selects what a Match call does when a resource budget is
+// breached mid-document.
+type LimitPolicy uint8
+
+const (
+	// LimitFail (the default) fails the document: the Match call returns
+	// a *LimitError (detect with errors.As) and no verdicts. The set or
+	// filter stays fully usable for the next document.
+	LimitFail LimitPolicy = iota
+	// LimitAbstain degrades gracefully: the Match call returns the
+	// verdicts that were already decided when the budget was hit — they
+	// are definitive, because matching is monotone — with a nil error,
+	// and abstains on the rest. Abstained() (and ReaderStats.Abstained
+	// for reader calls) report the degradation, so "matched" and "ran out
+	// of budget while unmatched" remain distinguishable.
+	LimitAbstain
+)
+
+// Limits is a per-document resource budget — the operational form of the
+// paper's memory lower bounds. A field <= 0 leaves that budget
+// unenforced; the zero value disables everything, keeping unlimited
+// matching on the allocation-free fast path (every check is one compare).
+//
+// The paper proves any streaming evaluator needs Ω(frontier size)
+// concurrent candidate state, Ω(r) state under recursion, and Ω(log d)
+// bits at depth d. A document that drives live state past a budget is
+// therefore one no streaming evaluator could handle in that budget — so
+// the principled response is a typed, recoverable refusal (or an abstain
+// verdict), never unbounded growth and never a panic.
+type Limits struct {
+	// MaxDepth bounds the open-element nesting depth (the paper's d, and
+	// its recursion term r on recursive documents). A 10^6-deep
+	// element chain is refused at depth MaxDepth+1, not parsed to
+	// completion.
+	MaxDepth int
+	// MaxTokenBytes bounds a single token: text run, CDATA section,
+	// comment, processing instruction, or attribute value — and, on the
+	// streaming paths, the retained unconsumed tail. This is the budget
+	// that stops a gigabyte text node (or a tag with 10^4 attributes)
+	// from buffering whole.
+	MaxTokenBytes int
+	// MaxBufferedBytes bounds the candidate-text buffer (the paper's
+	// text-width term w): bytes held for value-restricted predicate
+	// leaves awaiting truth-set evaluation.
+	MaxBufferedBytes int
+	// MaxLiveTuples bounds the live matching state: frontier tuples plus
+	// open candidate scopes plus buffering leaf candidates (the paper's
+	// FS(Q), times recursion on recursive documents). Dead-but-unremoved
+	// tuples are evicted before a breach is declared, so the budget
+	// measures state that could still influence a verdict.
+	MaxLiveTuples int
+	// MaxDocBytes bounds the total document size: bytes consumed from a
+	// reader, or the slice length on the in-memory paths.
+	MaxDocBytes int64
+	// Policy selects failure (LimitFail, the default) or graceful
+	// degradation (LimitAbstain) on a breach.
+	Policy LimitPolicy
+}
+
+// Enabled reports whether any budget is set.
+func (l Limits) Enabled() bool { return l.internal().Enabled() }
+
+// internal strips the policy, leaving the enforcement thresholds the
+// internal layers understand.
+func (l Limits) internal() limits.Limits {
+	return limits.Limits{
+		MaxDepth:         l.MaxDepth,
+		MaxTokenBytes:    l.MaxTokenBytes,
+		MaxBufferedBytes: l.MaxBufferedBytes,
+		MaxLiveTuples:    l.MaxLiveTuples,
+		MaxDocBytes:      l.MaxDocBytes,
+	}
+}
+
+// LimitError reports a resource-budget breach: which budget (Resource),
+// its configured value (Limit), and the observed value that crossed it
+// (Observed). Every enforcement site returns it — never panics — and the
+// breaching filter or set is reusable for the next document. Detect with
+// errors.As; under LimitAbstain it is converted into a degraded verdict
+// instead of surfacing.
+type LimitError = limits.Error
+
+// PanicError reports a panic recovered inside a parallel worker (a
+// ParallelFilterSet shard or a FilterPool replica). Only the in-flight
+// document fails — the error carries the recovered value and stack — and
+// the faulty worker's engine is quarantined and rebuilt from its intact
+// subscription list before the next document. Detect with errors.As.
+type PanicError = parallel.PanicError
+
+// MemStats is the live-memory accounting of the last document, with the
+// paper's cost model and lower bound applied: component peaks of the
+// matching state, the bits they correspond to under the Theorem 8.8 cost
+// model (EstimatedBits), the paper's floor for the same document shape
+// (LowerBoundBits), and their ratio — how far above the
+// information-theoretic minimum the evaluator actually sat.
+type MemStats = engine.MemStats
+
+// limitBreach reports whether err carries a *LimitError.
+func limitBreach(err error) bool {
+	var le *LimitError
+	return errors.As(err, &le)
+}

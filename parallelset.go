@@ -27,11 +27,32 @@ import (
 // A ParallelFilterSet owns worker goroutines: call Close when done.
 type ParallelFilterSet struct {
 	s *parallel.Sharded
-	// mu guards buf (the MatchString staging buffer) and chunk; the
-	// engine serializes Match calls itself.
-	mu    sync.Mutex
-	buf   []byte
-	chunk int
+	// mu guards buf (the MatchString staging buffer), chunk, lim and the
+	// abstain flags; the engine serializes Match calls itself.
+	mu          sync.Mutex
+	buf         []byte
+	chunk       int
+	lim         Limits
+	abstained   bool
+	rdAbstained bool
+}
+
+// applyLimitPolicy implements the caller-selected degradation shared by
+// the parallel wrappers: under LimitAbstain a resource-budget breach
+// degrades to the verdicts decided before it (matching is monotone, so
+// they are final); any other error — or the default LimitFail policy —
+// passes through.
+func applyLimitPolicy(pol LimitPolicy, ids []string, err error) ([]string, bool, error) {
+	if err == nil {
+		return ids, false, nil
+	}
+	if pol == LimitAbstain && limitBreach(err) {
+		if ids == nil {
+			ids = []string{}
+		}
+		return ids, true, nil
+	}
+	return nil, false, err
 }
 
 // NewParallelFilterSet returns an empty set with the given number of
@@ -69,13 +90,61 @@ func (s *ParallelFilterSet) IDs() []string { return s.s.IDs() }
 // Shards returns the shard count.
 func (s *ParallelFilterSet) Shards() int { return s.s.Shards() }
 
+// SetLimits configures the per-document resource budgets (and breach
+// policy) on every shard. The zero value disables them. It waits for an
+// in-flight Match call to finish, so budgets never change mid-document.
+func (s *ParallelFilterSet) SetLimits(l Limits) {
+	s.mu.Lock()
+	s.lim = l
+	s.mu.Unlock()
+	s.s.SetLimits(l.internal())
+}
+
+// Limits returns the configured budgets.
+func (s *ParallelFilterSet) Limits() Limits {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lim
+}
+
+// Abstained reports whether the last Match call hit a resource budget
+// under LimitAbstain and returned the verdicts decided before the
+// breach.
+func (s *ParallelFilterSet) Abstained() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.abstained
+}
+
+// MemStats aggregates the shards' live-memory accounting for the last
+// document (see MemStats).
+func (s *ParallelFilterSet) MemStats() MemStats { return s.s.MemStats() }
+
+// finishLocked applies the abstain policy to one Match call's outcome
+// and records the flag. Caller holds s.mu.
+func (s *ParallelFilterSet) finishLocked(ids []string, err error, rd bool) ([]string, error) {
+	out, abst, err := applyLimitPolicy(s.lim.Policy, ids, err)
+	s.abstained = abst
+	if rd {
+		s.rdAbstained = abst
+	}
+	return out, err
+}
+
+func (s *ParallelFilterSet) finish(ids []string, err error, rd bool) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.finishLocked(ids, err, rd)
+}
+
 // MatchBytes matches one in-memory document against every subscription
 // and returns the matching ids in insertion order — the same answer, in
 // the same order, as FilterSet.MatchBytes. The returned slice is reused
 // by the next Match call on this set; copy it if it must outlive the
 // call. It is non-nil even when empty.
 func (s *ParallelFilterSet) MatchBytes(doc []byte) ([]string, error) {
-	return s.s.MatchBytes(doc)
+	ids, err := s.s.MatchBytes(doc)
+	return s.finish(ids, err, false)
 }
 
 // MatchReader streams the document from r through the chunked parallel
@@ -91,7 +160,8 @@ func (s *ParallelFilterSet) MatchReader(r io.Reader) ([]string, error) {
 	s.mu.Lock()
 	chunk := s.chunk
 	s.mu.Unlock()
-	return s.s.MatchReader(r, chunk)
+	ids, err := s.s.MatchReader(r, chunk)
+	return s.finish(ids, err, true)
 }
 
 // SetChunkSize sets the read granularity of MatchReader (n <= 0 restores
@@ -106,8 +176,11 @@ func (s *ParallelFilterSet) SetChunkSize(n int) {
 // bytes read, bytes tokenized, and whether every verdict was decided
 // before end of input.
 func (s *ParallelFilterSet) ReaderStats() ReaderStats {
-	rs := s.s.ReadStats()
-	return ReaderStats(rs)
+	out := ReaderStats(s.s.ReadStats())
+	s.mu.Lock()
+	out.Abstained = s.rdAbstained
+	s.mu.Unlock()
+	return out
 }
 
 // MatchString is MatchBytes over a string.
@@ -115,7 +188,8 @@ func (s *ParallelFilterSet) MatchString(xml string) ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.buf = append(s.buf[:0], xml...)
-	return s.s.MatchBytes(s.buf)
+	ids, err := s.s.MatchBytes(s.buf)
+	return s.finishLocked(ids, err, false)
 }
 
 // Stats aggregates the shard engines' statistics (sizes and work sum
@@ -140,9 +214,14 @@ func (s *ParallelFilterSet) Close() { s.s.Close() }
 // single document must be matched against a very large subscription set
 // as fast as possible.
 type FilterPool struct {
-	p     *parallel.Pool
-	mu    sync.Mutex
-	chunk int
+	p *parallel.Pool
+	// mu guards chunk, lim and the abstain flags (with concurrent Match
+	// calls these carry "most recently finished call" semantics).
+	mu          sync.Mutex
+	chunk       int
+	lim         Limits
+	abstained   bool
+	rdAbstained bool
 }
 
 // NewFilterPool returns an empty pool with the given number of replica
@@ -180,18 +259,63 @@ func (p *FilterPool) IDs() []string { return p.p.IDs() }
 // Workers returns the replica count.
 func (p *FilterPool) Workers() int { return p.p.Workers() }
 
+// SetLimits configures the per-document resource budgets (and breach
+// policy) on every replica. The zero value disables them. It waits for
+// in-flight Match calls to drain, so budgets never change mid-document.
+func (p *FilterPool) SetLimits(l Limits) {
+	p.mu.Lock()
+	p.lim = l
+	p.mu.Unlock()
+	p.p.SetLimits(l.internal())
+}
+
+// Limits returns the configured budgets.
+func (p *FilterPool) Limits() Limits {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lim
+}
+
+// Abstained reports whether the most recently finished Match call hit a
+// resource budget under LimitAbstain and returned the verdicts decided
+// before the breach.
+func (p *FilterPool) Abstained() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.abstained
+}
+
+// MemStats returns the live-memory accounting of the busiest replica's
+// last document.
+func (p *FilterPool) MemStats() MemStats { return p.p.MemStats() }
+
+// finish applies the abstain policy to one Match call's outcome and
+// records the flag.
+func (p *FilterPool) finish(ids []string, err error, rd bool) ([]string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out, abst, err := applyLimitPolicy(p.lim.Policy, ids, err)
+	p.abstained = abst
+	if rd {
+		p.rdAbstained = abst
+	}
+	return out, err
+}
+
 // MatchBytes matches one in-memory document on an idle replica and
 // returns the matching ids in insertion order — identical to the
 // sequential FilterSet's answer. The returned slice is freshly
 // allocated (calls run concurrently, so there is no shared buffer to
 // reuse).
 func (p *FilterPool) MatchBytes(doc []byte) ([]string, error) {
-	return p.p.MatchBytes(doc)
+	ids, err := p.p.MatchBytes(doc)
+	return p.finish(ids, err, false)
 }
 
 // MatchString is MatchBytes over a string.
 func (p *FilterPool) MatchString(xml string) ([]string, error) {
-	return p.p.MatchBytes([]byte(xml))
+	ids, err := p.p.MatchBytes([]byte(xml))
+	return p.finish(ids, err, false)
 }
 
 // MatchReader streams one document from r on a checked-out replica
@@ -202,7 +326,8 @@ func (p *FilterPool) MatchReader(r io.Reader) ([]string, error) {
 	p.mu.Lock()
 	chunk := p.chunk
 	p.mu.Unlock()
-	return p.p.MatchReader(r, chunk)
+	ids, err := p.p.MatchReader(r, chunk)
+	return p.finish(ids, err, true)
 }
 
 // SetChunkSize sets the read granularity of MatchReader (n <= 0 restores
@@ -216,7 +341,11 @@ func (p *FilterPool) SetChunkSize(n int) {
 // ReaderStats returns the input accounting of the last MatchReader call
 // (with concurrent calls, "last" is whichever finished most recently).
 func (p *FilterPool) ReaderStats() ReaderStats {
-	return ReaderStats(p.p.ReadStats())
+	out := ReaderStats(p.p.ReadStats())
+	p.mu.Lock()
+	out.Abstained = p.rdAbstained
+	p.mu.Unlock()
+	return out
 }
 
 // Stats returns one replica's engine statistics (replicas are identical
@@ -236,10 +365,14 @@ func (p *FilterPool) Stats() FilterSetStats { return p.p.Stats() }
 // An AdaptiveFilterSet owns worker goroutines: call Close when done.
 type AdaptiveFilterSet struct {
 	a *parallel.Auto
-	// mu guards chunk and buf, the MatchString staging buffer.
-	mu    sync.Mutex
-	chunk int
-	buf   []byte
+	// mu guards chunk, buf (the MatchString staging buffer), lim and the
+	// abstain flags.
+	mu          sync.Mutex
+	chunk       int
+	buf         []byte
+	lim         Limits
+	abstained   bool
+	rdAbstained bool
 }
 
 // NewAdaptiveFilterSet returns an empty adaptive set with the given
@@ -278,11 +411,59 @@ func (s *AdaptiveFilterSet) IDs() []string { return s.a.IDs() }
 // Shards returns the worker count of each half.
 func (s *AdaptiveFilterSet) Shards() int { return s.a.Shards() }
 
+// SetLimits configures the per-document resource budgets (and breach
+// policy) on both halves, so the routing decision never changes which
+// budgets apply. The zero value disables them.
+func (s *AdaptiveFilterSet) SetLimits(l Limits) {
+	s.mu.Lock()
+	s.lim = l
+	s.mu.Unlock()
+	s.a.SetLimits(l.internal())
+}
+
+// Limits returns the configured budgets.
+func (s *AdaptiveFilterSet) Limits() Limits {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lim
+}
+
+// Abstained reports whether the last Match call hit a resource budget
+// under LimitAbstain and returned the verdicts decided before the
+// breach.
+func (s *AdaptiveFilterSet) Abstained() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.abstained
+}
+
+// MemStats returns the live-memory accounting of the half the last
+// Match call ran on.
+func (s *AdaptiveFilterSet) MemStats() MemStats { return s.a.MemStats() }
+
+// finishLocked applies the abstain policy to one Match call's outcome
+// and records the flag. Caller holds s.mu.
+func (s *AdaptiveFilterSet) finishLocked(ids []string, err error, rd bool) ([]string, error) {
+	out, abst, err := applyLimitPolicy(s.lim.Policy, ids, err)
+	s.abstained = abst
+	if rd {
+		s.rdAbstained = abst
+	}
+	return out, err
+}
+
+func (s *AdaptiveFilterSet) finish(ids []string, err error, rd bool) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.finishLocked(ids, err, rd)
+}
+
 // MatchBytes matches one in-memory document on the half the size policy
 // picks, returning the matching ids in insertion order (identical to
 // FilterSet.MatchBytes). Copy the slice if it must outlive the call.
 func (s *AdaptiveFilterSet) MatchBytes(doc []byte) ([]string, error) {
-	return s.a.MatchBytes(doc)
+	ids, err := s.a.MatchBytes(doc)
+	return s.finish(ids, err, false)
 }
 
 // MatchString is MatchBytes over a string, staged through a reusable
@@ -291,7 +472,8 @@ func (s *AdaptiveFilterSet) MatchString(xml string) ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.buf = append(s.buf[:0], xml...)
-	return s.a.MatchBytes(s.buf)
+	ids, err := s.a.MatchBytes(s.buf)
+	return s.finishLocked(ids, err, false)
 }
 
 // MatchReader streams one document from r: documents ending within the
@@ -304,7 +486,8 @@ func (s *AdaptiveFilterSet) MatchReader(r io.Reader) ([]string, error) {
 	s.mu.Lock()
 	chunk := s.chunk
 	s.mu.Unlock()
-	return s.a.MatchReader(r, chunk)
+	ids, err := s.a.MatchReader(r, chunk)
+	return s.finish(ids, err, true)
 }
 
 // SetChunkSize sets the read granularity of MatchReader (n <= 0 restores
@@ -317,7 +500,11 @@ func (s *AdaptiveFilterSet) SetChunkSize(n int) {
 
 // ReaderStats returns the input accounting of the last MatchReader call.
 func (s *AdaptiveFilterSet) ReaderStats() ReaderStats {
-	return ReaderStats(s.a.ReadStats())
+	out := ReaderStats(s.a.ReadStats())
+	s.mu.Lock()
+	out.Abstained = s.rdAbstained
+	s.mu.Unlock()
+	return out
 }
 
 // LastMode reports which half the last Match call ran on: "shard" or

@@ -34,6 +34,10 @@ type ReaderStats struct {
 	// subscription, or the single query, had already matched) and
 	// whenever EarlyExit is false.
 	DecidedNegative bool
+	// Abstained reports that the call hit a resource budget under
+	// LimitAbstain and degraded to the verdicts decided before the
+	// breach.
+	Abstained bool
 }
 
 // streamDoc drives one document from r through the chunked tokenizer

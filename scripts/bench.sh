@@ -3,7 +3,7 @@
 # so the performance trajectory is tracked PR over PR.
 #
 # Usage:
-#   scripts/bench.sh [output.json]          # default: BENCH_pr6.json
+#   scripts/bench.sh [output.json]          # default: BENCH_pr7.json
 #   BENCHTIME=1s scripts/bench.sh           # longer, steadier numbers
 #   CPUS=1,2,4,8 scripts/bench.sh           # parallel-arm scaling sweep
 #   BENCH_FILTER='^BenchmarkMatchReader' scripts/bench.sh  # pinned subset
@@ -20,10 +20,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr6.json}"
+out="${1:-BENCH_pr7.json}"
 benchtime="${BENCHTIME:-1x}"
 cpus="${CPUS:-1,2,4}"
-filter="${BENCH_FILTER:-^BenchmarkFilterSet$|Throughput|^BenchmarkMatchReader$|^BenchmarkMatchReaderNoMatch$|^BenchmarkTokenizer$}"
+filter="${BENCH_FILTER:-^BenchmarkFilterSet$|^BenchmarkFilterSetLimits$|Throughput|^BenchmarkMatchReader$|^BenchmarkMatchReaderNoMatch$|^BenchmarkTokenizer$}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 

@@ -59,6 +59,8 @@ import (
 	"io"
 
 	"streamxpath/internal/core"
+	"streamxpath/internal/fragment"
+	"streamxpath/internal/limits"
 	"streamxpath/internal/query"
 	"streamxpath/internal/sax"
 	"streamxpath/internal/semantics"
@@ -118,6 +120,12 @@ type Filter struct {
 	buf    []byte
 	procFn func(sax.ByteEvent) error
 	decFn  func() bool
+
+	// lim holds the per-document resource budgets and breach policy;
+	// abstained records whether the last Match call degraded under
+	// LimitAbstain.
+	lim       Limits
+	abstained bool
 }
 
 // NewFilter compiles the streaming filter. It returns an error if the
@@ -151,9 +159,11 @@ func (q *Query) NewFilter() (*Filter, error) {
 // first start tag). Note that on early exit the remainder of the
 // document is not validated.
 func (f *Filter) MatchReader(r io.Reader) (bool, error) {
+	f.abstained = false
 	f.f.Reset()
 	if f.stok == nil {
 		f.stok = sax.NewStreamTokenizer(f.tab)
+		f.stok.SetLimits(f.lim.internal())
 		f.procFn = f.f.ProcessBytes
 		f.decFn = f.f.Decided
 	} else {
@@ -161,7 +171,9 @@ func (f *Filter) MatchReader(r io.Reader) (bool, error) {
 	}
 	_, err := streamDoc(r, f.stok, f.chunk, &f.rs, f.procFn, f.decFn)
 	if err != nil {
-		return false, err
+		ok, err := f.limited(err)
+		f.rs.Abstained = f.abstained
+		return ok, err
 	}
 	if !f.f.Done() {
 		if f.rs.EarlyExit {
@@ -180,6 +192,45 @@ func (f *Filter) MatchReader(r io.Reader) (bool, error) {
 // SetChunkSize sets the read granularity of MatchReader (n <= 0 restores
 // DefaultChunkSize).
 func (f *Filter) SetChunkSize(n int) { f.chunk = n }
+
+// SetLimits configures the per-document resource budgets and breach
+// policy (the zero value disables them). Limits persist across
+// documents; a breach under LimitFail surfaces as a *LimitError, under
+// LimitAbstain as a degraded verdict (see Abstained). Either way the
+// filter stays reusable, and no budget check allocates until a breach
+// actually occurs.
+func (f *Filter) SetLimits(l Limits) {
+	f.lim = l
+	f.f.SetLimits(l.internal())
+	if f.tok != nil {
+		f.tok.SetLimits(l.internal())
+	}
+	if f.stok != nil {
+		f.stok.SetLimits(l.internal())
+	}
+}
+
+// Limits returns the configured budgets.
+func (f *Filter) Limits() Limits { return f.lim }
+
+// Abstained reports whether the last Match call hit a resource budget
+// under LimitAbstain. The verdict returned by that call was the
+// provisional one at the moment of the breach: true is definitive (a
+// provisional match is final by monotonicity); false means "not matched
+// within budget".
+func (f *Filter) Abstained() bool { return f.abstained }
+
+// limited applies the breach policy to an error carrying a *LimitError:
+// under LimitAbstain the provisional verdict at the moment of the breach
+// comes back with a nil error (a true verdict is already final by
+// monotonicity). Any other error passes through unchanged.
+func (f *Filter) limited(err error) (bool, error) {
+	if f.lim.Policy == LimitAbstain && limitBreach(err) {
+		f.abstained = true
+		return f.f.WouldMatchIfClosedNow(), nil
+	}
+	return false, err
+}
 
 // ReaderStats returns the input accounting of the last MatchReader call:
 // bytes read, bytes tokenized, and whether the verdict was decided
@@ -203,9 +254,15 @@ func (f *Filter) MatchString(xml string) (bool, error) {
 // tokenizer and symbol table across calls, which is what makes repeat
 // matching allocation-free.
 func (f *Filter) MatchBytes(doc []byte) (bool, error) {
+	f.abstained = false
 	f.f.Reset()
+	if l := f.lim.MaxDocBytes; l > 0 && int64(len(doc)) > l {
+		return f.limited(fmt.Errorf("streamxpath: %w",
+			&limits.Error{Resource: "doc-bytes", Limit: l, Observed: int64(len(doc))}))
+	}
 	if f.tok == nil {
 		f.tok = sax.NewTokenizerBytes(doc, f.tab)
+		f.tok.SetLimits(f.lim.internal())
 	} else {
 		f.tok.Reset(doc)
 	}
@@ -215,10 +272,10 @@ func (f *Filter) MatchBytes(doc []byte) (bool, error) {
 			break
 		}
 		if err != nil {
-			return false, err
+			return f.limited(err)
 		}
 		if err := f.f.ProcessBytes(e); err != nil {
-			return false, err
+			return f.limited(err)
 		}
 	}
 	if !f.f.Done() {
@@ -244,18 +301,31 @@ type MemoryStats struct {
 	// EstimatedBits applies the paper's cost model:
 	// tuples·(log|Q|+log d+log w) + 8·buffer.
 	EstimatedBits int
+	// LowerBoundBits is the paper's floor for the same document shape:
+	// FS(Q)·log d bits — the frontier-size bound of Section 6 times the
+	// Ω(log d) depth term of Section 4.
+	LowerBoundBits int
+	// OptimalityRatio is EstimatedBits / LowerBoundBits — how many times
+	// the information-theoretic minimum the filter's accounted peak state
+	// occupied.
+	OptimalityRatio float64
 }
 
 // Stats returns the memory statistics of the last (or current) document.
 func (f *Filter) Stats() MemoryStats {
 	s := f.f.Stats()
-	return MemoryStats{
+	out := MemoryStats{
 		Events:             s.Events,
 		PeakFrontierTuples: s.PeakTuples,
 		PeakBufferBytes:    s.PeakBufferBytes,
 		MaxDepth:           s.MaxLevel,
 		EstimatedBits:      s.EstimatedBits(f.f.Query().Size()),
 	}
+	out.LowerBoundBits = core.LowerBoundBits(fragment.FrontierSize(f.f.Query()), s.MaxLevel)
+	if out.LowerBoundBits > 0 {
+		out.OptimalityRatio = float64(out.EstimatedBits) / float64(out.LowerBoundBits)
+	}
+	return out
 }
 
 // Match is the one-shot convenience: compile the query, stream the

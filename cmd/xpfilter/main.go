@@ -62,11 +62,13 @@ import (
 	"time"
 
 	"streamxpath"
+	"streamxpath/internal/buildinfo"
 	"streamxpath/internal/sax"
 )
 
 func main() {
 	var (
+		version  = flag.Bool("version", false, "print version and exit")
 		querySrc = flag.String("q", "", "Forward XPath query")
 		subsFile = flag.String("subs", "", "file of standing subscriptions (one per line); match all in one pass")
 		stats    = flag.Bool("stats", false, "print per-document memory statistics")
@@ -85,6 +87,10 @@ func main() {
 		onLimit   = flag.String("on-limit", "fail", "on budget breach: fail (typed error) or abstain (keep verdicts decided before the breach)")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("xpfilter"))
+		return
+	}
 	if *onLimit != "fail" && *onLimit != "abstain" {
 		fmt.Fprintln(os.Stderr, "xpfilter: -on-limit must be fail or abstain")
 		os.Exit(2)

@@ -1,0 +1,103 @@
+// Command xpfilterd is the long-running XPath dissemination server: a
+// multi-tenant HTTP daemon wrapping the adaptive dissemination engine.
+// Tenants register standing XPath subscriptions; documents POSTed to a
+// tenant are matched against all of them in one streaming pass and
+// answered with the matched subscription ids.
+//
+// Usage:
+//
+//	xpfilterd -addr :8080
+//	XPFILTERD_ADDR=:8080 XPFILTERD_ON_LIMIT=abstain xpfilterd
+//
+// API (JSON errors, Prometheus text metrics):
+//
+//	PUT    /v1/tenants/{tenant}                    create tenant (optional {"limits":{...},"workers":N} body)
+//	GET    /v1/tenants                             list tenants
+//	GET    /v1/tenants/{tenant}                    tenant info
+//	DELETE /v1/tenants/{tenant}                    delete tenant (drains its in-flight match)
+//	PUT    /v1/tenants/{tenant}/subscriptions/{id} register XPath (body); implicit tenant creation
+//	GET    /v1/tenants/{tenant}/subscriptions      list subscriptions
+//	GET    /v1/tenants/{tenant}/subscriptions/{id} one subscription
+//	DELETE /v1/tenants/{tenant}/subscriptions/{id} remove subscription
+//	POST   /v1/tenants/{tenant}/match              match a document; buffered bodies take the
+//	                                               in-memory fast path, chunked bodies stream
+//	                                               with mid-upload early exit
+//	GET    /metrics                                Prometheus text exposition
+//	GET    /healthz                                liveness (503 while draining)
+//
+// Every flag defaults from an XPFILTERD_* environment variable (see
+// -help). On SIGINT/SIGTERM the daemon drains gracefully: new requests
+// are answered 503 while in-flight matches run to their verdicts, then
+// the tenant engines close and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"streamxpath/internal/buildinfo"
+	"streamxpath/internal/server"
+)
+
+func main() {
+	var cfg server.Config
+	fs := flag.NewFlagSet("xpfilterd", flag.ExitOnError)
+	cfg.RegisterFlags(fs)
+	version := fs.Bool("version", false, "print version and exit")
+	logJSON := fs.Bool("log-json", os.Getenv("XPFILTERD_LOG_JSON") == "1",
+		"log structured JSON instead of text (env XPFILTERD_LOG_JSON=1)")
+	fs.Parse(os.Args[1:])
+	if *version {
+		fmt.Println(buildinfo.String("xpfilterd"))
+		return
+	}
+	if err := cfg.Finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "xpfilterd: %v\n", err)
+		os.Exit(2)
+	}
+
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	log := slog.New(handler)
+
+	srv := server.New(cfg, log)
+	if err := srv.Listen(); err != nil {
+		log.Error("startup failed", "err", err)
+		os.Exit(1)
+	}
+
+	// Serve on the main goroutine's behalf; the signal wait below owns
+	// shutdown. Serve returns nil after a clean Shutdown.
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills
+		drainCtx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			os.Exit(1)
+		}
+		if err := <-errc; err != nil {
+			log.Error("serve failed", "err", err)
+			os.Exit(1)
+		}
+	case err := <-errc:
+		if err != nil {
+			log.Error("serve failed", "err", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Command xpload is the load harness for xpfilterd: it seeds a tenant
+// with standing subscriptions, hammers the ingest endpoint from N
+// concurrent clients over a generated news-feed corpus — mixing
+// buffered (Content-Length) and chunked (streaming) bodies — and
+// reports docs/s, latency percentiles, and the error count, optionally
+// snapshotting the result as a BENCH-style JSON artifact.
+//
+// Usage:
+//
+//	xpload -addr 127.0.0.1:8080 -clients 64 -requests 5000
+//	xpload -addr $(cat /tmp/xpfilterd.addr) -o BENCH_pr8_server.json
+//
+// The harness exits non-zero if any request failed, so it doubles as
+// the CI end-to-end assertion that a drained daemon lost no verdicts.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"streamxpath/internal/buildinfo"
+	"streamxpath/internal/workload"
+)
+
+// subTemplates are cycled to build the standing subscription set; all
+// are rooted to match (or provably not match) the news-feed corpus, so
+// the run exercises positive verdicts, negative dead-state exits, and
+// predicate evaluation together.
+var subTemplates = []string{
+	"/news/item",
+	"/news/item/title",
+	"/news//p",
+	"/news/item[priority > %d]",
+	`/news/item[keyword = "go"]`,
+	"/news/*/keyword",
+	"/feed/entry", // never matches: negative early exit at the root
+	"//item[keyword]/body",
+}
+
+type result struct {
+	latency time.Duration
+	err     error
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "xpfilterd address (host:port; required)")
+		tenant   = flag.String("tenant", "xpload", "tenant namespace to create and hammer")
+		clients  = flag.Int("clients", 64, "concurrent client goroutines")
+		requests = flag.Int("requests", 5000, "total documents to POST")
+		subs     = flag.Int("subs", 32, "standing subscriptions to register")
+		docs     = flag.Int("docs", 32, "distinct corpus documents to generate")
+		items    = flag.Int("items", 40, "news items per corpus document")
+		chunked  = flag.Float64("chunked", 0.25, "fraction of requests sent as chunked/streaming bodies")
+		seed     = flag.Int64("seed", 1, "corpus RNG seed")
+		out      = flag.String("o", "", "write the report as JSON to this file")
+		keep     = flag.Bool("keep", false, "leave the tenant and its subscriptions in place afterwards")
+		version  = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("xpload"))
+		return
+	}
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "xpload: -addr is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base := "http://" + strings.TrimPrefix(*addr, "http://")
+
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        *clients * 2,
+			MaxIdleConnsPerHost: *clients * 2,
+		},
+	}
+
+	// Corpus: serialized random news feeds. Generated up front so the
+	// hammer loop measures the server, not the generator.
+	rng := rand.New(rand.NewSource(*seed))
+	corpus := make([][]byte, *docs)
+	for i := range corpus {
+		xml, err := workload.RandomNewsFeed(rng, *items).XML()
+		if err != nil {
+			fatal(fmt.Errorf("generating corpus: %w", err))
+		}
+		corpus[i] = []byte(xml)
+	}
+
+	// Seed the tenant and its subscriptions.
+	mustDo(client, "PUT", base+"/v1/tenants/"+*tenant, nil, http.StatusCreated, http.StatusConflict)
+	for i := 0; i < *subs; i++ {
+		tmpl := subTemplates[i%len(subTemplates)]
+		q := tmpl
+		if strings.Contains(tmpl, "%d") {
+			q = fmt.Sprintf(tmpl, i%10)
+		}
+		mustDo(client, "PUT", fmt.Sprintf("%s/v1/tenants/%s/subscriptions/sub-%04d", base, *tenant, i),
+			strings.NewReader(q), http.StatusCreated, http.StatusOK)
+	}
+	if !*keep {
+		defer mustDo(client, "DELETE", base+"/v1/tenants/"+*tenant, nil, http.StatusOK)
+	}
+
+	// Hammer: requests are striped over the clients; each client walks
+	// the corpus round-robin, streaming every chunkEvery-th body.
+	matchURL := base + "/v1/tenants/" + *tenant + "/match"
+	chunkEvery := 0
+	if *chunked > 0 {
+		chunkEvery = int(1 / *chunked)
+	}
+	perClient := *requests / *clients
+	if perClient == 0 {
+		perClient = 1
+	}
+	total := perClient * *clients
+	results := make([]result, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				n := c*perClient + i
+				doc := corpus[n%len(corpus)]
+				stream := chunkEvery > 0 && n%chunkEvery == 0
+				t0 := time.Now()
+				err := post(client, matchURL, doc, stream)
+				results[n] = result{latency: time.Since(t0), err: err}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Aggregate.
+	var errs int
+	var firstErr error
+	var bytesSent int64
+	lats := make([]time.Duration, 0, total)
+	for i, r := range results {
+		if r.err != nil {
+			errs++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		bytesSent += int64(len(corpus[i%len(corpus)]))
+		lats = append(lats, r.latency)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i].Microseconds()) / 1e3
+	}
+
+	report := map[string]any{
+		"captured":      time.Now().UTC().Format(time.RFC3339),
+		"addr":          *addr,
+		"tenant":        *tenant,
+		"clients":       *clients,
+		"requests":      total,
+		"subscriptions": *subs,
+		"chunked_frac":  *chunked,
+		"errors":        errs,
+		"elapsed_s":     elapsed.Seconds(),
+		"docs_per_sec":  float64(total-errs) / elapsed.Seconds(),
+		"mb_per_sec":    float64(bytesSent) / elapsed.Seconds() / 1e6,
+		"p50_ms":        pct(0.50),
+		"p90_ms":        pct(0.90),
+		"p99_ms":        pct(0.99),
+	}
+	fmt.Printf("xpload: %d docs, %d clients, %d subs: %.0f docs/s, %.1f MB/s, p50 %.2fms p90 %.2fms p99 %.2fms, %d errors\n",
+		total, *clients, *subs, report["docs_per_sec"], report["mb_per_sec"],
+		report["p50_ms"], report["p90_ms"], report["p99_ms"], errs)
+	if firstErr != nil {
+		fmt.Fprintf(os.Stderr, "xpload: first error: %v\n", firstErr)
+	}
+	if *out != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("xpload: wrote %s\n", *out)
+	}
+	if errs > 0 {
+		os.Exit(1)
+	}
+}
+
+// chunkedBody hides the concrete reader type so net/http cannot learn
+// the length and must send Transfer-Encoding: chunked — the streaming
+// ingest path on the server side.
+type chunkedBody struct{ io.Reader }
+
+// post sends one document, buffered or chunked, and verifies the
+// response is a well-formed verdict.
+func post(client *http.Client, url string, doc []byte, stream bool) error {
+	var body io.Reader = bytes.NewReader(doc)
+	if stream {
+		body = chunkedBody{bytes.NewReader(doc)}
+	}
+	req, err := http.NewRequest("POST", url, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var verdict struct {
+		Matched *[]string `json:"matched"`
+	}
+	if err := json.Unmarshal(raw, &verdict); err != nil {
+		return fmt.Errorf("bad verdict body: %w", err)
+	}
+	if verdict.Matched == nil {
+		return fmt.Errorf("verdict missing matched ids: %s", bytes.TrimSpace(raw))
+	}
+	return nil
+}
+
+// mustDo performs a setup/teardown request, dying unless the status is
+// one of want.
+func mustDo(client *http.Client, method, url string, body io.Reader, want ...int) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, w := range want {
+		if resp.StatusCode == w {
+			return
+		}
+	}
+	fatal(fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, bytes.TrimSpace(raw)))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "xpload: %v\n", err)
+	os.Exit(1)
+}

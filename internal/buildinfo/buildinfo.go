@@ -1,0 +1,50 @@
+// Package buildinfo reports the binary's build identity — module
+// version, VCS revision, and toolchain — from the metadata the Go
+// linker embeds. Every cmd/ binary's -version flag prints it.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns a one-line description of the running binary:
+//
+//	name version (rev abcdef123456, dirty, go1.22.1)
+//
+// Fields that the build did not embed (a plain `go build` outside a
+// checkout has no VCS stamp; a non-module build has no version) are
+// omitted rather than printed empty, so the line is always meaningful.
+func String(name string) string {
+	version := "(devel)"
+	var details []string
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" {
+			version = v
+		}
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			details = append(details, "rev "+rev)
+		}
+		if dirty != "" {
+			details = append(details, dirty)
+		}
+	}
+	details = append(details, runtime.Version())
+	return fmt.Sprintf("%s %s (%s)", name, version, strings.Join(details, ", "))
+}

@@ -1,0 +1,23 @@
+package buildinfo
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestString is the -version smoke test: the line always carries the
+// binary name and the toolchain version, whatever metadata the build
+// embedded, and never prints an empty field.
+func TestString(t *testing.T) {
+	s := String("xpfilterd")
+	if !strings.HasPrefix(s, "xpfilterd ") {
+		t.Fatalf("String() = %q, want prefix %q", s, "xpfilterd ")
+	}
+	if !strings.Contains(s, runtime.Version()) {
+		t.Fatalf("String() = %q, want toolchain %q", s, runtime.Version())
+	}
+	if strings.Contains(s, "  ") || strings.Contains(s, "()") {
+		t.Fatalf("String() = %q contains an empty field", s)
+	}
+}

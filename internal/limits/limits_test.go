@@ -1,0 +1,114 @@
+package limits_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"streamxpath"
+	"streamxpath/internal/limits"
+)
+
+// TestErrorFormatting pins the message shape: which budget, the observed
+// value, and the configured limit, in that order.
+func TestErrorFormatting(t *testing.T) {
+	cases := []struct {
+		err  *limits.Error
+		want string
+	}{
+		{&limits.Error{Resource: "depth", Limit: 8, Observed: 9},
+			"resource limit exceeded: depth 9 > 8"},
+		{&limits.Error{Resource: "doc-bytes", Limit: 1 << 20, Observed: 1<<20 + 1},
+			"resource limit exceeded: doc-bytes 1048577 > 1048576"},
+		{&limits.Error{Resource: "live-tuples", Limit: 0, Observed: 1},
+			"resource limit exceeded: live-tuples 1 > 0"},
+	}
+	for _, c := range cases {
+		if got := c.err.Error(); got != c.want {
+			t.Errorf("Error() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestErrorsAsThroughPublicAlias verifies the contract callers rely on:
+// streamxpath.LimitError is the same type as limits.Error, so a wrapped
+// breach from any depth of the engine is detectable with errors.As
+// against either name, and errors.Is works on the identical value.
+func TestErrorsAsThroughPublicAlias(t *testing.T) {
+	breach := &limits.Error{Resource: "buffered-bytes", Limit: 64, Observed: 65}
+	wrapped := fmt.Errorf("matching document: %w", fmt.Errorf("engine: %w", breach))
+
+	var le *streamxpath.LimitError
+	if !errors.As(wrapped, &le) {
+		t.Fatal("errors.As(*streamxpath.LimitError) failed through wrapping")
+	}
+	if le.Resource != "buffered-bytes" || le.Limit != 64 || le.Observed != 65 {
+		t.Fatalf("unwrapped fields %+v, want the original breach", le)
+	}
+	if le != breach {
+		t.Fatal("errors.As yielded a copy, want the original *Error")
+	}
+	var ie *limits.Error
+	if !errors.As(wrapped, &ie) || ie != breach {
+		t.Fatal("errors.As against the internal type must find the same value")
+	}
+	if !errors.Is(wrapped, breach) {
+		t.Fatal("errors.Is(wrapped, breach) = false")
+	}
+}
+
+// TestZeroValueUnlimited pins the zero-value contract: no budget is
+// enforced, Enabled reports false, and setting any single field flips
+// Enabled — the property the engines' single-compare fast path relies on.
+func TestZeroValueUnlimited(t *testing.T) {
+	var zero limits.Limits
+	if zero.Enabled() {
+		t.Fatal("zero-value Limits reports Enabled")
+	}
+	// Negative values are documented as "unenforced" too.
+	neg := limits.Limits{MaxDepth: -1, MaxTokenBytes: -1, MaxBufferedBytes: -1,
+		MaxLiveTuples: -1, MaxDocBytes: -1}
+	if neg.Enabled() {
+		t.Fatal("negative budgets report Enabled, want unenforced")
+	}
+	one := []limits.Limits{
+		{MaxDepth: 1},
+		{MaxTokenBytes: 1},
+		{MaxBufferedBytes: 1},
+		{MaxLiveTuples: 1},
+		{MaxDocBytes: 1},
+	}
+	for i, l := range one {
+		if !l.Enabled() {
+			t.Errorf("case %d: single budget set but Enabled() = false: %+v", i, l)
+		}
+	}
+}
+
+// TestZeroValueUnlimitedEndToEnd drives a real match under zero-value
+// limits: a document deeper and wider than any default budget must match
+// without a breach.
+func TestZeroValueUnlimitedEndToEnd(t *testing.T) {
+	fs := streamxpath.NewFilterSet()
+	fs.SetLimits(streamxpath.Limits{}) // explicit zero value: unlimited
+	if err := fs.Add("deep", "//leaf"); err != nil {
+		t.Fatal(err)
+	}
+	doc := make([]byte, 0, 1<<16)
+	doc = append(doc, "<root>"...)
+	for i := 0; i < 2000; i++ {
+		doc = append(doc, "<d>"...)
+	}
+	doc = append(doc, "<leaf>x</leaf>"...)
+	for i := 0; i < 2000; i++ {
+		doc = append(doc, "</d>"...)
+	}
+	doc = append(doc, "</root>"...)
+	ids, err := fs.MatchBytes(doc)
+	if err != nil {
+		t.Fatalf("zero-value limits must not breach: %v", err)
+	}
+	if len(ids) != 1 || ids[0] != "deep" {
+		t.Fatalf("matched %v, want [deep]", ids)
+	}
+}

@@ -1,0 +1,421 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"streamxpath"
+)
+
+// maxSubscriptionBytes caps a subscription PUT body (an XPath
+// expression; 64KiB is generous) and a tenant-config body.
+const maxSubscriptionBytes = 64 << 10
+
+// apiError is the typed JSON error envelope every non-2xx response
+// carries: {"error":{"code":"invalid_query","message":"..."}}.
+type apiError struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	var e apiError
+	e.Error.Code = code
+	e.Error.Message = fmt.Sprintf(format, args...)
+	writeJSON(w, status, e)
+}
+
+// validName reports whether a tenant or subscription id is well-formed:
+// 1-128 bytes of [A-Za-z0-9._-]. The restriction keeps names safe to
+// embed verbatim in URLs, logs, and Prometheus label values.
+func validName(s string) bool {
+	if len(s) == 0 || len(s) > 128 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// pathNames extracts and validates the {tenant} (and optionally {id})
+// wildcards, writing the error response itself on failure.
+func pathNames(w http.ResponseWriter, r *http.Request, wantID bool) (tenant, id string, ok bool) {
+	tenant = r.PathValue("tenant")
+	if !validName(tenant) {
+		writeError(w, http.StatusBadRequest, "invalid_tenant",
+			"tenant name must be 1-128 chars of [A-Za-z0-9._-], got %q", tenant)
+		return "", "", false
+	}
+	if wantID {
+		id = r.PathValue("id")
+		if !validName(id) {
+			writeError(w, http.StatusBadRequest, "invalid_subscription_id",
+				"subscription id must be 1-128 chars of [A-Za-z0-9._-], got %q", id)
+			return "", "", false
+		}
+	}
+	return tenant, id, true
+}
+
+// limitsJSON is the wire form of streamxpath.Limits in tenant configs.
+type limitsJSON struct {
+	MaxDepth         int    `json:"maxDepth,omitempty"`
+	MaxTokenBytes    int    `json:"maxTokenBytes,omitempty"`
+	MaxBufferedBytes int    `json:"maxBufferedBytes,omitempty"`
+	MaxLiveTuples    int    `json:"maxLiveTuples,omitempty"`
+	MaxDocBytes      int64  `json:"maxDocBytes,omitempty"`
+	Policy           string `json:"policy,omitempty"`
+}
+
+func (l limitsJSON) limits() (streamxpath.Limits, error) {
+	out := streamxpath.Limits{
+		MaxDepth:         l.MaxDepth,
+		MaxTokenBytes:    l.MaxTokenBytes,
+		MaxBufferedBytes: l.MaxBufferedBytes,
+		MaxLiveTuples:    l.MaxLiveTuples,
+		MaxDocBytes:      l.MaxDocBytes,
+	}
+	switch l.Policy {
+	case "", "fail":
+		out.Policy = streamxpath.LimitFail
+	case "abstain":
+		out.Policy = streamxpath.LimitAbstain
+	default:
+		return out, fmt.Errorf("policy must be \"fail\" or \"abstain\", got %q", l.Policy)
+	}
+	return out, nil
+}
+
+func limitsWire(l streamxpath.Limits) limitsJSON {
+	out := limitsJSON{
+		MaxDepth:         l.MaxDepth,
+		MaxTokenBytes:    l.MaxTokenBytes,
+		MaxBufferedBytes: l.MaxBufferedBytes,
+		MaxLiveTuples:    l.MaxLiveTuples,
+		MaxDocBytes:      l.MaxDocBytes,
+		Policy:           "fail",
+	}
+	if l.Policy == streamxpath.LimitAbstain {
+		out.Policy = "abstain"
+	}
+	return out
+}
+
+// tenantInfo is the GET /v1/tenants/{tenant} response body.
+type tenantInfo struct {
+	Tenant        string     `json:"tenant"`
+	Subscriptions int        `json:"subscriptions"`
+	Limits        limitsJSON `json:"limits"`
+}
+
+// handlePutTenant creates a tenant explicitly, with an optional JSON
+// config body ({"limits": {...}, "workers": N}); an empty body selects
+// the server defaults. 201 on creation, 409 if the name is taken.
+func (s *Server) handlePutTenant(w http.ResponseWriter, r *http.Request) {
+	name, _, ok := pathNames(w, r, false)
+	if !ok {
+		return
+	}
+	var cfg TenantConfig
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSubscriptionBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_body", "reading tenant config: %v", err)
+		return
+	}
+	if len(body) > maxSubscriptionBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			"tenant config exceeds %d bytes", maxSubscriptionBytes)
+		return
+	}
+	if len(body) > 0 {
+		var wire struct {
+			Limits  limitsJSON `json:"limits"`
+			Workers int        `json:"workers"`
+		}
+		if err := json.Unmarshal(body, &wire); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid_config", "parsing tenant config: %v", err)
+			return
+		}
+		lim, err := wire.Limits.limits()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid_config", "%v", err)
+			return
+		}
+		cfg = TenantConfig{Limits: lim, Workers: wire.Workers}
+	}
+	t, err := s.reg.Create(name, cfg)
+	switch {
+	case errors.Is(err, ErrTenantExists):
+		writeError(w, http.StatusConflict, "tenant_exists", "tenant %q already exists", name)
+		return
+	case err != nil:
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	writeJSON(w, http.StatusCreated, tenantInfo{Tenant: name, Subscriptions: 0, Limits: limitsWire(t.Limits())})
+}
+
+// handleGetTenant reports one tenant's subscription count and budgets.
+func (s *Server) handleGetTenant(w http.ResponseWriter, r *http.Request) {
+	name, _, ok := pathNames(w, r, false)
+	if !ok {
+		return
+	}
+	t, err := s.reg.Get(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "tenant_not_found", "tenant %q not found", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, tenantInfo{Tenant: name, Subscriptions: t.Len(), Limits: limitsWire(t.Limits())})
+}
+
+// handleListTenants lists tenant names, sorted.
+func (s *Server) handleListTenants(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": s.reg.Names()})
+}
+
+// handleDeleteTenant removes a tenant and shuts its engine down,
+// waiting for an in-flight match to reach its verdict.
+func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
+	name, _, ok := pathNames(w, r, false)
+	if !ok {
+		return
+	}
+	if !s.reg.Delete(name) {
+		writeError(w, http.StatusNotFound, "tenant_not_found", "tenant %q not found", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenant": name, "deleted": true})
+}
+
+// handlePutSubscription registers or replaces one subscription; the
+// body is the XPath expression. The tenant is created implicitly (with
+// the server-default budgets) when it does not exist yet. 201 on
+// create, 200 on replace, 400 with code "invalid_query" when the
+// expression is rejected by the compile path.
+func (s *Server) handlePutSubscription(w http.ResponseWriter, r *http.Request) {
+	tenant, id, ok := pathNames(w, r, true)
+	if !ok {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSubscriptionBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_body", "reading query: %v", err)
+		return
+	}
+	if len(body) > maxSubscriptionBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+			"query exceeds %d bytes", maxSubscriptionBytes)
+		return
+	}
+	query := string(body)
+	if query == "" {
+		writeError(w, http.StatusBadRequest, "invalid_query", "empty query body")
+		return
+	}
+	t, err := s.reg.GetOrCreate(tenant)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	created, err := t.PutSubscription(id, query)
+	if err != nil {
+		if errors.Is(err, errTenantDeleted) {
+			writeError(w, http.StatusNotFound, "tenant_not_found", "tenant %q was deleted", tenant)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "invalid_query", "%v", err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, SubInfo{ID: id, Query: query})
+}
+
+// handleDeleteSubscription removes one subscription.
+func (s *Server) handleDeleteSubscription(w http.ResponseWriter, r *http.Request) {
+	tenant, id, ok := pathNames(w, r, true)
+	if !ok {
+		return
+	}
+	t, err := s.reg.Get(tenant)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "tenant_not_found", "tenant %q not found", tenant)
+		return
+	}
+	if !t.DeleteSubscription(id) {
+		writeError(w, http.StatusNotFound, "subscription_not_found",
+			"subscription %q not found in tenant %q", id, tenant)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
+}
+
+// handleGetSubscription returns one subscription's query source.
+func (s *Server) handleGetSubscription(w http.ResponseWriter, r *http.Request) {
+	tenant, id, ok := pathNames(w, r, true)
+	if !ok {
+		return
+	}
+	t, err := s.reg.Get(tenant)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "tenant_not_found", "tenant %q not found", tenant)
+		return
+	}
+	sub, ok2 := t.Subscription(id)
+	if !ok2 {
+		writeError(w, http.StatusNotFound, "subscription_not_found",
+			"subscription %q not found in tenant %q", id, tenant)
+		return
+	}
+	writeJSON(w, http.StatusOK, sub)
+}
+
+// handleListSubscriptions lists a tenant's subscriptions in insertion
+// order.
+func (s *Server) handleListSubscriptions(w http.ResponseWriter, r *http.Request) {
+	tenant, _, ok := pathNames(w, r, false)
+	if !ok {
+		return
+	}
+	t, err := s.reg.Get(tenant)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "tenant_not_found", "tenant %q not found", tenant)
+		return
+	}
+	subs := t.Subscriptions()
+	if subs == nil {
+		subs = []SubInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenant": tenant, "subscriptions": subs})
+}
+
+// matchResponse is the ingest verdict envelope.
+type matchResponse struct {
+	Tenant        string   `json:"tenant"`
+	Matched       []string `json:"matched"`
+	Subscriptions int      `json:"subscriptions"`
+	Abstained     bool     `json:"abstained"`
+	Stats         struct {
+		BytesRead       int64 `json:"bytesRead"`
+		BytesConsumed   int64 `json:"bytesConsumed"`
+		Chunks          int   `json:"chunks"`
+		EarlyExit       bool  `json:"earlyExit"`
+		DecidedNegative bool  `json:"decidedNegative"`
+		Abstained       bool  `json:"abstained"`
+	} `json:"stats"`
+}
+
+// handleMatch ingests one document and answers with the verdict set.
+// Bodies that arrived with a Content-Length are buffered and matched on
+// the MatchBytes fast path (subject to the server's -max-body cap);
+// chunked/streaming bodies run through MatchReader, so a mid-stream
+// early exit stops reading the wire — the engine's decision propagates
+// all the way to the client's upload.
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	tenant, _, ok := pathNames(w, r, false)
+	if !ok {
+		return
+	}
+	t, err := s.reg.Get(tenant)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "tenant_not_found", "tenant %q not found", tenant)
+		return
+	}
+	var res MatchResult
+	if r.ContentLength >= 0 {
+		if max := s.cfg.MaxBodyBytes; max > 0 && r.ContentLength > max {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				"document of %d bytes exceeds the %d-byte buffered-body cap; use a chunked body",
+				r.ContentLength, max)
+			return
+		}
+		doc, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_body", "reading document: %v", err)
+			return
+		}
+		res, err = t.MatchBuffered(doc)
+		if err != nil {
+			writeMatchError(w, tenant, err)
+			return
+		}
+	} else {
+		res, err = t.MatchStream(r.Body)
+		if err != nil {
+			writeMatchError(w, tenant, err)
+			return
+		}
+	}
+	resp := matchResponse{
+		Tenant:        tenant,
+		Matched:       res.Matched,
+		Subscriptions: res.Subscriptions,
+		Abstained:     res.Abstained,
+	}
+	resp.Stats.BytesRead = res.Stats.BytesRead
+	resp.Stats.BytesConsumed = res.Stats.BytesConsumed
+	resp.Stats.Chunks = res.Stats.Chunks
+	resp.Stats.EarlyExit = res.Stats.EarlyExit
+	resp.Stats.DecidedNegative = res.Stats.DecidedNegative
+	resp.Stats.Abstained = res.Stats.Abstained
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeMatchError maps a match failure to its typed JSON error: a
+// resource-budget breach under the fail policy is 413 with the breached
+// budget spelled out, a recovered worker panic is 500, a deleted-tenant
+// race is 404, and everything else (malformed XML, premature end) is
+// 400 "invalid_document".
+func writeMatchError(w http.ResponseWriter, tenant string, err error) {
+	var le *streamxpath.LimitError
+	var pe *streamxpath.PanicError
+	switch {
+	case errors.Is(err, errTenantDeleted):
+		writeError(w, http.StatusNotFound, "tenant_not_found", "tenant %q was deleted", tenant)
+	case errors.As(err, &le):
+		writeError(w, http.StatusRequestEntityTooLarge, "limit_exceeded",
+			"resource budget breached: %s %d > %d", le.Resource, le.Observed, le.Limit)
+	case errors.As(err, &pe):
+		writeError(w, http.StatusInternalServerError, "engine_fault", "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "invalid_document", "%v", err)
+	}
+}
+
+// handleHealthz answers 200 while serving and 503 once draining, so
+// load balancers stop routing before the listener closes.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.Metrics().WritePrometheus(w, s.reg)
+}

@@ -1,0 +1,395 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"streamxpath"
+)
+
+// Registry errors, mapped to HTTP statuses by the handlers.
+var (
+	ErrTenantExists   = errors.New("tenant already exists")
+	ErrTenantNotFound = errors.New("tenant not found")
+	ErrSubNotFound    = errors.New("subscription not found")
+	ErrServerDraining = errors.New("server draining")
+	errTenantDeleted  = errors.New("tenant deleted")
+	errRestoreFailed  = errors.New("subscription replace failed and the previous query could not be restored")
+)
+
+// TenantConfig is the per-tenant engine configuration fixed at creation
+// time: the per-document resource budgets (zero value = the server
+// defaults) and the engine worker count.
+type TenantConfig struct {
+	Limits  streamxpath.Limits
+	Workers int
+}
+
+// MatchResult is one document's verdict set plus its accounting — what
+// the ingest endpoint serializes.
+type MatchResult struct {
+	// Matched holds the matched subscription ids in insertion order (a
+	// private copy; the engine reuses its own slice).
+	Matched []string
+	// Subscriptions is the tenant's standing subscription count at match
+	// time.
+	Subscriptions int
+	// Abstained reports graceful degradation under LimitAbstain.
+	Abstained bool
+	// Stats is the input accounting: bytes read/consumed, chunk count,
+	// early exit and its direction. Buffered matches fill the byte
+	// counts from the body length (the whole document is consumed).
+	Stats streamxpath.ReaderStats
+	// Mem is the live-memory accounting of this document.
+	Mem streamxpath.MemStats
+}
+
+// Tenant is one namespace: an AdaptiveFilterSet carrying the tenant's
+// standing subscriptions, the id→query source map backing GET, and the
+// tenant's metrics. All engine operations — subscription CRUD and
+// document matching — serialize on mu: the engine's Add/Remove
+// recompile shared indexes and its post-match accounting (Abstained,
+// ReaderStats, MemStats) carries last-call semantics, so the lock is
+// what makes a request's verdicts and its accounting belong to the same
+// document. The lock is per tenant: one tenant's traffic never blocks
+// another's.
+type Tenant struct {
+	Name string
+
+	mu      sync.Mutex
+	set     *streamxpath.AdaptiveFilterSet
+	queries map[string]string
+	limits  streamxpath.Limits
+	closed  bool
+
+	metrics *tenantMetrics
+}
+
+// SubInfo is one subscription as listed by the API.
+type SubInfo struct {
+	ID    string `json:"id"`
+	Query string `json:"query"`
+}
+
+// Limits returns the tenant's budgets (fixed at creation).
+func (t *Tenant) Limits() streamxpath.Limits {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.limits
+}
+
+// Len returns the standing subscription count.
+func (t *Tenant) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return 0
+	}
+	return t.set.Len()
+}
+
+// PutSubscription registers (or replaces) a subscription, reporting
+// whether it was newly created. The query is validated through the
+// library's Compile path before any engine mutation; on a replace the
+// old query is removed first and restored if the new one is rejected,
+// so a failed PUT never loses the standing subscription.
+func (t *Tenant) PutSubscription(id, query string) (created bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false, errTenantDeleted
+	}
+	old, exists := t.queries[id]
+	if exists {
+		if old == query {
+			return false, nil
+		}
+		t.set.Remove(id)
+	}
+	if err := t.set.Add(id, query); err != nil {
+		if exists {
+			if rerr := t.set.Add(id, old); rerr != nil {
+				delete(t.queries, id)
+				return false, fmt.Errorf("%w: %v", errRestoreFailed, err)
+			}
+		}
+		return false, err
+	}
+	t.queries[id] = query
+	return !exists, nil
+}
+
+// DeleteSubscription removes a subscription, reporting whether it
+// existed.
+func (t *Tenant) DeleteSubscription(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false
+	}
+	if _, ok := t.queries[id]; !ok {
+		return false
+	}
+	t.set.Remove(id)
+	delete(t.queries, id)
+	return true
+}
+
+// Subscription returns one subscription's query source.
+func (t *Tenant) Subscription(id string) (SubInfo, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	q, ok := t.queries[id]
+	return SubInfo{ID: id, Query: q}, ok
+}
+
+// Subscriptions lists the tenant's subscriptions in insertion order.
+func (t *Tenant) Subscriptions() []SubInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	ids := t.set.IDs()
+	out := make([]SubInfo, len(ids))
+	for i, id := range ids {
+		out[i] = SubInfo{ID: id, Query: t.queries[id]}
+	}
+	return out
+}
+
+// MatchBuffered matches one in-memory document — the fast path for
+// requests that arrived with a Content-Length.
+func (t *Tenant) MatchBuffered(doc []byte) (MatchResult, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return MatchResult{}, errTenantDeleted
+	}
+	ids, err := t.set.MatchBytes(doc)
+	res := t.finishLocked(ids, int64(len(doc)), false)
+	t.metrics.recordDoc(res, err)
+	if err != nil {
+		return MatchResult{}, err
+	}
+	return res, nil
+}
+
+// MatchStream matches a document streamed from r through the chunked
+// reader path: early exit stops consuming the wire, and the tenant's
+// MaxDocBytes budget bounds how much of an unbounded body is ever read.
+func (t *Tenant) MatchStream(r io.Reader) (MatchResult, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return MatchResult{}, errTenantDeleted
+	}
+	ids, err := t.set.MatchReader(r)
+	res := t.finishLocked(ids, 0, true)
+	t.metrics.recordDoc(res, err)
+	if err != nil {
+		return MatchResult{}, err
+	}
+	return res, nil
+}
+
+// finishLocked snapshots one match call's outcome into a MatchResult.
+// Caller holds t.mu (which is what ties the engine's last-call
+// accounting to this document).
+func (t *Tenant) finishLocked(ids []string, bodyLen int64, stream bool) MatchResult {
+	res := MatchResult{
+		Matched:       append([]string(nil), ids...),
+		Subscriptions: t.set.Len(),
+		Abstained:     t.set.Abstained(),
+		Mem:           t.set.MemStats(),
+	}
+	if res.Matched == nil {
+		res.Matched = []string{}
+	}
+	if stream {
+		res.Stats = t.set.ReaderStats()
+	} else {
+		res.Stats = streamxpath.ReaderStats{
+			BytesRead:     bodyLen,
+			BytesConsumed: bodyLen,
+			Chunks:        1,
+			Abstained:     res.Abstained,
+		}
+	}
+	return res
+}
+
+// close shuts the tenant's engine down. Called with no new references
+// reachable from the registry; waits for the in-flight match (if any)
+// via mu.
+func (t *Tenant) close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.closed = true
+	t.set.Close()
+}
+
+// Registry maps tenant names to their engines. The registry lock only
+// guards the map — every per-tenant operation runs under the tenant's
+// own lock, so tenants are fully independent.
+type Registry struct {
+	defaults TenantConfig
+
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+	closed  bool
+
+	metrics *Metrics
+}
+
+// NewRegistry returns an empty registry whose implicitly-created
+// tenants use the given defaults.
+func NewRegistry(defaults TenantConfig, m *Metrics) *Registry {
+	if m == nil {
+		m = NewMetrics()
+	}
+	return &Registry{
+		defaults: defaults,
+		tenants:  make(map[string]*Tenant),
+		metrics:  m,
+	}
+}
+
+// Metrics returns the registry's metrics collector.
+func (r *Registry) Metrics() *Metrics { return r.metrics }
+
+// newTenant builds a tenant from cfg, filling unset fields from the
+// registry defaults.
+func (r *Registry) newTenant(name string, cfg TenantConfig) *Tenant {
+	lim := cfg.Limits
+	if lim == (streamxpath.Limits{}) {
+		lim = r.defaults.Limits
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = r.defaults.Workers
+	}
+	set := streamxpath.NewAdaptiveFilterSet(workers)
+	set.SetLimits(lim)
+	return &Tenant{
+		Name:    name,
+		set:     set,
+		queries: make(map[string]string),
+		limits:  lim,
+		metrics: r.metrics.tenant(name),
+	}
+}
+
+// Create registers a new tenant. ErrTenantExists if the name is taken.
+func (r *Registry) Create(name string, cfg TenantConfig) (*Tenant, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrServerDraining
+	}
+	if _, ok := r.tenants[name]; ok {
+		return nil, ErrTenantExists
+	}
+	t := r.newTenant(name, cfg)
+	r.tenants[name] = t
+	return t, nil
+}
+
+// Get returns a tenant, or ErrTenantNotFound.
+func (r *Registry) Get(name string) (*Tenant, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.tenants[name]
+	if !ok {
+		return nil, ErrTenantNotFound
+	}
+	return t, nil
+}
+
+// GetOrCreate returns the named tenant, creating it with the default
+// config when absent — the implicit-creation path of subscription PUT.
+func (r *Registry) GetOrCreate(name string) (*Tenant, error) {
+	r.mu.RLock()
+	t, ok := r.tenants[name]
+	r.mu.RUnlock()
+	if ok {
+		return t, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrServerDraining
+	}
+	if t, ok := r.tenants[name]; ok {
+		return t, nil
+	}
+	t = r.newTenant(name, TenantConfig{})
+	r.tenants[name] = t
+	return t, nil
+}
+
+// Delete removes a tenant and closes its engine (waiting for an
+// in-flight match), reporting whether it existed.
+func (r *Registry) Delete(name string) bool {
+	r.mu.Lock()
+	t, ok := r.tenants[name]
+	if ok {
+		delete(r.tenants, name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	t.close()
+	r.metrics.dropTenant(name)
+	return true
+}
+
+// Names lists the tenants, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.tenants))
+	for name := range r.tenants {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// snapshot returns the live tenants for metrics exposition.
+func (r *Registry) snapshot() []*Tenant {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Close refuses new tenants and closes every engine — the last step of
+// graceful drain, after the HTTP server has stopped accepting work.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	tenants := make([]*Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		tenants = append(tenants, t)
+	}
+	r.mu.Unlock()
+	for _, t := range tenants {
+		t.close()
+	}
+}

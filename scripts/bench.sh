@@ -8,6 +8,9 @@
 #   CPUS=1,2,4,8 scripts/bench.sh           # parallel-arm scaling sweep
 #   BENCH_FILTER='^BenchmarkMatchReader' scripts/bench.sh  # pinned subset
 #   BENCH_PARALLEL=0 scripts/bench.sh       # skip the -cpu sweep pass
+#   BENCH_SERVER=1 scripts/bench.sh         # also load-test xpfilterd over
+#                                           # HTTP -> BENCH_pr8_server.json
+#   BENCH_SERVER_CLIENTS=64 BENCH_SERVER_REQUESTS=5000  # its knobs
 #
 # The main pass runs the sequential hot-path arms — including the
 # chunked-vs-buffered BenchmarkMatchReader family and the
@@ -68,3 +71,37 @@ fi
 } > "$out"
 
 echo "wrote $out"
+
+# Optional server arm: boot xpfilterd on an ephemeral port and measure
+# end-to-end dissemination throughput (HTTP + JSON + engine) with the
+# xpload harness. Kept off the default path — it measures the serving
+# layer, not the library hot path the regression gate tracks.
+if [ "${BENCH_SERVER:-0}" = "1" ]; then
+  server_out="${BENCH_SERVER_OUT:-BENCH_pr8_server.json}"
+  workdir="$(mktemp -d)"
+  server_pid=""
+  cleanup_server() {
+    [ -n "$server_pid" ] && kill -9 "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+  }
+  trap cleanup_server EXIT
+
+  go build -o "$workdir/xpfilterd" ./cmd/xpfilterd
+  go build -o "$workdir/xpload" ./cmd/xpload
+  "$workdir/xpfilterd" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
+    >"$workdir/daemon.log" 2>&1 &
+  server_pid=$!
+  for _ in $(seq 1 100); do
+    [ -s "$workdir/addr" ] && break
+    sleep 0.1
+  done
+  [ -s "$workdir/addr" ] || { echo "xpfilterd never came up"; cat "$workdir/daemon.log"; exit 1; }
+
+  "$workdir/xpload" -addr "$(cat "$workdir/addr")" \
+    -clients "${BENCH_SERVER_CLIENTS:-64}" \
+    -requests "${BENCH_SERVER_REQUESTS:-5000}" \
+    -o "$server_out"
+  kill -TERM "$server_pid" && wait "$server_pid"
+  server_pid=""
+  echo "wrote $server_out"
+fi

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# e2e_server.sh — end-to-end smoke of the xpfilterd daemon: build it
+# (race-instrumented by default), boot it on an ephemeral port, exercise
+# subscription CRUD plus buffered and chunked ingest over real HTTP,
+# scrape /metrics, drive a short xpload run, then SIGTERM it and assert
+# a clean graceful-drain exit.
+#
+# Usage:
+#   scripts/e2e_server.sh            # race build, 16-client load smoke
+#   E2E_RACE=0 scripts/e2e_server.sh # plain build (faster)
+#   E2E_CLIENTS=64 E2E_REQUESTS=5000 scripts/e2e_server.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+race_flag="-race"
+[ "${E2E_RACE:-1}" = "0" ] && race_flag=""
+clients="${E2E_CLIENTS:-16}"
+requests="${E2E_REQUESTS:-400}"
+
+work="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build $race_flag -o "$work/xpfilterd" ./cmd/xpfilterd
+go build -o "$work/xpload" ./cmd/xpload
+
+echo "== version flags"
+"$work/xpfilterd" -version | grep -q '^xpfilterd '
+"$work/xpload" -version | grep -q '^xpload '
+
+echo "== boot on an ephemeral port"
+"$work/xpfilterd" -addr 127.0.0.1:0 -addr-file "$work/addr" \
+  >"$work/daemon.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$work/addr" ] && break
+  sleep 0.1
+done
+[ -s "$work/addr" ] || { echo "daemon never wrote addr-file"; cat "$work/daemon.log"; exit 1; }
+addr="$(cat "$work/addr")"
+base="http://$addr"
+echo "   $base"
+
+fail() { echo "FAIL: $*"; cat "$work/daemon.log"; exit 1; }
+
+echo "== healthz"
+curl -fsS "$base/healthz" | grep -q '"ok"' || fail "healthz"
+
+echo "== subscription CRUD"
+code=$(curl -s -o "$work/out" -w '%{http_code}' -X PUT "$base/v1/tenants/e2e/subscriptions/items" -d '/news/item')
+[ "$code" = 201 ] || fail "PUT subscription: $code $(cat "$work/out")"
+code=$(curl -s -o "$work/out" -w '%{http_code}' -X PUT "$base/v1/tenants/e2e/subscriptions/deep" -d '//item[keyword]')
+[ "$code" = 201 ] || fail "PUT second subscription: $code"
+curl -fsS "$base/v1/tenants/e2e/subscriptions" | grep -q '"items"' || fail "list subscriptions"
+code=$(curl -s -o "$work/out" -w '%{http_code}' -X PUT "$base/v1/tenants/e2e/subscriptions/bad" -d '/news[')
+[ "$code" = 400 ] || fail "invalid query not rejected: $code"
+grep -q 'invalid_query' "$work/out" || fail "invalid query lacks typed code"
+
+echo "== buffered ingest"
+doc='<news><item><title>t</title><keyword>go</keyword></item></news>'
+curl -fsS -X POST "$base/v1/tenants/e2e/match" -d "$doc" >"$work/verdict" || fail "buffered match"
+grep -q '"items"' "$work/verdict" || fail "buffered verdict missing items: $(cat "$work/verdict")"
+grep -q '"deep"' "$work/verdict" || fail "buffered verdict missing deep"
+
+echo "== chunked ingest"
+printf '%s' "$doc" | curl -fsS -X POST -H 'Transfer-Encoding: chunked' \
+  --data-binary @- "$base/v1/tenants/e2e/match" >"$work/verdict2" || fail "chunked match"
+grep -q '"items"' "$work/verdict2" || fail "chunked verdict: $(cat "$work/verdict2")"
+
+echo "== delete subscription"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "$base/v1/tenants/e2e/subscriptions/deep")
+[ "$code" = 200 ] || fail "DELETE subscription: $code"
+
+echo "== metrics"
+curl -fsS "$base/metrics" >"$work/metrics"
+grep -q 'xpfilterd_documents_total{tenant="e2e"} 2' "$work/metrics" || fail "documents_total"
+grep -q 'xpfilterd_subscriptions{tenant="e2e"} 1' "$work/metrics" || fail "subscriptions gauge"
+grep -q 'xpfilterd_http_requests_total' "$work/metrics" || fail "http_requests_total"
+
+echo "== load smoke ($clients clients, $requests requests)"
+"$work/xpload" -addr "$addr" -clients "$clients" -requests "$requests" \
+  -o "$work/load.json" || fail "xpload reported errors"
+
+echo "== graceful drain on SIGTERM"
+kill -TERM "$daemon_pid"
+drain_rc=0
+wait "$daemon_pid" || drain_rc=$?
+daemon_pid=""
+[ "$drain_rc" = 0 ] || fail "daemon exit code $drain_rc, want 0"
+grep -q 'msg=drained' "$work/daemon.log" || fail "daemon never logged drained"
+
+echo "OK: e2e server smoke passed"

@@ -11,24 +11,38 @@
 //
 // API (JSON errors, Prometheus text metrics):
 //
-//	PUT    /v1/tenants/{tenant}                    create tenant (optional {"limits":{...},"workers":N} body)
+//	PUT    /v1/tenants/{tenant}                    create tenant (optional {"limits":{...},"workers":N,
+//	                                               "maxSubscriptions":N} body)
 //	GET    /v1/tenants                             list tenants
 //	GET    /v1/tenants/{tenant}                    tenant info
-//	DELETE /v1/tenants/{tenant}                    delete tenant (drains its in-flight match)
-//	PUT    /v1/tenants/{tenant}/subscriptions/{id} register XPath (body); implicit tenant creation
+//	DELETE /v1/tenants/{tenant}                    delete tenant (drains its in-flight match,
+//	                                               abandons its queued deliveries)
+//	PUT    /v1/tenants/{tenant}/subscriptions/{id} register XPath: raw expression body, or a
+//	                                               {"query":...,"webhook":{"url":...,"timeout_ms":N,
+//	                                               "max_attempts":N}} envelope to attach a webhook;
+//	                                               implicit tenant creation
 //	GET    /v1/tenants/{tenant}/subscriptions      list subscriptions
 //	GET    /v1/tenants/{tenant}/subscriptions/{id} one subscription
 //	DELETE /v1/tenants/{tenant}/subscriptions/{id} remove subscription
 //	POST   /v1/tenants/{tenant}/match              match a document; buffered bodies take the
 //	                                               in-memory fast path, chunked bodies stream
-//	                                               with mid-upload early exit
+//	                                               with mid-upload early exit; matched webhook
+//	                                               subscriptions enqueue outbound deliveries
+//	GET    /v1/tenants/{tenant}/deadletters        deliveries that exhausted their retry budget
 //	GET    /metrics                                Prometheus text exposition
 //	GET    /healthz                                liveness (503 while draining)
 //
+// Matched documents are delivered to subscription webhooks at least
+// once: failed POSTs retry with exponential backoff and full jitter, a
+// per-endpoint circuit breaker isolates dead receivers, and exhausted
+// deliveries land in the per-tenant dead-letter ring.
+//
 // Every flag defaults from an XPFILTERD_* environment variable (see
 // -help). On SIGINT/SIGTERM the daemon drains gracefully: new requests
-// are answered 503 while in-flight matches run to their verdicts, then
-// the tenant engines close and the process exits 0.
+// are answered 503 while in-flight matches run to their verdicts, the
+// outbound delivery queue flushes within the drain budget (what cannot
+// flush is abandoned and counted in the drain log), then the tenant
+// engines close and the process exits 0.
 package main
 
 import (

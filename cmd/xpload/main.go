@@ -10,6 +10,18 @@
 //	xpload -addr 127.0.0.1:8080 -clients 64 -requests 5000
 //	xpload -addr $(cat /tmp/xpfilterd.addr) -o BENCH_pr8_server.json
 //
+// With -webhook the harness also measures the outbound delivery path:
+// it runs an in-process webhook receiver, registers the subscriptions
+// with a callback pointing at it, and reports how many deliveries
+// arrived once the queue settles.
+//
+// With -sink the harness is instead a standalone fault-injectable
+// webhook receiver for end-to-end scripts: it answers POST / with 200
+// (after -sink-fail-first injected 500s), reports its counters on
+// GET /stats, and runs until SIGTERM:
+//
+//	xpload -sink -addr 127.0.0.1:0 -addr-file /tmp/sink.addr -sink-fail-first 1
+//
 // The harness exits non-zero if any request failed, so it doubles as
 // the CI end-to-end assertion that a drained daemon lost no verdicts.
 package main
@@ -21,11 +33,15 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"streamxpath/internal/buildinfo"
@@ -66,10 +82,21 @@ func main() {
 		out      = flag.String("o", "", "write the report as JSON to this file")
 		keep     = flag.Bool("keep", false, "leave the tenant and its subscriptions in place afterwards")
 		version  = flag.Bool("version", false, "print version and exit")
+
+		webhook     = flag.Bool("webhook", false, "measure webhook delivery: run an in-process receiver and subscribe with callbacks")
+		webhookWait = flag.Duration("webhook-wait", 10*time.Second, "max wait for the delivery queue to settle after the hammer")
+
+		sinkMode      = flag.Bool("sink", false, "run as a standalone webhook receiver instead of a load generator")
+		sinkFailFirst = flag.Int("sink-fail-first", 0, "sink mode: answer 500 to the first N requests (forces retries)")
+		addrFile      = flag.String("addr-file", "", "sink mode: write the bound address to this file")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println(buildinfo.String("xpload"))
+		return
+	}
+	if *sinkMode {
+		runSink(*addr, *addrFile, *sinkFailFirst)
 		return
 	}
 	if *addr == "" {
@@ -98,6 +125,24 @@ func main() {
 		corpus[i] = []byte(xml)
 	}
 
+	// Webhook mode: an in-process receiver counts what the daemon
+	// delivers back.
+	var received atomic.Int64
+	var hookURL string
+	if *webhook {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(fmt.Errorf("webhook receiver listen: %w", err))
+		}
+		defer ln.Close()
+		go http.Serve(ln, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			io.Copy(io.Discard, r.Body)
+			received.Add(1)
+			w.WriteHeader(http.StatusOK)
+		}))
+		hookURL = "http://" + ln.Addr().String() + "/hook"
+	}
+
 	// Seed the tenant and its subscriptions.
 	mustDo(client, "PUT", base+"/v1/tenants/"+*tenant, nil, http.StatusCreated, http.StatusConflict)
 	for i := 0; i < *subs; i++ {
@@ -106,8 +151,19 @@ func main() {
 		if strings.Contains(tmpl, "%d") {
 			q = fmt.Sprintf(tmpl, i%10)
 		}
+		body := q
+		if hookURL != "" {
+			envelope, err := json.Marshal(map[string]any{
+				"query":   q,
+				"webhook": map[string]any{"url": hookURL},
+			})
+			if err != nil {
+				fatal(err)
+			}
+			body = string(envelope)
+		}
 		mustDo(client, "PUT", fmt.Sprintf("%s/v1/tenants/%s/subscriptions/sub-%04d", base, *tenant, i),
-			strings.NewReader(q), http.StatusCreated, http.StatusOK)
+			strings.NewReader(body), http.StatusCreated, http.StatusOK)
 	}
 	if !*keep {
 		defer mustDo(client, "DELETE", base+"/v1/tenants/"+*tenant, nil, http.StatusOK)
@@ -144,6 +200,21 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+
+	// Webhook mode: let the outbound queue settle — stop once the
+	// received count holds still for a second, or at -webhook-wait.
+	var webhooksReceived int64
+	if *webhook {
+		deadline := time.Now().Add(*webhookWait)
+		last, lastGrew := received.Load(), time.Now()
+		for time.Now().Before(deadline) && time.Since(lastGrew) < time.Second {
+			time.Sleep(100 * time.Millisecond)
+			if n := received.Load(); n != last {
+				last, lastGrew = n, time.Now()
+			}
+		}
+		webhooksReceived = received.Load()
+	}
 
 	// Aggregate.
 	var errs int
@@ -186,9 +257,17 @@ func main() {
 		"p90_ms":        pct(0.90),
 		"p99_ms":        pct(0.99),
 	}
+	if *webhook {
+		report["webhooks_received"] = webhooksReceived
+		report["webhooks_per_sec"] = float64(webhooksReceived) / elapsed.Seconds()
+	}
 	fmt.Printf("xpload: %d docs, %d clients, %d subs: %.0f docs/s, %.1f MB/s, p50 %.2fms p90 %.2fms p99 %.2fms, %d errors\n",
 		total, *clients, *subs, report["docs_per_sec"], report["mb_per_sec"],
 		report["p50_ms"], report["p90_ms"], report["p99_ms"], errs)
+	if *webhook {
+		fmt.Printf("xpload: %d webhook deliveries received (%.0f/s over the hammer window)\n",
+			webhooksReceived, report["webhooks_per_sec"])
+	}
 	if firstErr != nil {
 		fmt.Fprintf(os.Stderr, "xpload: first error: %v\n", firstErr)
 	}
@@ -267,6 +346,60 @@ func mustDo(client *http.Client, method, url string, body io.Reader, want ...int
 		}
 	}
 	fatal(fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, bytes.TrimSpace(raw)))
+}
+
+// runSink serves the standalone webhook receiver: POST anything gets a
+// 200 — except the first failFirst requests, which get an injected 500
+// so end-to-end scripts can force (and then observe) a retry. GET
+// /stats reports the counters. Runs until SIGINT/SIGTERM, then prints
+// the final counters as JSON.
+func runSink(addr, addrFile string, failFirst int) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var requests, injected, delivered atomic.Int64
+	statsJSON := func() []byte {
+		buf, _ := json.Marshal(map[string]int64{
+			"requests":  requests.Load(),
+			"injected":  injected.Load(),
+			"delivered": delivered.Load(),
+		})
+		return append(buf, '\n')
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(statsJSON())
+	})
+	mux.HandleFunc("POST /", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		n := requests.Add(1)
+		if n <= int64(failFirst) {
+			injected.Add(1)
+			http.Error(w, "injected failure", http.StatusInternalServerError)
+			return
+		}
+		delivered.Add(1)
+		w.WriteHeader(http.StatusOK)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(fmt.Errorf("sink listen %s: %w", addr, err))
+	}
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fatal(fmt.Errorf("writing addr-file: %w", err))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "xpload: sink listening on %s (fail-first %d)\n", ln.Addr(), failFirst)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	os.Stdout.Write(statsJSON())
 }
 
 func fatal(err error) {

@@ -1,0 +1,47 @@
+package delivery
+
+import "time"
+
+// Backoff computes the wait before retry number attempt (1-based: the
+// wait after the first failed attempt is attempt=1) as exponential
+// growth from base capped at max, scaled by jitter in [0,1] — the
+// "full jitter" scheme: sleep = rand() * min(max, base<<(attempt-1)).
+// Full jitter desynchronizes retry herds against a recovering endpoint
+// while keeping the expected wait half the exponential envelope.
+//
+// jitter outside [0,1] is clamped; attempt < 1 is treated as 1. The
+// result is never below a sixteenth of the exponential envelope, so a
+// pathological jitter source cannot produce a hot retry loop.
+func Backoff(base, max time.Duration, attempt int, jitter float64) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= max || d < 0 { // overflow guard
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
+	switch {
+	case jitter < 0:
+		jitter = 0
+	case jitter > 1:
+		jitter = 1
+	}
+	out := time.Duration(float64(d) * jitter)
+	if floor := d / 16; out < floor {
+		out = floor
+	}
+	return out
+}

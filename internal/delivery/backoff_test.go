@@ -1,0 +1,114 @@
+package delivery
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffEnvelope(t *testing.T) {
+	base, max := 100*time.Millisecond, 2*time.Second
+	// jitter=1 walks the full exponential envelope, capped at max.
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second,
+		2 * time.Second,
+	}
+	for i, w := range want {
+		if got := Backoff(base, max, i+1, 1); got != w {
+			t.Errorf("attempt %d: %v, want %v", i+1, got, w)
+		}
+	}
+	// jitter=0.5 halves it.
+	if got := Backoff(base, max, 3, 0.5); got != 200*time.Millisecond {
+		t.Errorf("half jitter: %v", got)
+	}
+	// jitter=0 is clamped to the 1/16 floor of the envelope, never a
+	// hot loop.
+	if got := Backoff(base, max, 1, 0); got != base/16 {
+		t.Errorf("zero jitter floor: %v, want %v", got, base/16)
+	}
+	// Degenerate configs stay sane.
+	if got := Backoff(0, 0, 100, 2); got <= 0 {
+		t.Errorf("degenerate config: %v", got)
+	}
+	// A huge attempt number does not overflow past the cap.
+	if got := Backoff(base, max, 200, 1); got != max {
+		t.Errorf("overflow guard: %v, want %v", got, max)
+	}
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	b := &breaker{threshold: 3, cooldown: 10 * time.Second}
+
+	// Closed passes attempts; failures below the threshold keep it
+	// closed.
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.allow(now); !ok {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.failure(now)
+	}
+	if b.state != BreakerClosed {
+		t.Fatalf("state %v after 2/3 failures, want closed", b.state)
+	}
+	// A success resets the streak.
+	if ok, _ := b.allow(now); !ok {
+		t.Fatal("closed breaker refused")
+	}
+	b.success()
+	if b.fails != 0 {
+		t.Fatalf("fails %d after success, want 0", b.fails)
+	}
+
+	// Three consecutive failures open it.
+	for i := 0; i < 3; i++ {
+		b.allow(now)
+		b.failure(now)
+	}
+	if b.state != BreakerOpen {
+		t.Fatalf("state %v after threshold failures, want open", b.state)
+	}
+	// While open, attempts are refused with the cooldown expiry as the
+	// retry hint.
+	ok, retryAt := b.allow(now.Add(5 * time.Second))
+	if ok {
+		t.Fatal("open breaker allowed an attempt inside the cooldown")
+	}
+	if want := now.Add(10 * time.Second); !retryAt.Equal(want) {
+		t.Fatalf("retryAt %v, want %v", retryAt, want)
+	}
+
+	// After the cooldown the breaker half-opens and admits exactly one
+	// probe; a concurrent second ask is refused.
+	probeTime := now.Add(10 * time.Second)
+	if ok, _ := b.allow(probeTime); !ok {
+		t.Fatal("cooldown expiry did not admit a probe")
+	}
+	if b.state != BreakerHalfOpen {
+		t.Fatalf("state %v during probe, want half-open", b.state)
+	}
+	if ok, _ := b.allow(probeTime); ok {
+		t.Fatal("second probe admitted while one is in flight")
+	}
+
+	// A failed probe re-opens for another full cooldown.
+	b.failure(probeTime)
+	if b.state != BreakerOpen || !b.openedAt.Equal(probeTime) {
+		t.Fatalf("failed probe: state %v openedAt %v", b.state, b.openedAt)
+	}
+
+	// A successful probe closes the circuit entirely.
+	reprobe := probeTime.Add(10 * time.Second)
+	if ok, _ := b.allow(reprobe); !ok {
+		t.Fatal("second probe window refused")
+	}
+	b.success()
+	if b.state != BreakerClosed || b.fails != 0 {
+		t.Fatalf("after probe success: state %v fails %d", b.state, b.fails)
+	}
+}

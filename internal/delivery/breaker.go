@@ -1,0 +1,91 @@
+package delivery
+
+import "time"
+
+// BreakerState is the circuit breaker's observable state, exported as
+// a metrics gauge (0 closed, 1 open, 2 half-open).
+type BreakerState int
+
+const (
+	// BreakerClosed passes every attempt through.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses attempts until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets a single probe through; its outcome closes
+	// or re-opens the circuit.
+	BreakerHalfOpen
+)
+
+// String renders the state for logs and the dead-letter API.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a consecutive-failure circuit breaker for one endpoint
+// URL. threshold consecutive failures open the circuit; after cooldown
+// it half-opens and admits exactly one probe — success closes it,
+// failure re-opens it for another cooldown. Not self-locking: the
+// owning pump serializes access under its own mutex.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+// allow reports whether an attempt may proceed at now. When it may
+// not, retryAt is when the caller should ask again (the cooldown
+// expiry, or one cooldown out while another probe is in flight).
+func (b *breaker) allow(now time.Time) (ok bool, retryAt time.Time) {
+	switch b.state {
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false, b.openedAt.Add(b.cooldown)
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, time.Time{}
+	case BreakerHalfOpen:
+		if b.probing {
+			return false, now.Add(b.cooldown)
+		}
+		b.probing = true
+		return true, time.Time{}
+	}
+	return true, time.Time{}
+}
+
+// success records a delivered attempt: the circuit closes and the
+// failure streak resets.
+func (b *breaker) success() {
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// failure records a failed attempt at now, opening the circuit when
+// the streak reaches the threshold or a half-open probe fails.
+func (b *breaker) failure(now time.Time) {
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.openedAt = now
+		b.probing = false
+		return
+	}
+	b.fails++
+	if b.threshold > 0 && b.fails >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = now
+	}
+}

@@ -1,0 +1,117 @@
+package delivery
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is the deterministic Clock for backoff/breaker tests: time
+// only moves when Advance is called, and timers fire from Advance in
+// their own goroutines (mirroring time.AfterFunc).
+type fakeClock struct {
+	mu        sync.Mutex
+	now       time.Time
+	timers    []*fakeTimer
+	scheduled []time.Duration // every AfterFunc duration, in call order
+}
+
+type fakeTimer struct {
+	c       *fakeClock
+	at      time.Time
+	f       func()
+	fired   bool
+	stopped bool
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) AfterFunc(d time.Duration, f func()) Timer {
+	c.mu.Lock()
+	t := &fakeTimer{c: c, at: c.now.Add(d), f: f}
+	c.scheduled = append(c.scheduled, d)
+	if d <= 0 {
+		t.fired = true
+		c.mu.Unlock()
+		go f()
+		return t
+	}
+	c.timers = append(c.timers, t)
+	c.mu.Unlock()
+	return t
+}
+
+func (t *fakeTimer) Stop() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Advance moves the clock and fires every due timer.
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	var due []*fakeTimer
+	keep := c.timers[:0]
+	for _, t := range c.timers {
+		switch {
+		case t.stopped:
+		case !t.at.After(c.now):
+			t.fired = true
+			due = append(due, t)
+		default:
+			keep = append(keep, t)
+		}
+	}
+	c.timers = keep
+	c.mu.Unlock()
+	for _, t := range due {
+		go t.f()
+	}
+}
+
+// pendingTimers counts armed, unfired timers.
+func (c *fakeClock) pendingTimers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, t := range c.timers {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// scheduledDurations copies the AfterFunc call log.
+func (c *fakeClock) scheduledDurations() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.scheduled...)
+}
+
+// waitUntil polls cond with a tiny real-time sleep — the bridge between
+// the test goroutine and the manager's asynchronous workers. Every wait
+// is bounded; no single sleep exceeds a millisecond.
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,85 @@
+package delivery
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+)
+
+// flakyReceiver is the fault-injection webhook endpoint driving the
+// acceptance tests: each incoming delivery is routed through a
+// configurable behavior function that can succeed, answer 500, abort
+// the connection, or hang until the client gives up.
+type flakyReceiver struct {
+	srv *httptest.Server
+
+	// behave decides the fate of one request given the global request
+	// ordinal (1-based) and the delivery attempt number from the
+	// X-Xpfilterd-Attempt header. Defaults to always-succeed.
+	behave func(n int, attempt int) flakyAction
+
+	mu       sync.Mutex
+	requests int
+	payloads []string // bodies of successfully acknowledged deliveries
+}
+
+type flakyAction int
+
+const (
+	actOK flakyAction = iota
+	act500
+	actRefuse // abort the connection mid-response
+	actHang   // stall until the client cancels
+)
+
+func newFlakyReceiver(behave func(n, attempt int) flakyAction) *flakyReceiver {
+	f := &flakyReceiver{behave: behave}
+	f.srv = httptest.NewServer(http.HandlerFunc(f.handle))
+	return f
+}
+
+func (f *flakyReceiver) handle(w http.ResponseWriter, r *http.Request) {
+	body, _ := io.ReadAll(r.Body)
+	attempt, _ := strconv.Atoi(r.Header.Get("X-Xpfilterd-Attempt"))
+	f.mu.Lock()
+	f.requests++
+	n := f.requests
+	f.mu.Unlock()
+	act := actOK
+	if f.behave != nil {
+		act = f.behave(n, attempt)
+	}
+	switch act {
+	case act500:
+		http.Error(w, "injected failure", http.StatusInternalServerError)
+	case actRefuse:
+		panic(http.ErrAbortHandler)
+	case actHang:
+		<-r.Context().Done()
+	default:
+		f.mu.Lock()
+		f.payloads = append(f.payloads, string(body))
+		f.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}
+}
+
+func (f *flakyReceiver) URL() string { return f.srv.URL }
+
+func (f *flakyReceiver) Close() { f.srv.Close() }
+
+// delivered snapshots the acknowledged payloads.
+func (f *flakyReceiver) delivered() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.payloads...)
+}
+
+// seen reports the total request count, including failed attempts.
+func (f *flakyReceiver) seen() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.requests
+}

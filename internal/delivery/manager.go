@@ -1,0 +1,679 @@
+package delivery
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Doer is the HTTP client seam: production uses *http.Client, unit
+// tests inject a function.
+type Doer interface {
+	Do(*http.Request) (*http.Response, error)
+}
+
+// DoerFunc adapts a function to the Doer interface.
+type DoerFunc func(*http.Request) (*http.Response, error)
+
+// Do calls f.
+func (f DoerFunc) Do(r *http.Request) (*http.Response, error) { return f(r) }
+
+// Config carries the manager's knobs; zero fields select the defaults
+// noted on each.
+type Config struct {
+	// QueueDepth bounds each tenant's outbound queue (default 1024).
+	// Enqueue never blocks: overflow sheds the record and counts it.
+	QueueDepth int
+	// Workers is the number of delivery goroutines per tenant
+	// (default 4).
+	Workers int
+	// Timeout is the default per-attempt HTTP timeout (default 5s),
+	// overridable per subscription.
+	Timeout time.Duration
+	// MaxAttempts is the default attempt budget per record (default 5),
+	// overridable per subscription.
+	MaxAttempts int
+	// BackoffBase/BackoffMax bound the exponential retry backoff
+	// (defaults 100ms and 30s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold consecutive failures open an endpoint's circuit
+	// (default 5); BreakerCooldown is how long it stays open before a
+	// half-open probe (default 10s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// DeadLetterDepth bounds each tenant's dead-letter ring
+	// (default 256); the oldest entry is evicted (and counted) when a
+	// new one arrives at capacity.
+	DeadLetterDepth int
+	// Clock injects time (default the real clock).
+	Clock Clock
+	// Client injects the HTTP transport (default a fresh http.Client;
+	// per-attempt timeouts come from request contexts, not the client).
+	Client Doer
+	// Jitter injects the backoff jitter source, a func returning [0,1)
+	// (default math/rand.Float64). Tests pin it to 1 for determinism.
+	Jitter func() float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 30 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
+	if c.DeadLetterDepth <= 0 {
+		c.DeadLetterDepth = 256
+	}
+	if c.Clock == nil {
+		c.Clock = RealClock()
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Jitter == nil {
+		c.Jitter = rand.Float64
+	}
+	return c
+}
+
+// Webhook is a subscription's delivery target: where to POST and the
+// per-attempt overrides (zero fields fall back to the manager
+// defaults).
+type Webhook struct {
+	URL         string
+	Timeout     time.Duration
+	MaxAttempts int
+}
+
+// Record is one pending delivery: a payload bound for one
+// subscription's webhook, with its attempt accounting.
+type Record struct {
+	Tenant      string
+	SubID       string
+	URL         string
+	Timeout     time.Duration
+	MaxAttempts int
+	Payload     []byte
+
+	Attempts   int
+	LastError  string
+	EnqueuedAt time.Time
+}
+
+// DeadLetter is one exhausted delivery as exposed by the dead-letter
+// API: every attempt failed, so the record left the retry loop with
+// its full accounting.
+type DeadLetter struct {
+	Subscription string          `json:"subscription"`
+	URL          string          `json:"url"`
+	Attempts     int             `json:"attempts"`
+	LastError    string          `json:"lastError"`
+	EnqueuedAt   time.Time       `json:"enqueuedAt"`
+	DeadAt       time.Time       `json:"deadAt"`
+	Payload      json.RawMessage `json:"payload,omitempty"`
+}
+
+// BreakerInfo is one endpoint's circuit state in a stats snapshot.
+type BreakerInfo struct {
+	URL   string
+	State BreakerState
+}
+
+// Stats is one tenant's delivery accounting snapshot. The counter
+// invariant after a completed drain: Enqueued = Successes +
+// DeadLetters + Abandoned (sheds never enter the queue).
+type Stats struct {
+	Enqueued    int64
+	Attempts    int64
+	Successes   int64
+	Failures    int64
+	Retries     int64
+	Sheds       int64
+	DeadLetters int64
+	DeadDropped int64
+	Abandoned   int64
+	// Outstanding is the live queue-depth gauge: records enqueued but
+	// not yet delivered, dead-lettered, or abandoned (queued + parked
+	// on a retry timer + in flight).
+	Outstanding int64
+	// LatencySeconds/LatencyCount accumulate successful-attempt wall
+	// time, the sum/count pair scrapers turn into a mean.
+	LatencySeconds float64
+	LatencyCount   int64
+	Breakers       []BreakerInfo
+}
+
+// Manager owns every tenant's outbound delivery pump. Enqueue is
+// non-blocking and safe for concurrent use; Drain integrates with the
+// server's graceful shutdown.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	pumps    map[string]*pump
+	draining bool
+	stopped  bool
+}
+
+// NewManager builds a manager from cfg (zero fields take defaults).
+func NewManager(cfg Config) *Manager {
+	return &Manager{cfg: cfg.withDefaults(), pumps: make(map[string]*pump)}
+}
+
+// pumpFor returns (creating if needed) the named tenant's pump, or nil
+// once the manager is draining.
+func (m *Manager) pumpFor(tenant string) *pump {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil
+	}
+	p, ok := m.pumps[tenant]
+	if !ok {
+		p = newPump(tenant, m)
+		m.pumps[tenant] = p
+	}
+	return p
+}
+
+// lookup returns an existing pump without creating one.
+func (m *Manager) lookup(tenant string) *pump {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pumps[tenant]
+}
+
+// Enqueue queues one delivery for a tenant, applying the manager
+// defaults to zero Webhook overrides. It never blocks: a full queue
+// (or a draining manager) sheds the record and returns false — the
+// match path degrades gracefully rather than backing up.
+func (m *Manager) Enqueue(tenant, subID string, hook Webhook, payload []byte) bool {
+	p := m.pumpFor(tenant)
+	if p == nil {
+		return false
+	}
+	rec := &Record{
+		Tenant:      tenant,
+		SubID:       subID,
+		URL:         hook.URL,
+		Timeout:     hook.Timeout,
+		MaxAttempts: hook.MaxAttempts,
+		Payload:     payload,
+		EnqueuedAt:  m.cfg.Clock.Now(),
+	}
+	if rec.Timeout <= 0 {
+		rec.Timeout = m.cfg.Timeout
+	}
+	if rec.MaxAttempts <= 0 {
+		rec.MaxAttempts = m.cfg.MaxAttempts
+	}
+	return p.enqueue(rec)
+}
+
+// DeadLetters snapshots a tenant's dead-letter ring, oldest first,
+// plus how many older entries the bounded ring has evicted.
+func (m *Manager) DeadLetters(tenant string) (letters []DeadLetter, dropped int64) {
+	p := m.lookup(tenant)
+	if p == nil {
+		return nil, 0
+	}
+	return p.deadLetterSnapshot()
+}
+
+// Stats snapshots one tenant's counters (zero value for an unknown
+// tenant).
+func (m *Manager) Stats(tenant string) Stats {
+	p := m.lookup(tenant)
+	if p == nil {
+		return Stats{}
+	}
+	return p.snapshot()
+}
+
+// Snapshot returns every live tenant's stats keyed by tenant name.
+func (m *Manager) Snapshot() map[string]Stats {
+	m.mu.Lock()
+	pumps := make([]*pump, 0, len(m.pumps))
+	for _, p := range m.pumps {
+		pumps = append(pumps, p)
+	}
+	m.mu.Unlock()
+	out := make(map[string]Stats, len(pumps))
+	for _, p := range pumps {
+		out[p.tenant] = p.snapshot()
+	}
+	return out
+}
+
+// DropTenant abandons and tears down a deleted tenant's pump: parked
+// retries and queued records are discarded (counted as abandoned) and
+// its in-flight attempts are canceled. Safe when the tenant has no
+// pump.
+func (m *Manager) DropTenant(tenant string) {
+	m.mu.Lock()
+	p, ok := m.pumps[tenant]
+	if ok {
+		delete(m.pumps, tenant)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	p.forceAbandon()
+	p.records.Wait()
+	p.teardown()
+}
+
+// Drain integrates with graceful shutdown: it refuses new enqueues,
+// lets the workers flush queued and due-retry deliveries until ctx
+// expires, then abandons whatever remains (canceling in-flight
+// attempts) and tears the workers down. It returns the number of
+// records abandoned — the count the caller persists to the drain log.
+// Safe to call once; later calls (and Close after Drain) are no-ops.
+func (m *Manager) Drain(ctx context.Context) int64 {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return 0
+	}
+	m.draining = true
+	m.stopped = true
+	pumps := make([]*pump, 0, len(m.pumps))
+	for _, p := range m.pumps {
+		pumps = append(pumps, p)
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		for _, p := range pumps {
+			p.records.Wait()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		for _, p := range pumps {
+			p.forceAbandon()
+		}
+		<-done
+	}
+	var abandoned int64
+	for _, p := range pumps {
+		p.teardown()
+		abandoned += p.abandoned.Load()
+	}
+	return abandoned
+}
+
+// Close abandons everything immediately — the ungraceful teardown for
+// tests and error paths.
+func (m *Manager) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m.Drain(ctx)
+}
+
+// pump is one tenant's delivery engine: the bounded queue, its worker
+// goroutines, the per-endpoint breakers, the retry timers, and the
+// dead-letter ring.
+type pump struct {
+	tenant string
+	m      *Manager
+
+	queue  chan *Record
+	stop   chan struct{} // closed at teardown: workers exit
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	workers sync.WaitGroup // worker goroutines
+	records sync.WaitGroup // outstanding records (enqueue → final outcome)
+
+	mu        sync.Mutex
+	breakers  map[string]*breaker
+	parked    map[*Record]Timer // records waiting on a retry timer
+	dead      []DeadLetter      // ring, oldest at deadStart
+	deadStart int
+	aborting  bool
+	tornDown  bool
+
+	outstanding atomic.Int64
+	enqueued    atomic.Int64
+	attempts    atomic.Int64
+	successes   atomic.Int64
+	failures    atomic.Int64
+	retries     atomic.Int64
+	sheds       atomic.Int64
+	deadLetters atomic.Int64
+	deadDropped atomic.Int64
+	abandoned   atomic.Int64
+	latNanos    atomic.Int64
+	latCount    atomic.Int64
+}
+
+func newPump(tenant string, m *Manager) *pump {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &pump{
+		tenant:   tenant,
+		m:        m,
+		queue:    make(chan *Record, m.cfg.QueueDepth),
+		stop:     make(chan struct{}),
+		ctx:      ctx,
+		cancel:   cancel,
+		breakers: make(map[string]*breaker),
+		parked:   make(map[*Record]Timer),
+	}
+	for i := 0; i < m.cfg.Workers; i++ {
+		p.workers.Add(1)
+		go p.run()
+	}
+	return p
+}
+
+// enqueue admits one record, shedding (never blocking) on overflow.
+func (p *pump) enqueue(rec *Record) bool {
+	p.records.Add(1)
+	select {
+	case p.queue <- rec:
+		p.enqueued.Add(1)
+		p.outstanding.Add(1)
+		return true
+	default:
+		p.records.Done()
+		p.sheds.Add(1)
+		return false
+	}
+}
+
+func (p *pump) run() {
+	defer p.workers.Done()
+	for {
+		select {
+		case rec := <-p.queue:
+			p.attempt(rec)
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// finalize retires a record from the outstanding set; every admitted
+// record passes through here exactly once (delivered, dead-lettered,
+// or abandoned).
+func (p *pump) finalize() {
+	p.outstanding.Add(-1)
+	p.records.Done()
+}
+
+// attempt runs one delivery try: the breaker gate first (an open
+// circuit parks the record until the cooldown without consuming an
+// attempt), then the POST, then success/retry/dead-letter routing.
+func (p *pump) attempt(rec *Record) {
+	p.mu.Lock()
+	if p.aborting {
+		p.mu.Unlock()
+		p.abandon(rec)
+		return
+	}
+	br := p.breakerFor(rec.URL)
+	now := p.m.cfg.Clock.Now()
+	ok, retryAt := br.allow(now)
+	p.mu.Unlock()
+	if !ok {
+		p.park(rec, retryAt.Sub(now))
+		return
+	}
+
+	rec.Attempts++
+	p.attempts.Add(1)
+	start := p.m.cfg.Clock.Now()
+	err := p.post(rec)
+	elapsed := p.m.cfg.Clock.Now().Sub(start)
+
+	p.mu.Lock()
+	br = p.breakerFor(rec.URL)
+	if err == nil {
+		// A success during abort still counts as delivered.
+		br.success()
+		p.mu.Unlock()
+		p.successes.Add(1)
+		p.latNanos.Add(int64(elapsed))
+		p.latCount.Add(1)
+		p.finalize()
+		return
+	}
+	br.failure(p.m.cfg.Clock.Now())
+	aborting := p.aborting
+	p.mu.Unlock()
+
+	p.failures.Add(1)
+	rec.LastError = err.Error()
+	switch {
+	case aborting:
+		p.abandon(rec)
+	case rec.Attempts >= rec.MaxAttempts:
+		p.deadletter(rec)
+	default:
+		p.retries.Add(1)
+		p.park(rec, Backoff(p.m.cfg.BackoffBase, p.m.cfg.BackoffMax, rec.Attempts, p.m.cfg.Jitter()))
+	}
+}
+
+// post performs the HTTP attempt under the record's timeout and the
+// pump's cancellation context. Any non-2xx status is a failure.
+func (p *pump) post(rec *Record) error {
+	ctx, cancel := context.WithTimeout(p.ctx, rec.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rec.URL, bytes.NewReader(rec.Payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Xpfilterd-Tenant", rec.Tenant)
+	req.Header.Set("X-Xpfilterd-Subscription", rec.SubID)
+	req.Header.Set("X-Xpfilterd-Attempt", strconv.Itoa(rec.Attempts))
+	resp, err := p.m.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	// Drain a little so keep-alive can reuse the connection, then close.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("endpoint answered status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// park schedules a record's next attempt d from now via the injected
+// clock. A parked record re-enters the queue when the timer fires
+// (blocking until a slot frees — retries are never shed).
+func (p *pump) park(rec *Record, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.mu.Lock()
+	if p.aborting {
+		p.mu.Unlock()
+		p.abandon(rec)
+		return
+	}
+	tm := p.m.cfg.Clock.AfterFunc(d, func() { p.requeue(rec) })
+	p.parked[rec] = tm
+	p.mu.Unlock()
+}
+
+// requeue is the timer callback: move a parked record back onto the
+// queue, or abandon it when the pump is going away.
+func (p *pump) requeue(rec *Record) {
+	p.mu.Lock()
+	delete(p.parked, rec)
+	aborting := p.aborting
+	p.mu.Unlock()
+	if aborting {
+		p.abandon(rec)
+		return
+	}
+	select {
+	case p.queue <- rec:
+	case <-p.stop:
+		p.abandon(rec)
+	}
+}
+
+// abandon retires a record without delivery — drain-window expiry or
+// tenant teardown. The count is what the drain log persists.
+func (p *pump) abandon(rec *Record) {
+	_ = rec
+	p.abandoned.Add(1)
+	p.finalize()
+}
+
+// deadletter retires an attempt-exhausted record into the bounded ring.
+func (p *pump) deadletter(rec *Record) {
+	dl := DeadLetter{
+		Subscription: rec.SubID,
+		URL:          rec.URL,
+		Attempts:     rec.Attempts,
+		LastError:    rec.LastError,
+		EnqueuedAt:   rec.EnqueuedAt,
+		DeadAt:       p.m.cfg.Clock.Now(),
+		Payload:      json.RawMessage(rec.Payload),
+	}
+	p.mu.Lock()
+	if len(p.dead) < p.m.cfg.DeadLetterDepth {
+		p.dead = append(p.dead, dl)
+	} else {
+		p.dead[p.deadStart] = dl
+		p.deadStart = (p.deadStart + 1) % len(p.dead)
+		p.deadDropped.Add(1)
+	}
+	p.mu.Unlock()
+	p.deadLetters.Add(1)
+	p.finalize()
+}
+
+// breakerFor returns the endpoint's breaker; caller holds p.mu.
+func (p *pump) breakerFor(url string) *breaker {
+	b, ok := p.breakers[url]
+	if !ok {
+		b = &breaker{threshold: p.m.cfg.BreakerThreshold, cooldown: p.m.cfg.BreakerCooldown}
+		p.breakers[url] = b
+	}
+	return b
+}
+
+// forceAbandon flips the pump into abort mode: parked timers are
+// stopped and their records abandoned, queued records are drained and
+// abandoned, and in-flight attempts are canceled (their failure path
+// sees aborting and abandons too).
+func (p *pump) forceAbandon() {
+	p.mu.Lock()
+	if p.aborting {
+		p.mu.Unlock()
+		return
+	}
+	p.aborting = true
+	parked := p.parked
+	p.parked = make(map[*Record]Timer)
+	p.mu.Unlock()
+
+	p.cancel()
+	for rec, tm := range parked {
+		if tm.Stop() {
+			p.abandon(rec)
+		}
+		// A timer that already fired finalizes via requeue's aborting
+		// check (or a worker's attempt path).
+	}
+	for {
+		select {
+		case rec := <-p.queue:
+			p.abandon(rec)
+		default:
+			return
+		}
+	}
+}
+
+// teardown stops the workers after the record population has fully
+// drained (records.Wait has returned). Idempotent.
+func (p *pump) teardown() {
+	p.mu.Lock()
+	if p.tornDown {
+		p.mu.Unlock()
+		return
+	}
+	p.tornDown = true
+	p.mu.Unlock()
+	close(p.stop)
+	p.workers.Wait()
+	p.cancel()
+}
+
+// snapshot captures the tenant's counters and breaker states.
+func (p *pump) snapshot() Stats {
+	s := Stats{
+		Enqueued:       p.enqueued.Load(),
+		Attempts:       p.attempts.Load(),
+		Successes:      p.successes.Load(),
+		Failures:       p.failures.Load(),
+		Retries:        p.retries.Load(),
+		Sheds:          p.sheds.Load(),
+		DeadLetters:    p.deadLetters.Load(),
+		DeadDropped:    p.deadDropped.Load(),
+		Abandoned:      p.abandoned.Load(),
+		Outstanding:    p.outstanding.Load(),
+		LatencySeconds: float64(p.latNanos.Load()) / 1e9,
+		LatencyCount:   p.latCount.Load(),
+	}
+	p.mu.Lock()
+	s.Breakers = make([]BreakerInfo, 0, len(p.breakers))
+	for url, b := range p.breakers {
+		s.Breakers = append(s.Breakers, BreakerInfo{URL: url, State: b.state})
+	}
+	p.mu.Unlock()
+	sort.Slice(s.Breakers, func(i, j int) bool { return s.Breakers[i].URL < s.Breakers[j].URL })
+	return s
+}
+
+// deadLetterSnapshot copies the ring oldest-first.
+func (p *pump) deadLetterSnapshot() ([]DeadLetter, int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]DeadLetter, 0, len(p.dead))
+	for i := 0; i < len(p.dead); i++ {
+		out = append(out, p.dead[(p.deadStart+i)%len(p.dead)])
+	}
+	return out, p.deadDropped.Load()
+}

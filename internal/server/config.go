@@ -51,6 +51,28 @@ type Config struct {
 	// DefaultLimits are the per-document resource budgets applied to
 	// tenants created without an explicit limits object.
 	DefaultLimits streamxpath.Limits
+	// MaxSubs is the default per-tenant standing-subscription cap; a
+	// create past the cap answers the typed limit_exceeded error.
+	// 0 = unlimited; tenants may override at creation time.
+	MaxSubs int
+
+	// IdleTimeout/ReadTimeout/WriteTimeout harden the HTTP server
+	// against slow or stalled clients (slow-loris). Zero selects the
+	// built-in defaults (120s / 5m / 5m); negative disables the timeout.
+	IdleTimeout  time.Duration
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+
+	// Delivery knobs for the outbound webhook queue (internal/delivery).
+	DeliveryQueue      int           // per-tenant queue depth
+	DeliveryWorkers    int           // per-tenant worker goroutines
+	DeliveryTimeout    time.Duration // default per-attempt HTTP timeout
+	DeliveryAttempts   int           // default max attempts before dead-letter
+	DeliveryBackoff    time.Duration // backoff envelope base
+	DeliveryBackoffMax time.Duration // backoff envelope cap
+	BreakerThreshold   int           // consecutive failures that open a breaker
+	BreakerCooldown    time.Duration // open-state cooldown before a probe
+	DeadLetterDepth    int           // per-tenant dead-letter ring capacity
 
 	// onLimit holds the raw -on-limit string between RegisterFlags and
 	// Finish (the policy can only be resolved after fs.Parse).
@@ -136,6 +158,32 @@ func (c *Config) RegisterFlags(fs *flag.FlagSet) {
 		"default tenant budget: max total document bytes (env XPFILTERD_MAX_DOC)")
 	c.onLimit = fs.String("on-limit", envString("XPFILTERD_ON_LIMIT", "fail"),
 		"default tenant policy on budget breach: fail or abstain (env XPFILTERD_ON_LIMIT)")
+	fs.IntVar(&c.MaxSubs, "max-subs", envInt("XPFILTERD_MAX_SUBS", 0),
+		"default per-tenant subscription cap; 0 = unlimited (env XPFILTERD_MAX_SUBS)")
+	fs.DurationVar(&c.IdleTimeout, "idle-timeout", envDuration("XPFILTERD_IDLE_TIMEOUT", 0),
+		"keep-alive idle timeout; 0 = 120s default, negative disables (env XPFILTERD_IDLE_TIMEOUT)")
+	fs.DurationVar(&c.ReadTimeout, "read-timeout", envDuration("XPFILTERD_READ_TIMEOUT", 0),
+		"whole-request read timeout; 0 = 5m default, negative disables (env XPFILTERD_READ_TIMEOUT)")
+	fs.DurationVar(&c.WriteTimeout, "write-timeout", envDuration("XPFILTERD_WRITE_TIMEOUT", 0),
+		"response write timeout; 0 = 5m default, negative disables (env XPFILTERD_WRITE_TIMEOUT)")
+	fs.IntVar(&c.DeliveryQueue, "delivery-queue", envInt("XPFILTERD_DELIVERY_QUEUE", 0),
+		"per-tenant outbound delivery queue depth; 0 = 1024 default (env XPFILTERD_DELIVERY_QUEUE)")
+	fs.IntVar(&c.DeliveryWorkers, "delivery-workers", envInt("XPFILTERD_DELIVERY_WORKERS", 0),
+		"per-tenant delivery worker goroutines; 0 = 4 default (env XPFILTERD_DELIVERY_WORKERS)")
+	fs.DurationVar(&c.DeliveryTimeout, "delivery-timeout", envDuration("XPFILTERD_DELIVERY_TIMEOUT", 0),
+		"default per-attempt webhook timeout; 0 = 5s default (env XPFILTERD_DELIVERY_TIMEOUT)")
+	fs.IntVar(&c.DeliveryAttempts, "delivery-attempts", envInt("XPFILTERD_DELIVERY_ATTEMPTS", 0),
+		"default max delivery attempts before dead-letter; 0 = 5 default (env XPFILTERD_DELIVERY_ATTEMPTS)")
+	fs.DurationVar(&c.DeliveryBackoff, "delivery-backoff", envDuration("XPFILTERD_DELIVERY_BACKOFF", 0),
+		"retry backoff envelope base; 0 = 100ms default (env XPFILTERD_DELIVERY_BACKOFF)")
+	fs.DurationVar(&c.DeliveryBackoffMax, "delivery-backoff-max", envDuration("XPFILTERD_DELIVERY_BACKOFF_MAX", 0),
+		"retry backoff envelope cap; 0 = 30s default (env XPFILTERD_DELIVERY_BACKOFF_MAX)")
+	fs.IntVar(&c.BreakerThreshold, "breaker-threshold", envInt("XPFILTERD_BREAKER_THRESHOLD", 0),
+		"consecutive failures that open an endpoint's circuit breaker; 0 = 5 default (env XPFILTERD_BREAKER_THRESHOLD)")
+	fs.DurationVar(&c.BreakerCooldown, "breaker-cooldown", envDuration("XPFILTERD_BREAKER_COOLDOWN", 0),
+		"open-breaker cooldown before a half-open probe; 0 = 10s default (env XPFILTERD_BREAKER_COOLDOWN)")
+	fs.IntVar(&c.DeadLetterDepth, "deadletters", envInt("XPFILTERD_DEADLETTERS", 0),
+		"per-tenant dead-letter ring capacity; 0 = 256 default (env XPFILTERD_DEADLETTERS)")
 }
 
 // Finish validates the parsed flags and resolves derived fields.

@@ -1,13 +1,16 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 
 	"streamxpath"
+	"streamxpath/internal/delivery"
 )
 
 // maxSubscriptionBytes caps a subscription PUT body (an XPath
@@ -122,9 +125,10 @@ func limitsWire(l streamxpath.Limits) limitsJSON {
 
 // tenantInfo is the GET /v1/tenants/{tenant} response body.
 type tenantInfo struct {
-	Tenant        string     `json:"tenant"`
-	Subscriptions int        `json:"subscriptions"`
-	Limits        limitsJSON `json:"limits"`
+	Tenant           string     `json:"tenant"`
+	Subscriptions    int        `json:"subscriptions"`
+	Limits           limitsJSON `json:"limits"`
+	MaxSubscriptions int        `json:"maxSubscriptions,omitempty"`
 }
 
 // handlePutTenant creates a tenant explicitly, with an optional JSON
@@ -148,8 +152,9 @@ func (s *Server) handlePutTenant(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(body) > 0 {
 		var wire struct {
-			Limits  limitsJSON `json:"limits"`
-			Workers int        `json:"workers"`
+			Limits           limitsJSON `json:"limits"`
+			Workers          int        `json:"workers"`
+			MaxSubscriptions int        `json:"maxSubscriptions"`
 		}
 		if err := json.Unmarshal(body, &wire); err != nil {
 			writeError(w, http.StatusBadRequest, "invalid_config", "parsing tenant config: %v", err)
@@ -160,7 +165,7 @@ func (s *Server) handlePutTenant(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "invalid_config", "%v", err)
 			return
 		}
-		cfg = TenantConfig{Limits: lim, Workers: wire.Workers}
+		cfg = TenantConfig{Limits: lim, Workers: wire.Workers, MaxSubs: wire.MaxSubscriptions}
 	}
 	t, err := s.reg.Create(name, cfg)
 	switch {
@@ -171,7 +176,11 @@ func (s *Server) handlePutTenant(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
-	writeJSON(w, http.StatusCreated, tenantInfo{Tenant: name, Subscriptions: 0, Limits: limitsWire(t.Limits())})
+	writeJSON(w, http.StatusCreated, tenantInfo{
+		Tenant: name, Subscriptions: 0,
+		Limits:           limitsWire(t.Limits()),
+		MaxSubscriptions: t.MaxSubs(),
+	})
 }
 
 // handleGetTenant reports one tenant's subscription count and budgets.
@@ -185,7 +194,11 @@ func (s *Server) handleGetTenant(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "tenant_not_found", "tenant %q not found", name)
 		return
 	}
-	writeJSON(w, http.StatusOK, tenantInfo{Tenant: name, Subscriptions: t.Len(), Limits: limitsWire(t.Limits())})
+	writeJSON(w, http.StatusOK, tenantInfo{
+		Tenant: name, Subscriptions: t.Len(),
+		Limits:           limitsWire(t.Limits()),
+		MaxSubscriptions: t.MaxSubs(),
+	})
 }
 
 // handleListTenants lists tenant names, sorted.
@@ -207,11 +220,66 @@ func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"tenant": name, "deleted": true})
 }
 
-// handlePutSubscription registers or replaces one subscription; the
-// body is the XPath expression. The tenant is created implicitly (with
-// the server-default budgets) when it does not exist yet. 201 on
-// create, 200 on replace, 400 with code "invalid_query" when the
-// expression is rejected by the compile path.
+// subscriptionBody parses a subscription PUT body. Two forms are
+// accepted: a raw XPath expression (the original wire format — any body
+// whose first non-space byte is not '{'), and a JSON envelope
+// {"query": "...", "webhook": {"url": ..., "timeout_ms": ...,
+// "max_attempts": ...}} that can attach a delivery target. A JSON
+// envelope without a webhook clears any existing one (PUT is a full
+// replace).
+func subscriptionBody(body []byte) (query string, hook *delivery.Webhook, err error) {
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) == 0 || trimmed[0] != '{' {
+		return string(body), nil, nil
+	}
+	var wire struct {
+		Query   string       `json:"query"`
+		Webhook *WebhookInfo `json:"webhook"`
+	}
+	if err := json.Unmarshal(trimmed, &wire); err != nil {
+		return "", nil, fmt.Errorf("parsing subscription body: %v", err)
+	}
+	if wire.Query == "" {
+		return "", nil, errors.New(`subscription envelope is missing "query"`)
+	}
+	if wire.Webhook != nil {
+		if err := validateWebhook(wire.Webhook); err != nil {
+			return "", nil, err
+		}
+		h := wire.Webhook.hook()
+		hook = &h
+	}
+	return wire.Query, hook, nil
+}
+
+// validateWebhook rejects malformed delivery targets before they reach
+// the queue: the URL must be absolute http(s) with a host, and the
+// overrides non-negative.
+func validateWebhook(w *WebhookInfo) error {
+	u, err := url.Parse(w.URL)
+	if err != nil {
+		return fmt.Errorf("webhook url: %v", err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return fmt.Errorf("webhook url must be absolute http(s), got %q", w.URL)
+	}
+	if w.TimeoutMS < 0 {
+		return errors.New("webhook timeout_ms must be >= 0")
+	}
+	if w.MaxAttempts < 0 {
+		return errors.New("webhook max_attempts must be >= 0")
+	}
+	return nil
+}
+
+// handlePutSubscription registers or replaces one subscription. The
+// body is either a raw XPath expression or a JSON envelope carrying the
+// query plus an optional webhook delivery target (see
+// subscriptionBody). The tenant is created implicitly (with the
+// server-default budgets) when it does not exist yet. 201 on create,
+// 200 on replace, 400 with code "invalid_query" when the expression is
+// rejected by the compile path, 429 with code "limit_exceeded" when the
+// tenant is at its subscription cap.
 func (s *Server) handlePutSubscription(w http.ResponseWriter, r *http.Request) {
 	tenant, id, ok := pathNames(w, r, true)
 	if !ok {
@@ -227,7 +295,11 @@ func (s *Server) handlePutSubscription(w http.ResponseWriter, r *http.Request) {
 			"query exceeds %d bytes", maxSubscriptionBytes)
 		return
 	}
-	query := string(body)
+	query, hook, err := subscriptionBody(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_subscription", "%v", err)
+		return
+	}
 	if query == "" {
 		writeError(w, http.StatusBadRequest, "invalid_query", "empty query body")
 		return
@@ -237,20 +309,51 @@ func (s *Server) handlePutSubscription(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
-	created, err := t.PutSubscription(id, query)
+	created, err := t.PutSubscription(id, query, hook)
 	if err != nil {
-		if errors.Is(err, errTenantDeleted) {
+		switch {
+		case errors.Is(err, errTenantDeleted):
 			writeError(w, http.StatusNotFound, "tenant_not_found", "tenant %q was deleted", tenant)
-			return
+		case errors.Is(err, ErrSubLimit):
+			writeError(w, http.StatusTooManyRequests, "limit_exceeded",
+				"tenant %q is at its %d-subscription cap", tenant, t.MaxSubs())
+		default:
+			writeError(w, http.StatusBadRequest, "invalid_query", "%v", err)
 		}
-		writeError(w, http.StatusBadRequest, "invalid_query", "%v", err)
 		return
 	}
 	status := http.StatusOK
 	if created {
 		status = http.StatusCreated
 	}
-	writeJSON(w, status, SubInfo{ID: id, Query: query})
+	info := SubInfo{ID: id, Query: query}
+	if hook != nil {
+		info.Webhook = webhookInfo(*hook)
+	}
+	writeJSON(w, status, info)
+}
+
+// handleDeadLetters reports a tenant's dead-letter ring: deliveries
+// that exhausted their attempt budget, newest last, plus how many older
+// ones the bounded ring has evicted.
+func (s *Server) handleDeadLetters(w http.ResponseWriter, r *http.Request) {
+	tenant, _, ok := pathNames(w, r, false)
+	if !ok {
+		return
+	}
+	if _, err := s.reg.Get(tenant); err != nil {
+		writeError(w, http.StatusNotFound, "tenant_not_found", "tenant %q not found", tenant)
+		return
+	}
+	letters, dropped := s.reg.Delivery().DeadLetters(tenant)
+	if letters == nil {
+		letters = []delivery.DeadLetter{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant":      tenant,
+		"deadletters": letters,
+		"dropped":     dropped,
+	})
 }
 
 // handleDeleteSubscription removes one subscription.

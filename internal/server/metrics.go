@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"streamxpath"
+	"streamxpath/internal/delivery"
 )
 
 // Metrics is the daemon's metric store, exposed in Prometheus text
@@ -211,6 +212,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, reg *Registry) {
 		for _, t := range reg.snapshot() {
 			fmt.Fprintf(w, "xpfilterd_subscriptions{tenant=%q} %d\n", t.Name, t.Len())
 		}
+		if mgr := reg.Delivery(); mgr != nil {
+			writeDelivery(w, mgr.Snapshot())
+		}
 	}
 	gauge := func(name, help string, get func(streamxpath.MemStats) float64) {
 		writeHeader(name, help, "gauge")
@@ -231,4 +235,58 @@ func (m *Metrics) WritePrometheus(w io.Writer, reg *Registry) {
 		func(ms streamxpath.MemStats) float64 { return float64(ms.LowerBoundBits) })
 	gauge("xpfilterd_mem_optimality_ratio", "Estimated bits over the paper's lower bound for the tenant's last document.",
 		func(ms streamxpath.MemStats) float64 { return ms.OptimalityRatio })
+}
+
+// writeDelivery renders the outbound webhook delivery series from a
+// per-tenant stats snapshot.
+func writeDelivery(w io.Writer, snap map[string]delivery.Stats) {
+	writeHeader := func(name, help, typ string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	counter := func(name, help string, get func(delivery.Stats) int64) {
+		writeHeader(name, help, "counter")
+		for _, tn := range names {
+			fmt.Fprintf(w, "%s{tenant=%q} %d\n", name, tn, get(snap[tn]))
+		}
+	}
+	counter("xpfilterd_delivery_enqueued_total", "Delivery records accepted onto the outbound queue.",
+		func(s delivery.Stats) int64 { return s.Enqueued })
+	counter("xpfilterd_delivery_attempts_total", "Webhook POST attempts, including retries.",
+		func(s delivery.Stats) int64 { return s.Attempts })
+	counter("xpfilterd_delivery_successes_total", "Deliveries acknowledged 2xx by the receiver.",
+		func(s delivery.Stats) int64 { return s.Successes })
+	counter("xpfilterd_delivery_failures_total", "Failed delivery attempts (non-2xx, transport error, timeout).",
+		func(s delivery.Stats) int64 { return s.Failures })
+	counter("xpfilterd_delivery_retries_total", "Deliveries rescheduled with backoff after a failed attempt.",
+		func(s delivery.Stats) int64 { return s.Retries })
+	counter("xpfilterd_delivery_shed_total", "Deliveries dropped on enqueue because the tenant's queue was full.",
+		func(s delivery.Stats) int64 { return s.Sheds })
+	counter("xpfilterd_delivery_dead_letters_total", "Deliveries that exhausted their attempt budget.",
+		func(s delivery.Stats) int64 { return s.DeadLetters })
+	counter("xpfilterd_delivery_abandoned_total", "Deliveries abandoned by drain or tenant deletion.",
+		func(s delivery.Stats) int64 { return s.Abandoned })
+
+	writeHeader("xpfilterd_delivery_queue_depth", "Delivery records not yet at a terminal outcome (queued, in flight, or awaiting retry).", "gauge")
+	for _, tn := range names {
+		fmt.Fprintf(w, "xpfilterd_delivery_queue_depth{tenant=%q} %d\n", tn, snap[tn].Outstanding)
+	}
+
+	writeHeader("xpfilterd_delivery_breaker_state", "Circuit state per webhook endpoint: 0 closed, 1 open, 2 half-open.", "gauge")
+	for _, tn := range names {
+		for _, b := range snap[tn].Breakers {
+			fmt.Fprintf(w, "xpfilterd_delivery_breaker_state{tenant=%q,endpoint=%q} %d\n", tn, b.URL, int(b.State))
+		}
+	}
+
+	writeHeader("xpfilterd_delivery_seconds", "Total wall time of successful webhook POSTs.", "counter")
+	for _, tn := range names {
+		fmt.Fprintf(w, "xpfilterd_delivery_seconds_sum{tenant=%q} %.6f\n", tn, snap[tn].LatencySeconds)
+		fmt.Fprintf(w, "xpfilterd_delivery_seconds_count{tenant=%q} %d\n", tn, snap[tn].LatencyCount)
+	}
 }

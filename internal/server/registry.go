@@ -1,13 +1,16 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"streamxpath"
+	"streamxpath/internal/delivery"
 )
 
 // Registry errors, mapped to HTTP statuses by the handlers.
@@ -16,16 +19,21 @@ var (
 	ErrTenantNotFound = errors.New("tenant not found")
 	ErrSubNotFound    = errors.New("subscription not found")
 	ErrServerDraining = errors.New("server draining")
-	errTenantDeleted  = errors.New("tenant deleted")
-	errRestoreFailed  = errors.New("subscription replace failed and the previous query could not be restored")
+	// ErrSubLimit reports a tenant at its max-subscriptions cap; the
+	// handler answers the typed "limit_exceeded" JSON error.
+	ErrSubLimit      = errors.New("subscription limit reached")
+	errTenantDeleted = errors.New("tenant deleted")
+	errRestoreFailed = errors.New("subscription replace failed and the previous query could not be restored")
 )
 
 // TenantConfig is the per-tenant engine configuration fixed at creation
 // time: the per-document resource budgets (zero value = the server
-// defaults) and the engine worker count.
+// defaults), the engine worker count, and the standing-subscription cap
+// (0 = the server default; negative = explicitly unlimited).
 type TenantConfig struct {
 	Limits  streamxpath.Limits
 	Workers int
+	MaxSubs int
 }
 
 // MatchResult is one document's verdict set plus its accounting — what
@@ -59,19 +67,59 @@ type MatchResult struct {
 type Tenant struct {
 	Name string
 
-	mu      sync.Mutex
-	set     *streamxpath.AdaptiveFilterSet
-	queries map[string]string
-	limits  streamxpath.Limits
-	closed  bool
+	mu       sync.Mutex
+	set      *streamxpath.AdaptiveFilterSet
+	queries  map[string]string
+	webhooks map[string]delivery.Webhook
+	limits   streamxpath.Limits
+	maxSubs  int
+	docSeq   int64
+	closed   bool
 
-	metrics *tenantMetrics
+	delivery *delivery.Manager
+	metrics  *tenantMetrics
 }
 
 // SubInfo is one subscription as listed by the API.
 type SubInfo struct {
-	ID    string `json:"id"`
-	Query string `json:"query"`
+	ID      string       `json:"id"`
+	Query   string       `json:"query"`
+	Webhook *WebhookInfo `json:"webhook,omitempty"`
+}
+
+// WebhookInfo is the wire form of a subscription's delivery target.
+type WebhookInfo struct {
+	URL         string `json:"url"`
+	TimeoutMS   int64  `json:"timeout_ms,omitempty"`
+	MaxAttempts int    `json:"max_attempts,omitempty"`
+}
+
+// hook converts the wire form to the delivery subsystem's overrides.
+func (w *WebhookInfo) hook() delivery.Webhook {
+	return delivery.Webhook{
+		URL:         w.URL,
+		Timeout:     time.Duration(w.TimeoutMS) * time.Millisecond,
+		MaxAttempts: w.MaxAttempts,
+	}
+}
+
+// webhookInfo converts a stored hook back to the wire form.
+func webhookInfo(h delivery.Webhook) *WebhookInfo {
+	return &WebhookInfo{
+		URL:         h.URL,
+		TimeoutMS:   int64(h.Timeout / time.Millisecond),
+		MaxAttempts: h.MaxAttempts,
+	}
+}
+
+// matchEvent is the webhook POST body: one matched subscription on one
+// ingested document, sequenced per tenant so receivers can spot gaps.
+type matchEvent struct {
+	Event        string `json:"event"`
+	Tenant       string `json:"tenant"`
+	Subscription string `json:"subscription"`
+	Query        string `json:"query"`
+	Seq          int64  `json:"seq"`
 }
 
 // Limits returns the tenant's budgets (fixed at creation).
@@ -95,31 +143,50 @@ func (t *Tenant) Len() int {
 // whether it was newly created. The query is validated through the
 // library's Compile path before any engine mutation; on a replace the
 // old query is removed first and restored if the new one is rejected,
-// so a failed PUT never loses the standing subscription.
-func (t *Tenant) PutSubscription(id, query string) (created bool, err error) {
+// so a failed PUT never loses the standing subscription. hook, when
+// non-nil, attaches a webhook delivery target; nil clears any existing
+// one. Creating past the tenant's max-subscriptions cap answers
+// ErrSubLimit (replaces always pass — they don't grow the set).
+func (t *Tenant) PutSubscription(id, query string, hook *delivery.Webhook) (created bool, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
 		return false, errTenantDeleted
 	}
 	old, exists := t.queries[id]
+	if !exists && t.maxSubs > 0 && len(t.queries) >= t.maxSubs {
+		return false, ErrSubLimit
+	}
+	if exists && old == query {
+		t.setHookLocked(id, hook)
+		return false, nil
+	}
 	if exists {
-		if old == query {
-			return false, nil
-		}
 		t.set.Remove(id)
 	}
 	if err := t.set.Add(id, query); err != nil {
 		if exists {
 			if rerr := t.set.Add(id, old); rerr != nil {
 				delete(t.queries, id)
+				delete(t.webhooks, id)
 				return false, fmt.Errorf("%w: %v", errRestoreFailed, err)
 			}
 		}
 		return false, err
 	}
 	t.queries[id] = query
+	t.setHookLocked(id, hook)
 	return !exists, nil
+}
+
+// setHookLocked stores or clears a subscription's webhook target.
+// Caller holds t.mu.
+func (t *Tenant) setHookLocked(id string, hook *delivery.Webhook) {
+	if hook == nil {
+		delete(t.webhooks, id)
+		return
+	}
+	t.webhooks[id] = *hook
 }
 
 // DeleteSubscription removes a subscription, reporting whether it
@@ -135,15 +202,27 @@ func (t *Tenant) DeleteSubscription(id string) bool {
 	}
 	t.set.Remove(id)
 	delete(t.queries, id)
+	delete(t.webhooks, id)
 	return true
+}
+
+// subInfoLocked assembles the API view of one subscription.
+func (t *Tenant) subInfoLocked(id string) SubInfo {
+	info := SubInfo{ID: id, Query: t.queries[id]}
+	if h, ok := t.webhooks[id]; ok {
+		info.Webhook = webhookInfo(h)
+	}
+	return info
 }
 
 // Subscription returns one subscription's query source.
 func (t *Tenant) Subscription(id string) (SubInfo, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	q, ok := t.queries[id]
-	return SubInfo{ID: id, Query: q}, ok
+	if _, ok := t.queries[id]; !ok {
+		return SubInfo{}, false
+	}
+	return t.subInfoLocked(id), true
 }
 
 // Subscriptions lists the tenant's subscriptions in insertion order.
@@ -156,9 +235,16 @@ func (t *Tenant) Subscriptions() []SubInfo {
 	ids := t.set.IDs()
 	out := make([]SubInfo, len(ids))
 	for i, id := range ids {
-		out[i] = SubInfo{ID: id, Query: t.queries[id]}
+		out[i] = t.subInfoLocked(id)
 	}
 	return out
+}
+
+// MaxSubs returns the tenant's subscription cap (0 = unlimited).
+func (t *Tenant) MaxSubs() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.maxSubs
 }
 
 // MatchBuffered matches one in-memory document — the fast path for
@@ -175,6 +261,7 @@ func (t *Tenant) MatchBuffered(doc []byte) (MatchResult, error) {
 	if err != nil {
 		return MatchResult{}, err
 	}
+	t.deliverLocked(res)
 	return res, nil
 }
 
@@ -193,7 +280,36 @@ func (t *Tenant) MatchStream(r io.Reader) (MatchResult, error) {
 	if err != nil {
 		return MatchResult{}, err
 	}
+	t.deliverLocked(res)
 	return res, nil
+}
+
+// deliverLocked fans one matched document out to the delivery queue:
+// one record per matched subscription that carries a webhook. Enqueue
+// never blocks — overflow sheds (counted by the manager), so a slow
+// receiver cannot back up the match path. Caller holds t.mu.
+func (t *Tenant) deliverLocked(res MatchResult) {
+	if t.delivery == nil || len(res.Matched) == 0 {
+		return
+	}
+	t.docSeq++
+	for _, id := range res.Matched {
+		hook, ok := t.webhooks[id]
+		if !ok {
+			continue
+		}
+		payload, err := json.Marshal(matchEvent{
+			Event:        "match",
+			Tenant:       t.Name,
+			Subscription: id,
+			Query:        t.queries[id],
+			Seq:          t.docSeq,
+		})
+		if err != nil {
+			continue
+		}
+		t.delivery.Enqueue(t.Name, id, hook, payload)
+	}
 }
 
 // finishLocked snapshots one match call's outcome into a MatchResult.
@@ -245,24 +361,32 @@ type Registry struct {
 	tenants map[string]*Tenant
 	closed  bool
 
-	metrics *Metrics
+	delivery *delivery.Manager
+	metrics  *Metrics
 }
 
 // NewRegistry returns an empty registry whose implicitly-created
-// tenants use the given defaults.
-func NewRegistry(defaults TenantConfig, m *Metrics) *Registry {
+// tenants use the given defaults. mgr, when non-nil, is the outbound
+// webhook delivery manager tenants fan matched documents into; the
+// registry owns its shutdown (Close tears it down).
+func NewRegistry(defaults TenantConfig, m *Metrics, mgr *delivery.Manager) *Registry {
 	if m == nil {
 		m = NewMetrics()
 	}
 	return &Registry{
 		defaults: defaults,
 		tenants:  make(map[string]*Tenant),
+		delivery: mgr,
 		metrics:  m,
 	}
 }
 
 // Metrics returns the registry's metrics collector.
 func (r *Registry) Metrics() *Metrics { return r.metrics }
+
+// Delivery returns the webhook delivery manager (nil when delivery is
+// disabled).
+func (r *Registry) Delivery() *delivery.Manager { return r.delivery }
 
 // newTenant builds a tenant from cfg, filling unset fields from the
 // registry defaults.
@@ -275,14 +399,24 @@ func (r *Registry) newTenant(name string, cfg TenantConfig) *Tenant {
 	if workers <= 0 {
 		workers = r.defaults.Workers
 	}
+	maxSubs := cfg.MaxSubs
+	if maxSubs == 0 {
+		maxSubs = r.defaults.MaxSubs
+	}
+	if maxSubs < 0 {
+		maxSubs = 0 // explicit "unlimited" override
+	}
 	set := streamxpath.NewAdaptiveFilterSet(workers)
 	set.SetLimits(lim)
 	return &Tenant{
-		Name:    name,
-		set:     set,
-		queries: make(map[string]string),
-		limits:  lim,
-		metrics: r.metrics.tenant(name),
+		Name:     name,
+		set:      set,
+		queries:  make(map[string]string),
+		webhooks: make(map[string]delivery.Webhook),
+		limits:   lim,
+		maxSubs:  maxSubs,
+		delivery: r.delivery,
+		metrics:  r.metrics.tenant(name),
 	}
 }
 
@@ -347,6 +481,9 @@ func (r *Registry) Delete(name string) bool {
 		return false
 	}
 	t.close()
+	if r.delivery != nil {
+		r.delivery.DropTenant(name)
+	}
 	r.metrics.dropTenant(name)
 	return true
 }
@@ -391,5 +528,11 @@ func (r *Registry) Close() {
 	r.mu.Unlock()
 	for _, t := range tenants {
 		t.close()
+	}
+	if r.delivery != nil {
+		// Idempotent: the server's graceful path has already drained the
+		// manager by the time it closes the registry; this is the
+		// backstop for direct registry users (tests, abrupt shutdown).
+		r.delivery.Close()
 	}
 }

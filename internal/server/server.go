@@ -10,6 +10,8 @@ import (
 	"os"
 	"sync/atomic"
 	"time"
+
+	"streamxpath/internal/delivery"
 )
 
 // Server is the xpfilterd HTTP front end: the tenant registry, the
@@ -34,20 +36,55 @@ type Server struct {
 	listener net.Listener
 }
 
+// serverTimeout resolves a configured HTTP timeout: zero selects the
+// hardening default, negative disables (http.Server treats 0 as "no
+// timeout").
+func serverTimeout(v, def time.Duration) time.Duration {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	default:
+		return v
+	}
+}
+
 // New builds a server from cfg. logger nil selects a text handler on
 // stderr.
 func New(cfg Config, logger *slog.Logger) *Server {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
+	mgr := delivery.NewManager(delivery.Config{
+		QueueDepth:       cfg.DeliveryQueue,
+		Workers:          cfg.DeliveryWorkers,
+		Timeout:          cfg.DeliveryTimeout,
+		MaxAttempts:      cfg.DeliveryAttempts,
+		BackoffBase:      cfg.DeliveryBackoff,
+		BackoffMax:       cfg.DeliveryBackoffMax,
+		BreakerThreshold: cfg.BreakerThreshold,
+		BreakerCooldown:  cfg.BreakerCooldown,
+		DeadLetterDepth:  cfg.DeadLetterDepth,
+	})
 	s := &Server{
 		cfg: cfg,
 		log: logger,
-		reg: NewRegistry(TenantConfig{Limits: cfg.DefaultLimits, Workers: cfg.Workers}, NewMetrics()),
+		reg: NewRegistry(TenantConfig{
+			Limits:  cfg.DefaultLimits,
+			Workers: cfg.Workers,
+			MaxSubs: cfg.MaxSubs,
+		}, NewMetrics(), mgr),
 	}
+	// Every timeout is bounded by default: ReadHeaderTimeout alone
+	// leaves the server open to slow-loris bodies and abandoned
+	// keep-alive connections.
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       serverTimeout(cfg.IdleTimeout, 120*time.Second),
+		ReadTimeout:       serverTimeout(cfg.ReadTimeout, 5*time.Minute),
+		WriteTimeout:      serverTimeout(cfg.WriteTimeout, 5*time.Minute),
 	}
 	return s
 }
@@ -68,6 +105,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/tenants/{tenant}/subscriptions/{id}", s.handleDeleteSubscription)
 	mux.HandleFunc("GET /v1/tenants/{tenant}/subscriptions", s.handleListSubscriptions)
 	mux.HandleFunc("POST /v1/tenants/{tenant}/match", s.handleMatch)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/deadletters", s.handleDeadLetters)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s.middleware(mux)
@@ -171,10 +209,12 @@ func (s *Server) Serve() error {
 // listener stays open for DrainGrace so new requests — and health
 // probes — observe 503 rather than connection refusals; then
 // http.Server.Shutdown waits for in-flight requests — a streaming
-// match keeps reading its body until the verdict latches — and finally
-// every tenant engine's worker goroutines are closed. The context
-// bounds the wait; on expiry open connections are torn down hard and
-// the error is returned.
+// match keeps reading its body until the verdict latches — then the
+// outbound delivery queue flushes (in-flight webhook retries get the
+// remaining drain budget; what can't flush is abandoned and counted),
+// and finally every tenant engine's worker goroutines are closed. The
+// context bounds the whole wait; on expiry open connections are torn
+// down hard and the error is returned.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.log.Info("draining", "grace", s.cfg.DrainGrace, "timeout", s.cfg.DrainTimeout)
@@ -185,11 +225,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	err := s.httpSrv.Shutdown(ctx)
+	// No new matches can enqueue deliveries now; flush what's queued.
+	abandoned := s.reg.Delivery().Drain(ctx)
+	if abandoned > 0 {
+		s.log.Warn("deliveries abandoned at drain", "count", abandoned)
+	}
 	s.reg.Close()
 	if err != nil {
-		s.log.Error("drain incomplete", "err", err)
+		s.log.Error("drain incomplete", "err", err, "abandoned_deliveries", abandoned)
 		return err
 	}
-	s.log.Info("drained")
+	s.log.Info("drained", "abandoned_deliveries", abandoned)
 	return nil
 }

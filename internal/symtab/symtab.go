@@ -160,14 +160,20 @@ func (t *Table) insertLocked(cur *view, name string) Sym {
 }
 
 // Lookup returns the symbol for name, or None if it has never been
-// interned. The miss path checks the overflow under the lock, so names
-// not yet folded are still found.
+// interned. The miss path re-probes under the lock, where overflow and
+// the published view are mutually consistent: a concurrent fold may
+// move a name from the overflow into a new view between the lock-free
+// probe and the lock acquisition, so the overflow alone is not enough —
+// the current view must be re-loaded and checked too.
 func (t *Table) Lookup(name string) Sym {
 	if s, ok := t.v.Load().byName[name]; ok {
 		return s
 	}
 	t.mu.Lock()
-	s := t.overflow[name]
+	s, ok := t.overflow[name]
+	if !ok {
+		s = t.v.Load().byName[name]
+	}
 	t.mu.Unlock()
 	return s
 }
@@ -178,7 +184,10 @@ func (t *Table) LookupBytes(b []byte) Sym {
 		return s
 	}
 	t.mu.Lock()
-	s := t.overflow[string(b)]
+	s, ok := t.overflow[string(b)]
+	if !ok {
+		s = t.v.Load().byName[string(b)]
+	}
 	t.mu.Unlock()
 	return s
 }

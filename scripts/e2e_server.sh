@@ -2,8 +2,9 @@
 # e2e_server.sh — end-to-end smoke of the xpfilterd daemon: build it
 # (race-instrumented by default), boot it on an ephemeral port, exercise
 # subscription CRUD plus buffered and chunked ingest over real HTTP,
-# scrape /metrics, drive a short xpload run, then SIGTERM it and assert
-# a clean graceful-drain exit.
+# drive webhook delivery through a fault-injecting receiver (forcing a
+# retry), scrape /metrics, drive a short xpload run, then SIGTERM it
+# and assert a clean graceful-drain exit.
 #
 # Usage:
 #   scripts/e2e_server.sh            # race build, 16-client load smoke
@@ -19,8 +20,10 @@ requests="${E2E_REQUESTS:-400}"
 
 work="$(mktemp -d)"
 daemon_pid=""
+sink_pid=""
 cleanup() {
   [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+  [ -n "$sink_pid" ] && kill -9 "$sink_pid" 2>/dev/null || true
   rm -rf "$work"
 }
 trap cleanup EXIT
@@ -35,6 +38,7 @@ echo "== version flags"
 
 echo "== boot on an ephemeral port"
 "$work/xpfilterd" -addr 127.0.0.1:0 -addr-file "$work/addr" \
+  -delivery-backoff 10ms -delivery-backoff-max 50ms \
   >"$work/daemon.log" 2>&1 &
 daemon_pid=$!
 for _ in $(seq 1 100); do
@@ -81,6 +85,39 @@ curl -fsS "$base/metrics" >"$work/metrics"
 grep -q 'xpfilterd_documents_total{tenant="e2e"} 2' "$work/metrics" || fail "documents_total"
 grep -q 'xpfilterd_subscriptions{tenant="e2e"} 1' "$work/metrics" || fail "subscriptions gauge"
 grep -q 'xpfilterd_http_requests_total' "$work/metrics" || fail "http_requests_total"
+
+echo "== webhook delivery through a flaky receiver"
+"$work/xpload" -sink -addr 127.0.0.1:0 -addr-file "$work/sink.addr" -sink-fail-first 1 \
+  >"$work/sink.out" 2>"$work/sink.log" &
+sink_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$work/sink.addr" ] && break
+  sleep 0.1
+done
+[ -s "$work/sink.addr" ] || { echo "sink never wrote addr-file"; cat "$work/sink.log"; exit 1; }
+sink_addr="$(cat "$work/sink.addr")"
+code=$(curl -s -o "$work/out" -w '%{http_code}' -X PUT "$base/v1/tenants/e2e/subscriptions/hooked" \
+  -d "{\"query\": \"/news/item\", \"webhook\": {\"url\": \"http://$sink_addr/hook\"}}")
+[ "$code" = 201 ] || fail "PUT webhook subscription: $code $(cat "$work/out")"
+curl -fsS -X POST "$base/v1/tenants/e2e/match" -d "$doc" >/dev/null || fail "webhook match"
+# The sink 500s the first attempt, so success proves a retry happened.
+delivered=""
+for _ in $(seq 1 100); do
+  delivered="$(curl -fsS "http://$sink_addr/stats" | grep -o '"delivered":[0-9]*' | cut -d: -f2)"
+  [ "$delivered" = 1 ] && break
+  sleep 0.1
+done
+[ "$delivered" = 1 ] || fail "webhook never delivered after retry: $(curl -fsS "http://$sink_addr/stats")"
+curl -fsS "$base/metrics" >"$work/metrics2"
+attempts="$(grep 'xpfilterd_delivery_attempts_total{tenant="e2e"}' "$work/metrics2" | awk '{print $2}')"
+[ -n "$attempts" ] && [ "$attempts" -ge 2 ] || fail "delivery_attempts_total=$attempts, want >= 2"
+grep -q 'xpfilterd_delivery_successes_total{tenant="e2e"} 1' "$work/metrics2" || fail "delivery_successes_total"
+grep -q 'xpfilterd_delivery_retries_total{tenant="e2e"} 1' "$work/metrics2" || fail "delivery_retries_total"
+curl -fsS "$base/v1/tenants/e2e/deadletters" | grep -q '"deadletters":\[\]' || fail "dead-letter ring not empty"
+curl -s -o /dev/null -X DELETE "$base/v1/tenants/e2e/subscriptions/hooked"
+kill -TERM "$sink_pid" 2>/dev/null || true
+wait "$sink_pid" 2>/dev/null || true
+sink_pid=""
 
 echo "== load smoke ($clients clients, $requests requests)"
 "$work/xpload" -addr "$addr" -clients "$clients" -requests "$requests" \

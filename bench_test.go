@@ -631,6 +631,97 @@ func BenchmarkFilterSetLimits(b *testing.B) {
 	b.ReportMetric(float64(matched), "matched")
 }
 
+// BenchmarkFanoutRouting is the content-based-routing arm (PR 10): a
+// news feed fanned out to N standing topic subscriptions registered
+// with extraction, so each matched subscription is handed the matched
+// item's subtree — the deliverable payload, not just a verdict. MB/s
+// here is DELIVERED bytes per second (sum of fragment lengths per
+// document), the figure of merit of a fan-out router. The /bytes arm
+// is the whole-buffer zero-copy path, /reader the chunked
+// re-serialization path, and /boolean the verdict-only baseline on the
+// same subscriptions, which must stay allocation-free.
+func BenchmarkFanoutRouting(b *testing.B) {
+	const topics = 200
+	// Each of 40 items names one of the 200 topics, so ~40 subscriptions
+	// receive a fragment per document.
+	var sb strings.Builder
+	sb.WriteString("<news>")
+	for j := 0; j < 40; j++ {
+		fmt.Fprintf(&sb, "<item><topic%d></topic%d><title>story %d</title><body>%s</body></item>",
+			j%topics, j%topics, j, strings.Repeat("text ", 20))
+	}
+	sb.WriteString("</news>")
+	doc := []byte(sb.String())
+
+	newSet := func(b *testing.B) *streamxpath.FilterSet {
+		s := streamxpath.NewFilterSet()
+		for i := 0; i < topics; i++ {
+			if err := s.AddExtract(fmt.Sprintf("topic%d", i), fmt.Sprintf("//news/item/topic%d", i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.MatchBytes(doc); err != nil { // compile + warm
+			b.Fatal(err)
+		}
+		return s
+	}
+	delivered := func(res streamxpath.MatchResult) int64 {
+		var n int64
+		for _, f := range res.Fragments {
+			n += int64(len(f.Data))
+		}
+		return n
+	}
+
+	b.Run("bytes", func(b *testing.B) {
+		s := newSet(b)
+		res, err := s.MatchBytesResult(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Fragments) == 0 {
+			b.Fatal("no fragments routed")
+		}
+		b.SetBytes(delivered(res))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.MatchBytesResult(doc); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(res.Fragments)), "fragments")
+	})
+	b.Run("reader", func(b *testing.B) {
+		s := newSet(b)
+		s.SetChunkSize(4096)
+		res, err := s.MatchReaderResult(bytes.NewReader(doc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(delivered(res))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.MatchReaderResult(bytes.NewReader(doc)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(res.Fragments)), "fragments")
+	})
+	b.Run("boolean", func(b *testing.B) {
+		s := newSet(b)
+		b.SetBytes(int64(len(doc)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.MatchBytes(doc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- the chunked reader family (PR 4) ---
 //
 // BenchmarkMatchReader compares the two ways to match a document that

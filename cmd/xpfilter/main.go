@@ -22,7 +22,9 @@
 // line (either "id <tab-or-space> query" or a bare query, identified by
 // its own text), all compiled into one shared dissemination engine; each
 // input document is matched against every subscription in a single pass
-// and the matching ids are printed. -stats then reports the engine's
+// and the matching ids are printed. -extract additionally captures each
+// matched subscription's subtree (the document-order-first match) and
+// prints it under the verdict line. -stats then reports the engine's
 // shared-structure sizes. -bench N reads the document into memory and
 // re-matches it N times, reporting events/sec and allocs/event of the
 // warm fast path.
@@ -75,6 +77,7 @@ func main() {
 		analyze  = flag.Bool("analyze", false, "print query analysis and exit")
 		evaluate = flag.Bool("eval", false, "print selected node values instead of a boolean (in-memory evaluation)")
 		bench    = flag.Int("bench", 0, "re-match each file N times; print events/sec and allocs/event")
+		extract  = flag.Bool("extract", false, "with -subs: capture and print each matched subscription's subtree")
 		workers  = flag.Int("workers", 0, "match with the parallel engine using N workers (0 = sequential)")
 		mode     = flag.String("mode", "shard", "parallel mode: shard (event-sharded, one doc at a time), docs (replica pool, concurrent docs), or auto (pick per document by size)")
 		chunk    = flag.Int("chunk", 0, "streaming read size in bytes (0 = 64KiB default)")
@@ -132,27 +135,34 @@ func main() {
 	}
 	if *subsFile != "" {
 		if *workers > 0 && *mode == "docs" {
-			os.Exit(runPoolFiles(*subsFile, files, *workers, *stats, lim))
+			os.Exit(runPoolFiles(*subsFile, files, *workers, *stats, *extract, lim))
+		}
+		// pickAdd selects the plain or extraction-enabled registration.
+		pickAdd := func(add, addExtract func(id, query string) error) func(id, query string) error {
+			if *extract {
+				return addExtract
+			}
+			return add
 		}
 		var set matcherSet
 		switch {
 		case *workers > 0 && *mode == "auto":
 			as := streamxpath.NewAdaptiveFilterSet(*workers)
 			defer as.Close()
-			if err := loadSubscriptions(*subsFile, as.Add); err != nil {
+			if err := loadSubscriptions(*subsFile, pickAdd(as.Add, as.AddExtract)); err != nil {
 				fatal(err)
 			}
 			set = as
 		case *workers > 0:
 			ps := streamxpath.NewParallelFilterSet(*workers)
 			defer ps.Close()
-			if err := loadSubscriptions(*subsFile, ps.Add); err != nil {
+			if err := loadSubscriptions(*subsFile, pickAdd(ps.Add, ps.AddExtract)); err != nil {
 				fatal(err)
 			}
 			set = ps
 		default:
 			fs := streamxpath.NewFilterSet()
-			if err := loadSubscriptions(*subsFile, fs.Add); err != nil {
+			if err := loadSubscriptions(*subsFile, pickAdd(fs.Add, fs.AddExtract)); err != nil {
 				fatal(err)
 			}
 			set = fs
@@ -284,17 +294,24 @@ func benchReport(doc []byte, iters int, run func() error) error {
 
 // matcherSet is the engine surface runSet needs; satisfied by the
 // sequential FilterSet, the parallel sharded ParallelFilterSet, and the
-// AdaptiveFilterSet.
+// AdaptiveFilterSet. The Result methods carry each call's verdicts,
+// fragments and accounting together; the boolean MatchBytes remains for
+// the warm bench loop, which measures the zero-alloc fast path.
 type matcherSet interface {
 	MatchBytes([]byte) ([]string, error)
-	MatchReader(io.Reader) ([]string, error)
+	MatchBytesResult([]byte) (streamxpath.MatchResult, error)
+	MatchReaderResult(io.Reader) (streamxpath.MatchResult, error)
 	SetChunkSize(int)
 	SetLimits(streamxpath.Limits)
-	Abstained() bool
-	ReaderStats() streamxpath.ReaderStats
-	MemStats() streamxpath.MemStats
 	Len() int
 	Stats() streamxpath.FilterSetStats
+}
+
+// reportFragments prints each extracted fragment under its match line.
+func reportFragments(frags []streamxpath.Fragment) {
+	for _, f := range frags {
+		fmt.Printf("  fragment %s: %s\n", f.ID, f.Data)
+	}
 }
 
 // reportAbstain tags an output line's verdicts as partial when the last
@@ -348,14 +365,18 @@ func loadSubscriptions(path string, add func(id, query string) error) error {
 
 // runPoolFiles is -mode docs: a FilterPool of engine replicas matching
 // the input files concurrently. Results print in argument order.
-func runPoolFiles(subsFile string, files []string, workers int, stats bool, lim streamxpath.Limits) int {
+func runPoolFiles(subsFile string, files []string, workers int, stats, extract bool, lim streamxpath.Limits) int {
 	pool := streamxpath.NewFilterPool(workers)
-	if err := loadSubscriptions(subsFile, pool.Add); err != nil {
+	add := pool.Add
+	if extract {
+		add = pool.AddExtract
+	}
+	if err := loadSubscriptions(subsFile, add); err != nil {
 		fatal(err)
 	}
 	pool.SetLimits(lim)
 	type result struct {
-		ids []string
+		res streamxpath.MatchResult
 		err error
 	}
 	results := make([]result, len(files))
@@ -377,23 +398,30 @@ func runPoolFiles(subsFile string, files []string, workers int, stats bool, lim 
 				results[i] = result{err: err}
 				return
 			}
-			ids, err := pool.MatchBytes(doc)
-			results[i] = result{ids: ids, err: err}
+			res, err := pool.MatchBytesResult(doc)
+			results[i] = result{res: res, err: err}
 		}(i, name)
 	}
 	wg.Wait()
 	exit := 0
+	var mem streamxpath.MemStats
 	for i, name := range files {
 		if results[i].err != nil {
 			fmt.Fprintf(os.Stderr, "xpfilter: %s: %v\n", name, results[i].err)
 			exit = 1
 			continue
 		}
-		fmt.Printf("%s: %d/%d matched: %s\n", name, len(results[i].ids), pool.Len(), strings.Join(results[i].ids, " "))
+		res := results[i].res
+		fmt.Printf("%s: %d/%d matched: %s\n", name, len(res.MatchedIDs), pool.Len(), strings.Join(res.MatchedIDs, " "))
+		reportAbstain(res.Abstained)
+		reportFragments(res.Fragments)
+		if res.MemStats.Events > mem.Events {
+			mem = res.MemStats
+		}
 	}
 	if stats {
 		fmt.Printf("  %s\n", pool.Stats())
-		fmt.Printf("  %s\n", pool.MemStats())
+		fmt.Printf("  %s\n", mem)
 	}
 	return exit
 }
@@ -411,12 +439,13 @@ func runSet(set matcherSet, name string, stats bool, bench int) error {
 		if doc == nil {
 			return fmt.Errorf("-bench needs a file argument, not stdin")
 		}
-		ids, err := set.MatchBytes(doc)
+		res, err := set.MatchBytesResult(doc)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s: %d/%d matched: %s\n", name, len(ids), set.Len(), strings.Join(ids, " "))
-		reportAbstain(set.Abstained())
+		fmt.Printf("%s: %d/%d matched: %s\n", name, len(res.MatchedIDs), set.Len(), strings.Join(res.MatchedIDs, " "))
+		reportAbstain(res.Abstained)
+		reportFragments(res.Fragments)
 		return benchReport(doc, bench, func() error {
 			_, err := set.MatchBytes(doc)
 			return err
@@ -427,17 +456,18 @@ func runSet(set matcherSet, name string, stats bool, bench int) error {
 		return err
 	}
 	defer closeIn()
-	ids, err := set.MatchReader(r)
+	res, err := set.MatchReaderResult(r)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %d/%d matched: %s\n", name, len(ids), set.Len(), strings.Join(ids, " "))
-	reportEarlyExit(set.ReaderStats())
-	reportAbstain(set.Abstained())
+	fmt.Printf("%s: %d/%d matched: %s\n", name, len(res.MatchedIDs), set.Len(), strings.Join(res.MatchedIDs, " "))
+	reportEarlyExit(res.ReaderStats)
+	reportAbstain(res.Abstained)
+	reportFragments(res.Fragments)
 	if stats {
 		s := set.Stats()
 		fmt.Printf("  %s\n", s)
-		fmt.Printf("  %s\n", set.MemStats())
+		fmt.Printf("  %s\n", res.MemStats)
 	}
 	return nil
 }
@@ -474,12 +504,12 @@ func runOne(q *streamxpath.Query, name string, stats, evaluate bool, bench, chun
 		if doc == nil {
 			return fmt.Errorf("-bench needs a file argument, not stdin")
 		}
-		matched, err := f.MatchBytes(doc)
+		res, err := f.MatchBytesResult(doc)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s: %v\n", name, matched)
-		reportAbstain(f.Abstained())
+		fmt.Printf("%s: %v\n", name, len(res.MatchedIDs) > 0)
+		reportAbstain(res.Abstained)
 		return benchReport(doc, bench, func() error {
 			_, err := f.MatchBytes(doc)
 			return err
@@ -490,13 +520,13 @@ func runOne(q *streamxpath.Query, name string, stats, evaluate bool, bench, chun
 		return err
 	}
 	defer closeIn()
-	matched, err := f.MatchReader(r)
+	res, err := f.MatchReaderResult(r)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %v\n", name, matched)
-	reportEarlyExit(f.ReaderStats())
-	reportAbstain(f.Abstained())
+	fmt.Printf("%s: %v\n", name, len(res.MatchedIDs) > 0)
+	reportEarlyExit(res.ReaderStats)
+	reportAbstain(res.Abstained)
 	if stats {
 		s := f.Stats()
 		fmt.Printf("  events=%d frontier=%d buffer=%dB depth=%d estBits=%d lowerBoundBits=%d optimality=%.2f\n",

@@ -18,24 +18,37 @@
 //	DELETE /v1/tenants/{tenant}                    delete tenant (drains its in-flight match,
 //	                                               abandons its queued deliveries)
 //	PUT    /v1/tenants/{tenant}/subscriptions/{id} register XPath: raw expression body, or a
-//	                                               {"query":...,"webhook":{"url":...,"timeout_ms":N,
-//	                                               "max_attempts":N}} envelope to attach a webhook;
-//	                                               implicit tenant creation
+//	                                               {"query":...,"extract":true,"webhook":{"url":...,
+//	                                               "timeout_ms":N,"max_attempts":N}} envelope to
+//	                                               enable fragment extraction and/or attach a
+//	                                               webhook; implicit tenant creation
 //	GET    /v1/tenants/{tenant}/subscriptions      list subscriptions
 //	GET    /v1/tenants/{tenant}/subscriptions/{id} one subscription
 //	DELETE /v1/tenants/{tenant}/subscriptions/{id} remove subscription
 //	POST   /v1/tenants/{tenant}/match              match a document; buffered bodies take the
 //	                                               in-memory fast path, chunked bodies stream
-//	                                               with mid-upload early exit; matched webhook
-//	                                               subscriptions enqueue outbound deliveries
+//	                                               with mid-upload early exit; the response's
+//	                                               "fragments" object maps each matched
+//	                                               extraction subscription to its extracted
+//	                                               subtree; matched webhook subscriptions
+//	                                               enqueue outbound deliveries
 //	GET    /v1/tenants/{tenant}/deadletters        deliveries that exhausted their retry budget
 //	GET    /metrics                                Prometheus text exposition
 //	GET    /healthz                                liveness (503 while draining)
 //
+// Documents POSTed to one tenant are matched concurrently: ingest holds
+// only the read side of the tenant lock, and each response carries its
+// own document's verdicts, fragments and accounting (subscription CRUD
+// still drains in-flight matches before touching the shared indexes).
+//
 // Matched documents are delivered to subscription webhooks at least
 // once: failed POSTs retry with exponential backoff and full jitter, a
 // per-endpoint circuit breaker isolates dead receivers, and exhausted
-// deliveries land in the per-tenant dead-letter ring.
+// deliveries land in the per-tenant dead-letter ring. A subscription
+// registered with "extract":true receives the matched subtree itself as
+// the POST body (Content-Type application/xml; tenant, subscription and
+// attempt ride in the X-Xpfilterd-* headers) — content-based routing —
+// while plain subscriptions receive the JSON match event envelope.
 //
 // Every flag defaults from an XPFILTERD_* environment variable (see
 // -help). On SIGINT/SIGTERM the daemon drains gracefully: new requests

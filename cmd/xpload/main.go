@@ -12,13 +12,19 @@
 //
 // With -webhook the harness also measures the outbound delivery path:
 // it runs an in-process webhook receiver, registers the subscriptions
-// with a callback pointing at it, and reports how many deliveries
-// arrived once the queue settles.
+// with a callback pointing at it, and reports how many deliveries (and
+// payload bytes) arrived once the queue settles. Adding -extract
+// registers the subscriptions with fragment extraction, so each
+// delivery carries the matched subtree as its XML body and the
+// delivered_bytes_per_sec figure measures content-based routing
+// throughput rather than envelope chatter.
 //
 // With -sink the harness is instead a standalone fault-injectable
 // webhook receiver for end-to-end scripts: it answers POST / with 200
 // (after -sink-fail-first injected 500s), reports its counters on
-// GET /stats, and runs until SIGTERM:
+// GET /stats, replays the last delivery verbatim (body and
+// Content-Type) on GET /last — so scripts can assert an extraction
+// webhook carried the matched subtree itself — and runs until SIGTERM:
 //
 //	xpload -sink -addr 127.0.0.1:0 -addr-file /tmp/sink.addr -sink-fail-first 1
 //
@@ -85,6 +91,7 @@ func main() {
 
 		webhook     = flag.Bool("webhook", false, "measure webhook delivery: run an in-process receiver and subscribe with callbacks")
 		webhookWait = flag.Duration("webhook-wait", 10*time.Second, "max wait for the delivery queue to settle after the hammer")
+		extract     = flag.Bool("extract", false, "register subscriptions with fragment extraction: match responses and webhook bodies carry the matched subtree")
 
 		sinkMode      = flag.Bool("sink", false, "run as a standalone webhook receiver instead of a load generator")
 		sinkFailFirst = flag.Int("sink-fail-first", 0, "sink mode: answer 500 to the first N requests (forces retries)")
@@ -126,8 +133,9 @@ func main() {
 	}
 
 	// Webhook mode: an in-process receiver counts what the daemon
-	// delivers back.
-	var received atomic.Int64
+	// delivers back — records and payload bytes, so extraction runs
+	// report delivered bytes/s (the content-based-routing throughput).
+	var received, receivedBytes atomic.Int64
 	var hookURL string
 	if *webhook {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -136,8 +144,9 @@ func main() {
 		}
 		defer ln.Close()
 		go http.Serve(ln, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			io.Copy(io.Discard, r.Body)
+			n, _ := io.Copy(io.Discard, r.Body)
 			received.Add(1)
+			receivedBytes.Add(n)
 			w.WriteHeader(http.StatusOK)
 		}))
 		hookURL = "http://" + ln.Addr().String() + "/hook"
@@ -152,11 +161,15 @@ func main() {
 			q = fmt.Sprintf(tmpl, i%10)
 		}
 		body := q
-		if hookURL != "" {
-			envelope, err := json.Marshal(map[string]any{
-				"query":   q,
-				"webhook": map[string]any{"url": hookURL},
-			})
+		if hookURL != "" || *extract {
+			fields := map[string]any{"query": q}
+			if hookURL != "" {
+				fields["webhook"] = map[string]any{"url": hookURL}
+			}
+			if *extract {
+				fields["extract"] = true
+			}
+			envelope, err := json.Marshal(fields)
 			if err != nil {
 				fatal(err)
 			}
@@ -203,7 +216,7 @@ func main() {
 
 	// Webhook mode: let the outbound queue settle — stop once the
 	// received count holds still for a second, or at -webhook-wait.
-	var webhooksReceived int64
+	var webhooksReceived, webhookBytes int64
 	if *webhook {
 		deadline := time.Now().Add(*webhookWait)
 		last, lastGrew := received.Load(), time.Now()
@@ -214,6 +227,7 @@ func main() {
 			}
 		}
 		webhooksReceived = received.Load()
+		webhookBytes = receivedBytes.Load()
 	}
 
 	// Aggregate.
@@ -260,13 +274,17 @@ func main() {
 	if *webhook {
 		report["webhooks_received"] = webhooksReceived
 		report["webhooks_per_sec"] = float64(webhooksReceived) / elapsed.Seconds()
+		report["delivered_bytes"] = webhookBytes
+		report["delivered_bytes_per_sec"] = float64(webhookBytes) / elapsed.Seconds()
+		report["extract"] = *extract
 	}
 	fmt.Printf("xpload: %d docs, %d clients, %d subs: %.0f docs/s, %.1f MB/s, p50 %.2fms p90 %.2fms p99 %.2fms, %d errors\n",
 		total, *clients, *subs, report["docs_per_sec"], report["mb_per_sec"],
 		report["p50_ms"], report["p90_ms"], report["p99_ms"], errs)
 	if *webhook {
-		fmt.Printf("xpload: %d webhook deliveries received (%.0f/s over the hammer window)\n",
-			webhooksReceived, report["webhooks_per_sec"])
+		fmt.Printf("xpload: %d webhook deliveries received (%.0f/s, %.2f MB/s delivered over the hammer window)\n",
+			webhooksReceived, report["webhooks_per_sec"],
+			float64(webhookBytes)/elapsed.Seconds()/1e6)
 	}
 	if firstErr != nil {
 		fmt.Fprintf(os.Stderr, "xpload: first error: %v\n", firstErr)
@@ -351,13 +369,19 @@ func mustDo(client *http.Client, method, url string, body io.Reader, want ...int
 // runSink serves the standalone webhook receiver: POST anything gets a
 // 200 — except the first failFirst requests, which get an injected 500
 // so end-to-end scripts can force (and then observe) a retry. GET
-// /stats reports the counters. Runs until SIGINT/SIGTERM, then prints
-// the final counters as JSON.
+// /stats reports the counters; GET /last replays the most recent
+// delivered body with its original Content-Type, letting scripts
+// assert what the daemon actually POSTed (for extraction
+// subscriptions: the matched subtree, not a JSON envelope). Runs until
+// SIGINT/SIGTERM, then prints the final counters as JSON.
 func runSink(addr, addrFile string, failFirst int) {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
 	var requests, injected, delivered atomic.Int64
+	var lastMu sync.Mutex
+	var lastBody []byte
+	var lastCT string
 	statsJSON := func() []byte {
 		buf, _ := json.Marshal(map[string]int64{
 			"requests":  requests.Load(),
@@ -371,7 +395,19 @@ func runSink(addr, addrFile string, failFirst int) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(statsJSON())
 	})
+	mux.HandleFunc("GET /last", func(w http.ResponseWriter, _ *http.Request) {
+		lastMu.Lock()
+		body, ct := lastBody, lastCT
+		lastMu.Unlock()
+		if body == nil {
+			http.Error(w, "no delivery received yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", ct)
+		w.Write(body)
+	})
 	mux.HandleFunc("POST /", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 		io.Copy(io.Discard, r.Body)
 		n := requests.Add(1)
 		if n <= int64(failFirst) {
@@ -380,6 +416,9 @@ func runSink(addr, addrFile string, failFirst int) {
 			return
 		}
 		delivered.Add(1)
+		lastMu.Lock()
+		lastBody, lastCT = body, r.Header.Get("Content-Type")
+		lastMu.Unlock()
 		w.WriteHeader(http.StatusOK)
 	})
 	ln, err := net.Listen("tcp", addr)

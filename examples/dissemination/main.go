@@ -73,6 +73,28 @@ func main() {
 		fmt.Printf("doc %d (%d bytes) -> %v\n", i, len(doc), notified)
 	}
 
+	// Fragment extraction: a subscription registered with AddExtract gets
+	// the matched element's whole subtree back alongside the verdict —
+	// the content-based-routing primitive (deliver the story itself, not
+	// just the fact that it matched). MatchBytesResult returns the
+	// fragment as a zero-copy subslice of the document buffer.
+	if err := set.AddExtract("router", `//item[priority > 7]`); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		doc := makeFeed(rng, 200+i, keywords)
+		res, err := set.MatchBytesResult(doc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if frag := res.Fragment("router"); frag != nil {
+			fmt.Printf("\nextracted for router (doc-order-first match of %d ids):\n  %s\n",
+				len(res.MatchedIDs), frag)
+			break
+		}
+	}
+	set.Remove("router")
+
 	fmt.Println(strings.Repeat("-", 60))
 	st := set.Stats()
 	fmt.Println("shared engine state:")

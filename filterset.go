@@ -72,6 +72,23 @@ func (s *FilterSet) Add(id, querySrc string) error {
 	return nil
 }
 
+// AddExtract is Add with fragment extraction enabled: when the
+// subscription matches a document under a Match*Result call, the result
+// carries the matched element's subtree (document-order-first match) —
+// or the decoded attribute value for attribute-selecting queries — as a
+// Fragment. The boolean Match methods ignore the flag entirely and keep
+// their allocation-free fast path.
+func (s *FilterSet) AddExtract(id, querySrc string) error {
+	q, err := Compile(querySrc)
+	if err != nil {
+		return err
+	}
+	if err := s.e.AddExtract(id, q.q); err != nil {
+		return fmt.Errorf("streamxpath: subscription %q: %w", id, err)
+	}
+	return nil
+}
+
 // Remove deregisters a subscription, reporting whether it existed.
 func (s *FilterSet) Remove(id string) bool { return s.e.Remove(id) }
 
@@ -109,23 +126,43 @@ func (s *FilterSet) Limits() Limits { return s.lim }
 // Abstained reports whether the last Match call hit a resource budget
 // under LimitAbstain and returned only the verdicts decided before the
 // breach.
+//
+// Deprecated: use the Match*Result methods, whose MatchResult.Abstained
+// is the same call's flag rather than whatever call finished last.
 func (s *FilterSet) Abstained() bool { return s.abstained }
 
 // MemStats returns the live-memory accounting of the last document: the
 // matching state's component peaks, the paper's cost model applied to
 // them, and the optimality ratio against the lower bound.
+//
+// Deprecated: use the Match*Result methods, whose MatchResult.MemStats
+// is the same call's accounting rather than the last call's.
 func (s *FilterSet) MemStats() MemStats { return s.e.MemStats() }
 
-// limited applies the breach policy to an error carrying a *LimitError:
-// under LimitAbstain the verdicts already decided (definitive, by
-// monotonicity) come back with a nil error. Any other error passes
+// result assembles the current document's MatchResult from the engine
+// state. Fragment collection and the memory accounting run only on the
+// Result paths (mode != CaptureOff), keeping the boolean wrappers'
+// per-document cost unchanged.
+func (s *FilterSet) result(doc []byte, mode engine.CaptureMode, copyAll bool) MatchResult {
+	res := MatchResult{MatchedIDs: s.appendIDs(), Abstained: s.abstained}
+	if mode != engine.CaptureOff {
+		res.Fragments = toFragments(s.e.AppendFragments(nil, doc), copyAll)
+		res.MemStats = s.e.MemStats()
+	}
+	return res
+}
+
+// degraded applies the breach policy to an error carrying a
+// *LimitError: under LimitAbstain the verdicts already decided
+// (definitive, by monotonicity) — and the fragments finalized before
+// the breach — come back with a nil error. Any other error passes
 // through unchanged.
-func (s *FilterSet) limited(err error) ([]string, error) {
+func (s *FilterSet) degraded(err error, doc []byte, mode engine.CaptureMode, copyAll bool) (MatchResult, error) {
 	if s.lim.Policy == LimitAbstain && limitBreach(err) {
 		s.abstained = true
-		return s.appendIDs(), nil
+		return s.result(doc, mode, copyAll), nil
 	}
-	return nil, err
+	return MatchResult{}, err
 }
 
 // MatchReader streams one document past every subscription through the
@@ -146,10 +183,30 @@ func (s *FilterSet) limited(err error) ([]string, error) {
 // non-nil even when empty and is reused by the next Match call on this
 // set.
 func (s *FilterSet) MatchReader(r io.Reader) ([]string, error) {
+	res, err := s.matchReader(r, engine.CaptureOff)
+	return res.MatchedIDs, err
+}
+
+// MatchReaderResult is MatchReader returning the unified MatchResult:
+// the matched ids plus, for extraction-enabled subscriptions
+// (AddExtract), the matched subtrees re-serialized to canonical form —
+// the input is never buffered whole, so reader-path fragments are
+// rebuilt from the event stream (attribute order and quoting
+// normalized, empty-element tags expanded) and freshly allocated. The
+// result also carries this call's own reader and memory accounting.
+// When extraction subscriptions have open candidate captures, early
+// exit is deferred until they finalize, so a decided verdict never
+// truncates a fragment.
+func (s *FilterSet) MatchReaderResult(r io.Reader) (MatchResult, error) {
+	return s.matchReader(r, engine.CaptureSerial)
+}
+
+func (s *FilterSet) matchReader(r io.Reader, mode engine.CaptureMode) (MatchResult, error) {
 	// Reset up front so a previous document that failed mid-stream (and
 	// never reached endDocument) cannot wedge the engine in its
 	// half-open state.
 	s.abstained = false
+	s.e.SetCapture(mode)
 	s.e.Reset()
 	if s.stok == nil {
 		s.stok = sax.NewStreamTokenizer(s.e.Symbols())
@@ -166,16 +223,18 @@ func (s *FilterSet) MatchReader(r io.Reader) ([]string, error) {
 	}
 	sawEnd, err := streamDoc(r, s.stok, s.chunk, &s.rs, s.procFn, s.decFn)
 	if err != nil {
-		ids, err := s.limited(err)
+		res, err := s.degraded(err, nil, mode, false)
 		s.rs.Abstained = s.abstained
-		return ids, err
+		res.ReaderStats = s.rs
+		return res, err
 	}
 	if !sawEnd && !s.rs.EarlyExit {
-		return nil, fmt.Errorf("streamxpath: document ended prematurely")
+		return MatchResult{}, fmt.Errorf("streamxpath: document ended prematurely")
 	}
-	ids := s.appendIDs()
-	s.rs.DecidedNegative = s.rs.EarlyExit && len(ids) < s.e.Len()
-	return ids, nil
+	res := s.result(nil, mode, false)
+	s.rs.DecidedNegative = s.rs.EarlyExit && len(res.MatchedIDs) < s.e.Len()
+	res.ReaderStats = s.rs
+	return res, nil
 }
 
 // SetChunkSize sets the read granularity of MatchReader (n <= 0 restores
@@ -185,6 +244,9 @@ func (s *FilterSet) SetChunkSize(n int) { s.chunk = n }
 // ReaderStats returns the input accounting of the last MatchReader call:
 // bytes read, bytes tokenized, and whether every verdict was decided
 // before end of input.
+//
+// Deprecated: use MatchReaderResult, whose MatchResult.ReaderStats is
+// the same call's accounting rather than the last call's.
 func (s *FilterSet) ReaderStats() ReaderStats { return s.rs }
 
 // MatchString matches a document given as a string: it is staged into a
@@ -193,13 +255,29 @@ func (s *FilterSet) ReaderStats() ReaderStats { return s.rs }
 // MatchBytes and MatchReader the returned slice is freshly allocated.
 func (s *FilterSet) MatchString(xml string) ([]string, error) {
 	s.buf = append(s.buf[:0], xml...)
-	ids, err := s.MatchBytes(s.buf)
+	res, err := s.matchBytes(s.buf, engine.CaptureOff, false)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]string, len(ids))
-	copy(out, ids)
+	out := make([]string, len(res.MatchedIDs))
+	copy(out, res.MatchedIDs)
 	return out, nil
+}
+
+// MatchStringResult is MatchString returning the unified MatchResult.
+// The staging buffer is reused across calls, so every fragment —
+// subtree or attribute value — is freshly allocated and owned by the
+// caller. MatchedIDs is freshly allocated too, matching MatchString.
+func (s *FilterSet) MatchStringResult(xml string) (MatchResult, error) {
+	s.buf = append(s.buf[:0], xml...)
+	res, err := s.matchBytes(s.buf, engine.CaptureSlice, true)
+	if err != nil {
+		return MatchResult{}, err
+	}
+	out := make([]string, len(res.MatchedIDs))
+	copy(out, res.MatchedIDs)
+	res.MatchedIDs = out
+	return res, nil
 }
 
 // MatchBytes matches one in-memory document through the interned-symbol
@@ -210,11 +288,29 @@ func (s *FilterSet) MatchString(xml string) ([]string, error) {
 // returned slice is reused by the next MatchBytes call — copy it if it
 // must outlive the call. It is non-nil even when empty.
 func (s *FilterSet) MatchBytes(doc []byte) ([]string, error) {
+	res, err := s.matchBytes(doc, engine.CaptureOff, false)
+	return res.MatchedIDs, err
+}
+
+// MatchBytesResult is MatchBytes returning the unified MatchResult: the
+// matched ids plus, for extraction-enabled subscriptions (AddExtract),
+// the matched element's subtree. Subtree fragments are zero-copy
+// subslices of doc — the raw bytes of the matched element, valid as
+// long as doc is — while attribute-value fragments are decoded copies.
+// The result also carries this call's abstain flag and memory
+// accounting, replacing the last-call accessors.
+func (s *FilterSet) MatchBytesResult(doc []byte) (MatchResult, error) {
+	return s.matchBytes(doc, engine.CaptureSlice, false)
+}
+
+func (s *FilterSet) matchBytes(doc []byte, mode engine.CaptureMode, copyAll bool) (MatchResult, error) {
 	s.abstained = false
+	s.e.SetCapture(mode)
 	s.e.Reset() // recover from a document abandoned mid-stream
 	if l := s.lim.MaxDocBytes; l > 0 && int64(len(doc)) > l {
-		return s.limited(fmt.Errorf("streamxpath: %w",
-			&limits.Error{Resource: "doc-bytes", Limit: l, Observed: int64(len(doc))}))
+		return s.degraded(fmt.Errorf("streamxpath: %w",
+			&limits.Error{Resource: "doc-bytes", Limit: l, Observed: int64(len(doc))}),
+			doc, mode, copyAll)
 	}
 	if s.tok == nil {
 		s.tok = sax.NewTokenizerBytes(doc, s.e.Symbols())
@@ -229,19 +325,19 @@ func (s *FilterSet) MatchBytes(doc []byte) ([]string, error) {
 			break
 		}
 		if err != nil {
-			return s.limited(err)
+			return s.degraded(err, doc, mode, copyAll)
 		}
 		if e.Kind == sax.EndDocument {
 			sawEnd = true
 		}
 		if err := s.e.ProcessBytes(e); err != nil {
-			return s.limited(fmt.Errorf("streamxpath: %w", err))
+			return s.degraded(fmt.Errorf("streamxpath: %w", err), doc, mode, copyAll)
 		}
 	}
 	if !sawEnd {
-		return nil, fmt.Errorf("streamxpath: document ended prematurely")
+		return MatchResult{}, fmt.Errorf("streamxpath: document ended prematurely")
 	}
-	return s.appendIDs(), nil
+	return s.result(doc, mode, copyAll), nil
 }
 
 // appendIDs refills the reusable result buffer with the matched ids.

@@ -278,6 +278,13 @@ type SharedRunner struct {
 	live     []bool
 	liveLeft int
 	stats    DFAStats
+
+	// OnMatch, when non-nil, is invoked once per output the moment it
+	// latches (inside StartElementSym, while the matching element's start
+	// event is current). The dissemination engine uses it to begin
+	// fragment capture for extraction-enabled subscriptions; the callback
+	// must not reenter the runner.
+	OnMatch func(out int)
 }
 
 // NewSharedRunner returns a runner over the merged automaton with a
@@ -405,6 +412,9 @@ func (r *SharedRunner) StartElementSym(sym symtab.Sym) {
 			r.left--
 			if r.live[out] {
 				r.liveLeft--
+			}
+			if r.OnMatch != nil {
+				r.OnMatch(out)
 			}
 		}
 	}

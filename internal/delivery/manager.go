@@ -123,6 +123,11 @@ type Record struct {
 	Timeout     time.Duration
 	MaxAttempts int
 	Payload     []byte
+	// ContentType is the POST body's media type; empty selects
+	// "application/json" (the matchEvent envelope). Extraction
+	// subscriptions deliver the matched subtree itself as
+	// "application/xml".
+	ContentType string
 
 	Attempts   int
 	LastError  string
@@ -212,11 +217,19 @@ func (m *Manager) lookup(tenant string) *pump {
 	return m.pumps[tenant]
 }
 
-// Enqueue queues one delivery for a tenant, applying the manager
+// Enqueue queues one JSON delivery for a tenant, applying the manager
 // defaults to zero Webhook overrides. It never blocks: a full queue
 // (or a draining manager) sheds the record and returns false — the
 // match path degrades gracefully rather than backing up.
 func (m *Manager) Enqueue(tenant, subID string, hook Webhook, payload []byte) bool {
+	return m.EnqueueRaw(tenant, subID, hook, "", payload)
+}
+
+// EnqueueRaw is Enqueue with an explicit payload Content-Type (empty
+// selects "application/json") — the entry point for extraction
+// subscriptions, whose webhook body is the matched subtree's XML rather
+// than the JSON match envelope.
+func (m *Manager) EnqueueRaw(tenant, subID string, hook Webhook, contentType string, payload []byte) bool {
 	p := m.pumpFor(tenant)
 	if p == nil {
 		return false
@@ -228,6 +241,7 @@ func (m *Manager) Enqueue(tenant, subID string, hook Webhook, payload []byte) bo
 		Timeout:     hook.Timeout,
 		MaxAttempts: hook.MaxAttempts,
 		Payload:     payload,
+		ContentType: contentType,
 		EnqueuedAt:  m.cfg.Clock.Now(),
 	}
 	if rec.Timeout <= 0 {
@@ -498,7 +512,11 @@ func (p *pump) post(rec *Record) error {
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	ct := rec.ContentType
+	if ct == "" {
+		ct = "application/json"
+	}
+	req.Header.Set("Content-Type", ct)
 	req.Header.Set("X-Xpfilterd-Tenant", rec.Tenant)
 	req.Header.Set("X-Xpfilterd-Subscription", rec.SubID)
 	req.Header.Set("X-Xpfilterd-Attempt", strconv.Itoa(rec.Attempts))
@@ -561,6 +579,17 @@ func (p *pump) abandon(rec *Record) {
 
 // deadletter retires an attempt-exhausted record into the bounded ring.
 func (p *pump) deadletter(rec *Record) {
+	// The dead-letter API serializes Payload as raw JSON; a non-JSON
+	// payload (an extraction subscription's XML body) is wrapped in a
+	// JSON string so the envelope stays well-formed.
+	payload := json.RawMessage(rec.Payload)
+	if !json.Valid(rec.Payload) {
+		if b, err := json.Marshal(string(rec.Payload)); err == nil {
+			payload = b
+		} else {
+			payload = nil
+		}
+	}
 	dl := DeadLetter{
 		Subscription: rec.SubID,
 		URL:          rec.URL,
@@ -568,7 +597,7 @@ func (p *pump) deadletter(rec *Record) {
 		LastError:    rec.LastError,
 		EnqueuedAt:   rec.EnqueuedAt,
 		DeadAt:       p.m.cfg.Clock.Now(),
-		Payload:      json.RawMessage(rec.Payload),
+		Payload:      payload,
 	}
 	p.mu.Lock()
 	if len(p.dead) < p.m.cfg.DeadLetterDepth {

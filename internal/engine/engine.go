@@ -58,11 +58,12 @@ const (
 
 // subscription is one standing query.
 type subscription struct {
-	id    string
-	q     *query.Query
-	prog  *core.Program
-	route Route
-	out   int // index in the route's result vector (assigned at compile)
+	id      string
+	q       *query.Query
+	prog    *core.Program
+	route   Route
+	out     int // index in the route's result vector (assigned at compile)
+	extract bool
 }
 
 // Engine matches one document stream at a time against all subscriptions.
@@ -84,6 +85,23 @@ type Engine struct {
 	runner *automaton.SharedRunner
 	tr     *trie
 	mt     *matcher
+
+	// Fragment-capture state. capMode is the caller-requested mode for the
+	// next document (effective only when some subscription has extraction
+	// enabled); cm manages the captures; nfaExtract/nfaFrags are the
+	// NFA route's per-output extraction flags and captured fragments (the
+	// trie route's live on the matcher).
+	capMode    CaptureMode
+	cm         *capman
+	hasExtract bool
+	nfaExtract []bool
+	nfaFrags   []*capture
+
+	// maxFS is the largest per-subscription frontier size FS(Q), cached
+	// at compile time: FrontierSize walks the query tree allocating node
+	// slices, and MemStats — called once per Match*Result document —
+	// must not pay that per call when the subscription set is unchanged.
+	maxFS int
 
 	started  bool
 	finished bool
@@ -111,7 +129,7 @@ func NewWithSymbols(tab *symtab.Table) *Engine {
 	if tab == nil {
 		tab = symtab.New()
 	}
-	return &Engine{byID: map[string]int{}, dirty: true, tab: tab}
+	return &Engine{byID: map[string]int{}, dirty: true, tab: tab, cm: newCapman(tab)}
 }
 
 // Symbols returns the engine's symbol table. Tokenizers that feed the
@@ -141,6 +159,25 @@ func (e *Engine) Rebuild() { e.dirty = true }
 // same validation a standalone core.Filter performs). The subscription
 // takes effect at the next document (the next StartDocument or Reset).
 func (e *Engine) Add(id string, q *query.Query) error {
+	return e.add(id, q, false)
+}
+
+// AddExtract registers a subscription with fragment extraction enabled:
+// when it matches, the engine captures the matched element's subtree
+// (first match in document order) and reports it via AppendFragments.
+// Extraction is effective only on documents processed with a capture
+// mode set (SetCapture); boolean-only runs pay nothing for it.
+func (e *Engine) AddExtract(id string, q *query.Query) error {
+	return e.add(id, q, true)
+}
+
+// Extracting reports whether id is registered with extraction enabled.
+func (e *Engine) Extracting(id string) bool {
+	i, ok := e.byID[id]
+	return ok && e.subs[i].extract
+}
+
+func (e *Engine) add(id string, q *query.Query, extract bool) error {
 	if _, dup := e.byID[id]; dup {
 		return fmt.Errorf("engine: duplicate subscription id %q", id)
 	}
@@ -149,7 +186,7 @@ func (e *Engine) Add(id string, q *query.Query) error {
 		return err
 	}
 	e.byID[id] = len(e.subs)
-	e.subs = append(e.subs, &subscription{id: id, q: q, prog: prog})
+	e.subs = append(e.subs, &subscription{id: id, q: q, prog: prog, extract: extract})
 	e.dirty = true
 	return nil
 }
@@ -186,7 +223,11 @@ func (e *Engine) IDs() []string {
 func (e *Engine) compile() {
 	e.nfa = automaton.NewMergedNFA()
 	e.tr = newTrie(e.tab)
+	e.hasExtract = false
 	for _, s := range e.subs {
+		if s.extract {
+			e.hasExtract = true
+		}
 		if err := e.nfa.Add(s.q, e.nfa.Outputs()); err == nil {
 			s.route = RouteNFA
 			s.out = e.nfa.Outputs() - 1
@@ -196,8 +237,36 @@ func (e *Engine) compile() {
 		s.out = e.tr.add(s.q, s.prog)
 	}
 	e.runner = automaton.NewSharedRunnerTab(e.nfa, e.tab)
+	e.runner.OnMatch = e.nfaMatch
 	e.mt = newMatcher(e.tr)
+	e.mt.cm = e.cm
+	e.nfaExtract = make([]bool, e.nfa.Outputs())
+	e.nfaFrags = make([]*capture, e.nfa.Outputs())
+	e.mt.extract = make([]bool, len(e.tr.paths))
+	e.maxFS = 0
+	for _, s := range e.subs {
+		if s.route == RouteNFA {
+			e.nfaExtract[s.out] = s.extract
+		} else {
+			e.mt.extract[s.out] = s.extract
+		}
+		if n := fragment.FrontierSize(s.q); n > e.maxFS {
+			e.maxFS = n
+		}
+	}
 	e.dirty = false
+}
+
+// nfaMatch is the merged runner's latch hook: an NFA-routed subscription
+// just matched on the current element, so begin (or join) that element's
+// capture. NFA latches fire at the matching element's startElement, so
+// the first latch is the document-order-first match; it is never
+// replaced.
+func (e *Engine) nfaMatch(out int) {
+	if e.cm.mode == CaptureOff || !e.nfaExtract[out] || e.nfaFrags[out] != nil {
+		return
+	}
+	e.nfaFrags[out] = e.cm.elemCapture()
 }
 
 // Reset prepares the engine for the next document, applying any pending
@@ -210,10 +279,27 @@ func (e *Engine) Reset() {
 		e.runner.Reset()
 		e.mt.reset()
 	}
+	mode := e.capMode
+	if !e.hasExtract {
+		mode = CaptureOff
+	}
+	e.cm.reset(mode)
+	e.mt.capturing = mode != CaptureOff
+	for i := range e.nfaFrags {
+		e.nfaFrags[i] = nil
+	}
 	e.started = false
 	e.finished = false
 	e.level = 0
 }
+
+// SetCapture selects the fragment-capture mode for subsequent documents
+// (taking effect at the next Reset/StartDocument). CaptureSlice requires
+// the document to be processed as one contiguous buffer whose ByteEvent
+// offsets index it from zero; CaptureSerial works with any event source
+// carrying offsets. The mode is ignored while no subscription has
+// extraction enabled.
+func (e *Engine) SetCapture(mode CaptureMode) { e.capMode = mode }
 
 // Process consumes one SAX event. Attribute lists on startElement events
 // are expanded inline into attribute child events, as in core (the
@@ -226,24 +312,24 @@ func (e *Engine) Process(ev sax.Event) error {
 	case sax.EndDocument:
 		return e.endDocument()
 	case sax.StartElement:
-		if err := e.startElement(e.tab.Intern(ev.Name), ev.Attribute); err != nil {
+		if err := e.startElement(e.tab.Intern(ev.Name), ev.Attribute, 0); err != nil {
 			return err
 		}
 		for _, a := range ev.Attrs {
 			asym := e.tab.Intern(a.Name)
-			if err := e.startElement(asym, true); err != nil {
+			if err := e.startElement(asym, true, 0); err != nil {
 				return err
 			}
 			if err := e.text(a.Value); err != nil {
 				return err
 			}
-			if err := e.endElement(asym, true); err != nil {
+			if err := e.endElement(asym, true, 0); err != nil {
 				return err
 			}
 		}
 		return nil
 	case sax.EndElement:
-		return e.endElement(e.tab.Intern(ev.Name), ev.Attribute)
+		return e.endElement(e.tab.Intern(ev.Name), ev.Attribute, 0)
 	case sax.Text:
 		return e.text(ev.Data)
 	}
@@ -262,9 +348,9 @@ func (e *Engine) ProcessBytes(ev sax.ByteEvent) error {
 	case sax.EndDocument:
 		return e.endDocument()
 	case sax.StartElement:
-		return e.startElement(ev.Sym, ev.Attribute)
+		return e.startElement(ev.Sym, ev.Attribute, ev.Off)
 	case sax.EndElement:
-		return e.endElement(ev.Sym, ev.Attribute)
+		return e.endElement(ev.Sym, ev.Attribute, ev.Off)
 	case sax.Text:
 		if !e.started || e.finished {
 			return fmt.Errorf("engine: text outside document")
@@ -273,6 +359,10 @@ func (e *Engine) ProcessBytes(ev sax.ByteEvent) error {
 			return err
 		}
 		e.mt.textBytes(ev.Data)
+		if e.cm.mode != CaptureOff {
+			e.cm.noteText(ev.Data)
+			return e.checkCaptured()
+		}
 	}
 	return nil
 }
@@ -281,8 +371,24 @@ func (e *Engine) ProcessBytes(ev sax.ByteEvent) error {
 // runs only when some value-restricted leaf candidate is consuming text
 // (otherwise nothing is buffered at all).
 func (e *Engine) checkBuffer(n int) error {
-	if e.lim.MaxBufferedBytes > 0 && e.mt.refCount > 0 && len(e.mt.buf)+n > e.lim.MaxBufferedBytes {
-		return &limits.Error{Resource: "buffered-bytes", Limit: int64(e.lim.MaxBufferedBytes), Observed: int64(len(e.mt.buf) + n)}
+	if e.lim.MaxBufferedBytes <= 0 {
+		return nil
+	}
+	held := len(e.mt.buf) + e.cm.bytes
+	if (e.mt.refCount > 0 || len(e.cm.open) > 0) && held+n > e.lim.MaxBufferedBytes {
+		return &limits.Error{Resource: "buffered-bytes", Limit: int64(e.lim.MaxBufferedBytes), Observed: int64(held + n)}
+	}
+	return nil
+}
+
+// checkCaptured enforces MaxBufferedBytes against the bytes already held
+// by fragment captures. Capture appends account after the fact (the tag
+// and text bytes of an event are appended, then checked), so a breach
+// surfaces one event late at worst — the budget is a resource guard, not
+// an exact admission test.
+func (e *Engine) checkCaptured() error {
+	if e.lim.MaxBufferedBytes > 0 && e.cm.bytes > 0 && len(e.mt.buf)+e.cm.bytes > e.lim.MaxBufferedBytes {
+		return &limits.Error{Resource: "buffered-bytes", Limit: int64(e.lim.MaxBufferedBytes), Observed: int64(len(e.mt.buf) + e.cm.bytes)}
 	}
 	return nil
 }
@@ -312,13 +418,18 @@ func (e *Engine) endDocument() error {
 	return nil
 }
 
-func (e *Engine) startElement(sym symtab.Sym, isAttr bool) error {
+func (e *Engine) startElement(sym symtab.Sym, isAttr bool, off int) error {
 	if !e.started || e.finished {
 		return fmt.Errorf("engine: startElement outside document")
 	}
 	e.level++
 	if e.lim.MaxDepth > 0 && e.level > e.lim.MaxDepth {
 		return &limits.Error{Resource: "depth", Limit: int64(e.lim.MaxDepth), Observed: int64(e.level)}
+	}
+	if e.cm.mode != CaptureOff {
+		// Before the match hooks: a capture created for this element must
+		// start from its own '<'.
+		e.cm.noteStart(sym, isAttr, off, e.level)
 	}
 	if !isAttr {
 		// Attribute pseudo-elements are invisible to the NFA route: its
@@ -340,21 +451,31 @@ func (e *Engine) startElement(sym symtab.Sym, isAttr bool) error {
 			}
 		}
 	}
+	if e.cm.mode != CaptureOff {
+		return e.checkCaptured()
+	}
 	return nil
 }
 
-func (e *Engine) endElement(sym symtab.Sym, isAttr bool) error {
+func (e *Engine) endElement(sym symtab.Sym, isAttr bool, off int) error {
 	if !e.started || e.finished {
 		return fmt.Errorf("engine: endElement outside document")
 	}
 	if e.level == 0 {
 		return fmt.Errorf("engine: unmatched endElement </%s>", e.tab.Name(sym))
 	}
+	closing := e.level
 	e.level--
 	if !isAttr {
 		e.runner.EndElement()
 	}
 	e.mt.endElement()
+	if e.cm.mode != CaptureOff {
+		// After the matcher: a scope resolving at this endElement may latch
+		// the closing element's capture, which finalizes here.
+		e.cm.noteEnd(sym, isAttr, off, closing)
+		return e.checkCaptured()
+	}
 	return nil
 }
 
@@ -390,7 +511,9 @@ func (e *Engine) NeedsText() bool {
 	if e.dirty {
 		e.compile()
 	}
-	return e.tr.restrictedLeaves > 0
+	// Extraction re-serializes matched subtrees (and captures attribute
+	// values), so text payloads must flow whenever it is enabled.
+	return e.tr.restrictedLeaves > 0 || e.hasExtract
 }
 
 // Matched reports subscription id's verdict for the current (or last)
@@ -432,6 +555,73 @@ func (e *Engine) AppendMatchedIDs(dst []string) []string {
 	return dst
 }
 
+// Fragment is one captured match: the subtree of the document-order-first
+// element matched by an extraction-enabled subscription (or, for an
+// attribute-targeted subscription, the decoded attribute value).
+type Fragment struct {
+	ID   string
+	Data []byte
+	// Volatile marks Data as aliasing engine-internal capture memory,
+	// valid only until the engine's next Reset — re-serialized subtrees
+	// and decoded attribute values. False means Data subslices the
+	// caller-provided document buffer (zero-copy). Holders that outlive
+	// the engine's current document must copy volatile fragments
+	// (CopyVolatileFragments).
+	Volatile bool
+}
+
+// CopyVolatileFragments replaces each volatile fragment's Data with a
+// private copy, clearing the flag. Zero-copy document subslices are left
+// untouched.
+func CopyVolatileFragments(frags []Fragment) {
+	for i := range frags {
+		if frags[i].Volatile {
+			frags[i].Data = append([]byte(nil), frags[i].Data...)
+			frags[i].Volatile = false
+		}
+	}
+}
+
+// AppendFragments appends the fragments captured for the current (or
+// last) document to dst, in subscription insertion order. For
+// CaptureSlice captures doc must be the document buffer the offsets
+// index (the same slice handed to the tokenizer); the returned Data
+// subslices it zero-copy. CaptureSerial and attribute-value captures
+// return the engine's internal buffers, valid only until the next Reset
+// — callers that retain them must copy.
+func (e *Engine) AppendFragments(dst []Fragment, doc []byte) []Fragment {
+	if e.dirty {
+		return dst
+	}
+	for _, s := range e.subs {
+		if !s.extract {
+			continue
+		}
+		var c *capture
+		if s.route == RouteNFA {
+			c = e.nfaFrags[s.out]
+		} else {
+			c = e.mt.frags[s.out]
+		}
+		if c == nil || !c.done {
+			continue
+		}
+		var data []byte
+		volatile := false
+		switch {
+		case c.valueOnly || e.cm.mode == CaptureSerial:
+			data = c.buf
+			volatile = true
+		case doc != nil:
+			data = doc[c.start:c.end]
+		default:
+			continue
+		}
+		dst = append(dst, Fragment{ID: s.id, Data: data, Volatile: volatile})
+	}
+	return dst
+}
+
 // MatchedCount returns the number of subscriptions already definitively
 // matched — usable mid-stream thanks to monotonicity.
 func (e *Engine) MatchedCount() int {
@@ -460,6 +650,14 @@ func (e *Engine) Decided() bool {
 	}
 	if e.finished {
 		return true
+	}
+	if e.cm.mode != CaptureOff && (len(e.cm.open) > 0 || e.mt.capCommits > 0) {
+		// A capture is still being written, or a pending conditional commit
+		// (or an open scope's own capture) could yet resolve to a fragment
+		// that precedes the one currently latched — stopping now could
+		// return a truncated or non-document-order-first fragment even
+		// though every boolean verdict is final.
+		return false
 	}
 	if e.runner.AllMatched() && e.mt.matchedCount == len(e.mt.tr.paths) {
 		return true
@@ -561,6 +759,13 @@ type MemStats struct {
 	// MaxDepth is the deepest open-element nesting reached (the paper's d;
 	// on fully recursive documents also its recursion term r).
 	MaxDepth int
+	// CapturedBytes is the peak bytes held by fragment captures (zero
+	// without extraction). Captures are working state charged against
+	// Limits.MaxBufferedBytes alongside predicate text, but they are
+	// output being assembled rather than matching state, so they stay out
+	// of EstimatedBits — the paper's cost model prices the decision
+	// problem, not the payload.
+	CapturedBytes int
 	// EstimatedBits applies the paper's cost model to the peaks: each
 	// tuple costs log|Q| + log d + log w bits plus a matched bit, the
 	// buffer 8 bits per byte (core.Stats.EstimatedBits, with |Q| the size
@@ -590,6 +795,7 @@ func (e *Engine) MemStats() MemStats {
 		PeakPendings:      ms.PeakPendings,
 		PeakBufferedBytes: ms.PeakBufferBytes,
 		MaxDepth:          ms.MaxLevel,
+		CapturedBytes:     e.cm.peakBytes,
 	}
 	nodes := (e.nfa.Size() - 1) + len(e.tr.spineNodes) + e.tr.predNodes
 	if nodes < 2 {
@@ -601,13 +807,7 @@ func (e *Engine) MemStats() MemStats {
 		MaxLevel:        ms.MaxLevel,
 	}
 	st.EstimatedBits = cs.EstimatedBits(nodes)
-	fs := 0
-	for _, s := range e.subs {
-		if n := fragment.FrontierSize(s.q); n > fs {
-			fs = n
-		}
-	}
-	st.LowerBoundBits = core.LowerBoundBits(fs, ms.MaxLevel)
+	st.LowerBoundBits = core.LowerBoundBits(e.maxFS, ms.MaxLevel)
 	if st.LowerBoundBits > 0 {
 		st.OptimalityRatio = float64(st.EstimatedBits) / float64(st.LowerBoundBits)
 	}

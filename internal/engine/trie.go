@@ -187,17 +187,30 @@ type tuple struct {
 	slot    int  // index in its frontier bucket, -1 when parked/removed
 }
 
+// commit is one conditional match held by a gating scope: subscription
+// sub matches if the scope's predicates resolve true, with cap the
+// fragment captured for the matching element (nil without extraction).
+// A commit entry with a capture holds one reference on it.
+type commit struct {
+	sub int
+	cap *capture
+}
+
 // scope is an open candidate match of an internal trie node, generalizing
 // core's scope: children[:nconj] are the conjunctive obligations resolved
 // at endElement; the rest are spine continuations. commits holds the
 // subscriptions whose match is conditional on this scope's predicates
-// resolving true (only scopes with nconj > 0 ever hold commits).
+// resolving true (only scopes with nconj > 0 ever hold commits). cap,
+// when non-nil, is the capture of the scope's own candidate element,
+// taken at open time for the node's terminals — they resolve only when
+// the scope closes, long after the element's start has streamed past.
 type scope struct {
 	tup      *tuple
 	level    int
 	children []*tuple
 	nconj    int
-	commits  []int
+	commits  []commit
+	cap      *capture
 }
 
 // pendingVal is an open candidate of a value-restricted predicate leaf,
@@ -253,6 +266,21 @@ type matcher struct {
 	matched      []bool
 	matchedCount int
 
+	// Fragment-extraction state. capturing is set per document by the
+	// engine when a capture mode is active; extract flags the
+	// extraction-enabled subscriptions (by result index); frags holds the
+	// captured fragment latched per subscription — always the
+	// document-order-first match, so a later-resolving commit with an
+	// earlier start offset replaces the current one. capCommits counts
+	// outstanding capture holds in commit entries and scope caps: while
+	// nonzero, an early exit could miss a better (earlier) fragment, so
+	// Decided stays false.
+	cm         *capman
+	capturing  bool
+	extract    []bool
+	frags      []*capture
+	capCommits int
+
 	cands      []*tuple // scratch, reused across startElement calls
 	freeTuples []*tuple
 	freeScopes []*scope
@@ -286,6 +314,14 @@ func (m *matcher) reset() {
 		}
 	}
 	m.matchedCount = 0
+	if len(m.frags) != len(m.tr.paths) {
+		m.frags = make([]*capture, len(m.tr.paths))
+	} else {
+		for i := range m.frags {
+			m.frags[i] = nil
+		}
+	}
+	m.capCommits = 0
 	for _, n := range m.tr.spineNodes {
 		n.remaining = n.through
 	}
@@ -364,8 +400,10 @@ func (m *matcher) startDocument() {
 	m.stats.Events++
 	root := m.newTuple(m.tr.root, 0, nil)
 	m.openScope(root, 0)
-	// Degenerate empty-spine subscriptions match any document.
-	m.deliver(m.tr.root.terminals, nil)
+	// Degenerate empty-spine subscriptions match any document. Their
+	// "matched element" is the document itself, which has no source
+	// region, so they never carry a fragment.
+	m.deliver(m.tr.root.terminals, nil, nil)
 }
 
 // dead reports that a tuple can never accept another candidate: matched
@@ -450,7 +488,7 @@ func (m *matcher) startElementSym(sym symtab.Sym, isAttr bool) {
 					t.matched = true
 				}
 			} else {
-				m.deliver(n.terminals, t.origin)
+				m.deliverCaptured(n.terminals, t.origin)
 			}
 			continue
 		}
@@ -459,7 +497,7 @@ func (m *matcher) startElementSym(sym symtab.Sym, isAttr bool) {
 		// subscriptions); with predicates the commit waits for the scope
 		// to resolve at endElement.
 		if n.kind == kindSpine && len(n.terminals) > 0 && len(n.conj) == 0 {
-			m.deliver(n.terminals, t.origin)
+			m.deliverCaptured(n.terminals, t.origin)
 		}
 		if n.axis == query.AxisChild {
 			m.frRemove(t) // parked until the scope closes (Fig. 20 lines 10-11)
@@ -501,6 +539,16 @@ func (m *matcher) openScope(t *tuple, level int) {
 		ct := m.newTuple(c, level+1, sc)
 		sc.children = append(sc.children, ct)
 		m.frAdd(ct)
+	}
+	sc.cap = nil
+	if m.capturing && t.node.kind == kindSpine && sc.nconj > 0 && len(t.node.terminals) > 0 {
+		// The node's own terminals resolve only when this scope closes; if
+		// any of them wants a fragment, capture the candidate element now,
+		// while its start event is current.
+		if c := m.capFor(t.node.terminals); c != nil {
+			sc.cap = c
+			m.capCommits++
+		}
 	}
 	m.scopes = append(m.scopes, sc)
 	if len(m.scopes) > m.stats.PeakScopes {
@@ -591,10 +639,21 @@ func (m *matcher) closeScope(sc *scope) {
 			sc.tup.matched = true
 		}
 	} else if conjOK && sc.nconj > 0 {
-		outs := sc.commits
-		outs = append(outs, n.terminals...)
-		m.deliver(outs, sc.tup.origin)
-		sc.commits = outs // keep any growth for reuse
+		for _, c := range sc.commits {
+			m.deliverEntry(c.sub, c.cap, sc.tup.origin)
+			m.dropCommitCap(c.cap)
+		}
+		m.deliver(n.terminals, sc.cap, sc.tup.origin)
+	} else {
+		// Predicates refuted: the conditional commits die with their
+		// capture holds.
+		for _, c := range sc.commits {
+			m.dropCommitCap(c.cap)
+		}
+	}
+	if sc.cap != nil {
+		m.dropCommitCap(sc.cap)
+		sc.cap = nil
 	}
 	// A parked child-axis owner returns to the frontier for sibling
 	// candidates (Fig. 21 lines 23-27). The root tuple (origin nil) stays
@@ -616,26 +675,111 @@ func (m *matcher) closeScope(sc *scope) {
 // deliver routes matched subscriptions to the nearest trie-ancestor scope
 // whose predicates are still unresolved; with none open, the matches are
 // final and latch globally (decrementing the remaining counters that
-// drive the shared early exit).
-func (m *matcher) deliver(outs []int, from *scope) {
+// drive the shared early exit). cap, when non-nil, is the fragment
+// captured for the matching element; commit entries for
+// extraction-enabled subscriptions take a reference each.
+func (m *matcher) deliver(outs []int, cap *capture, from *scope) {
 	if len(outs) == 0 {
 		return
 	}
 	for s := from; s != nil; s = s.tup.origin {
 		if s.nconj > 0 {
-			s.commits = append(s.commits, outs...)
+			for _, sub := range outs {
+				c := cap
+				if c != nil && !m.extract[sub] {
+					c = nil
+				}
+				if c != nil {
+					c.refs++
+					m.capCommits++
+				}
+				s.commits = append(s.commits, commit{sub: sub, cap: c})
+			}
 			return
 		}
 	}
 	for _, sub := range outs {
-		if m.matched[sub] {
-			continue
+		m.latch(sub, cap)
+	}
+}
+
+// deliverCaptured is deliver for terminals reached at the current
+// element's startElement: it starts (or joins) the element's capture when
+// some terminal wants a fragment.
+func (m *matcher) deliverCaptured(outs []int, from *scope) {
+	if cap := m.capFor(outs); cap != nil {
+		m.deliver(outs, cap, from)
+		m.cm.release(cap) // deliver took its own holds
+		return
+	}
+	m.deliver(outs, nil, from)
+}
+
+// deliverEntry re-routes one resolved commit one gating scope up (or
+// latches it), taking fresh capture holds; the caller still owns — and
+// must drop — the original entry's hold.
+func (m *matcher) deliverEntry(sub int, cap *capture, from *scope) {
+	for s := from; s != nil; s = s.tup.origin {
+		if s.nconj > 0 {
+			if cap != nil {
+				cap.refs++
+				m.capCommits++
+			}
+			s.commits = append(s.commits, commit{sub: sub, cap: cap})
+			return
 		}
+	}
+	m.latch(sub, cap)
+}
+
+// latch finalizes a subscription's match. The fragment slot keeps the
+// document-order-first capture: predicated matches resolve bottom-up at
+// scope close, so a later-resolving commit can carry an earlier element —
+// it replaces the slot when its start offset is smaller.
+func (m *matcher) latch(sub int, cap *capture) {
+	if !m.matched[sub] {
 		m.matched[sub] = true
 		m.matchedCount++
 		for _, n := range m.tr.paths[sub] {
 			n.remaining--
 		}
+	}
+	if cap == nil || !m.extract[sub] {
+		return
+	}
+	old := m.frags[sub]
+	if old != nil && old.start <= cap.start {
+		return
+	}
+	cap.refs++
+	if old != nil {
+		m.cm.release(old)
+	}
+	m.frags[sub] = cap
+}
+
+// capFor returns a capture of the current element (one hold for the
+// caller) if any subscription in outs still wants a fragment, nil
+// otherwise. A subscription whose fragment slot is already latched needs
+// nothing: offsets grow monotonically with the event stream, so the
+// current element can never precede an already-captured one.
+func (m *matcher) capFor(outs []int) *capture {
+	if !m.capturing {
+		return nil
+	}
+	for _, sub := range outs {
+		if m.extract[sub] && m.frags[sub] == nil {
+			return m.cm.elemCapture()
+		}
+	}
+	return nil
+}
+
+// dropCommitCap drops a commit entry's (or scope's) capture hold.
+func (m *matcher) dropCommitCap(cap *capture) {
+	if cap != nil {
+		m.capCommits--
+		m.cm.release(cap)
 	}
 }
 
@@ -716,7 +860,12 @@ func (m *matcher) undecided() int {
 		}
 		if sc.nconj > 0 {
 			n += m.markSupport(tn.terminals)
-			n += m.markSupport(sc.commits)
+			for _, c := range sc.commits {
+				if !m.matched[c.sub] && !m.support[c.sub] {
+					m.support[c.sub] = true
+					n++
+				}
+			}
 		}
 		if tn.axis == query.AxisChild && sc.tup.origin != nil && !sc.tup.matched &&
 			tn.remaining > 0 && m.viable(sc.tup, rootSeen) {

@@ -87,6 +87,20 @@ func (a *Auto) Add(id string, q *query.Query) error {
 	return nil
 }
 
+// AddExtract registers a subscription with fragment extraction enabled
+// on both halves; the Frags match variants capture and return its
+// matched subtree whichever engine the policy routes to.
+func (a *Auto) AddExtract(id string, q *query.Query) error {
+	if err := a.sh.AddExtract(id, q); err != nil {
+		return err
+	}
+	if err := a.pool.AddExtract(id, q); err != nil {
+		a.sh.Remove(id)
+		return err
+	}
+	return nil
+}
+
 // Remove deregisters a subscription from both halves.
 func (a *Auto) Remove(id string) bool {
 	ok := a.sh.Remove(id)
@@ -156,6 +170,19 @@ func (a *Auto) MatchBytes(doc []byte) ([]string, error) {
 	return a.pool.MatchBytes(doc)
 }
 
+// MatchBytesFrags is MatchBytes additionally returning the captured
+// subtrees of matched extraction subscriptions. Both routes capture
+// zero-copy subslices of doc where possible; volatile fragments are
+// copied before return.
+func (a *Auto) MatchBytesFrags(doc []byte) ([]string, []engine.Fragment, error) {
+	if a.sharded(len(doc)) {
+		a.setMode("shard")
+		return a.sh.MatchBytesFrags(doc)
+	}
+	a.setMode("pool")
+	return a.pool.MatchBytesFrags(doc)
+}
+
 // MatchReader streams one document from r. The first sizeThreshold bytes
 // are staged to learn the document's size class: a document that ends
 // within them matches on a pooled replica; a larger one streams with the
@@ -164,6 +191,22 @@ func (a *Auto) MatchBytes(doc []byte) ([]string, error) {
 // overhead), event-sharded otherwise (reading, tokenization and matching
 // overlap). Nothing is ever buffered whole beyond the peek.
 func (a *Auto) MatchReader(r io.Reader, chunkSize int) ([]string, error) {
+	ids, _, _, err := a.matchReader(r, chunkSize, false)
+	return ids, err
+}
+
+// MatchReaderFrags is MatchReader additionally returning the captured
+// subtrees of matched extraction subscriptions, re-serialized to
+// canonical form on every route (the staging buffer is recycled, so
+// even a fully staged document cannot hand out aliases into it). All
+// fragments are freshly allocated. The returned ReadStats is this
+// call's own input accounting (the ReadStats accessor carries last-call
+// semantics and misattributes under concurrent calls).
+func (a *Auto) MatchReaderFrags(r io.Reader, chunkSize int) ([]string, []engine.Fragment, ReadStats, error) {
+	return a.matchReader(r, chunkSize, true)
+}
+
+func (a *Auto) matchReader(r io.Reader, chunkSize int, extract bool) ([]string, []engine.Fragment, ReadStats, error) {
 	var rs ReadStats
 	bufp, _ := a.staging.Get().(*[]byte)
 	if bufp == nil {
@@ -191,37 +234,44 @@ func (a *Auto) MatchReader(r io.Reader, chunkSize int) ([]string, error) {
 		}
 		if err != nil {
 			*bufp = buf
-			return nil, err
+			return nil, nil, rs, err
 		}
 	}
 	*bufp = buf
+	mode := engine.CaptureOff
+	if extract {
+		// Serial even for the fully staged route: the staging buffer is
+		// recycled, so slice captures into it would dangle — and serial
+		// keeps the reader-path fragment form identical across routes.
+		mode = engine.CaptureSerial
+	}
 	if small {
 		// The whole document is staged: match it on a replica. Pool-routed
 		// readers run concurrently — nothing here is shared per call.
-		ids, err := a.pool.MatchBytes(buf)
+		ids, frags, err := a.pool.matchBytes(buf, mode)
 		rs.BytesConsumed = int64(len(buf))
 		a.note("pool", rs)
-		return ids, err
+		return ids, frags, rs, err
 	}
 	br := bytes.NewReader(buf)
 	if a.sh.Len() < a.minSubs {
 		// Larger than the peek but too few subscriptions to amortize the
 		// fan-out: stream it sequentially on a pool replica — bounded
 		// memory, no broadcast, still concurrent across documents.
-		ids, prs, err := a.pool.matchReader(io.MultiReader(br, r), chunkSize)
+		ids, frags, prs, err := a.pool.matchReader(io.MultiReader(br, r), chunkSize, mode)
 		// prs.BytesRead counts reads from the MultiReader, replayed
 		// prefix included; adding back the unconsumed prefix makes it the
 		// bytes actually pulled from the caller's reader plus the peek.
 		prs.BytesRead += int64(br.Len())
 		a.note("pool", prs)
-		return ids, err
+		return ids, frags, prs, err
 	}
 	// Large document, large subscription set: fan out event-sharded.
 	// Sharded serializes documents internally.
-	ids, srs, err := a.sh.matchReader(io.MultiReader(br, r), chunkSize)
+	ids, frags, srs, err := a.sh.matchReader(io.MultiReader(br, r), chunkSize, mode)
 	srs.BytesRead += int64(br.Len())
 	a.note("shard", srs)
-	return ids, err
+	return ids, frags, srs, err
 }
 
 // ReadStats returns the input accounting of the last MatchReader call.

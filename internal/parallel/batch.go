@@ -36,6 +36,10 @@ type rec struct {
 	attribute bool
 	sym       symtab.Sym
 	off, end  int
+	// docOff preserves ByteEvent.Off (the event's absolute document
+	// offset) across the transport, so shard engines can capture fragment
+	// regions and serial captures stay ordered by document position.
+	docOff int
 }
 
 // batch is the unit of event transport between the tokenizer and the
@@ -81,7 +85,7 @@ func (b *batch) reset() {
 // the event itself still ships, keeping event counts and document
 // structure identical.
 func (b *batch) add(ev sax.ByteEvent, copyText bool) {
-	r := rec{kind: ev.Kind, attribute: ev.Attribute, sym: ev.Sym}
+	r := rec{kind: ev.Kind, attribute: ev.Attribute, sym: ev.Sym, docOff: ev.Off}
 	if copyText && len(ev.Data) > 0 {
 		r.off = len(b.text)
 		b.text = append(b.text, ev.Data...)
@@ -98,7 +102,7 @@ func (b *batch) full() bool {
 // (now stable) arena.
 func (b *batch) event(i int) sax.ByteEvent {
 	r := &b.recs[i]
-	ev := sax.ByteEvent{Kind: r.kind, Sym: r.sym, Attribute: r.attribute}
+	ev := sax.ByteEvent{Kind: r.kind, Sym: r.sym, Attribute: r.attribute, Off: r.docOff}
 	if r.end > r.off {
 		ev.Data = b.text[r.off:r.end]
 	}

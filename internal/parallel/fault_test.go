@@ -2,9 +2,11 @@ package parallel
 
 import (
 	"bytes"
+
 	"errors"
 	"fmt"
 	"reflect"
+	"streamxpath/internal/engine"
 	"strings"
 	"sync"
 	"testing"
@@ -159,7 +161,7 @@ func TestPoolPanicIsolation(t *testing.T) {
 	} else {
 		wantPanicError(t, err)
 	}
-	if _, _, err := p.matchReader(bytes.NewReader(doc), 512); err == nil {
+	if _, _, _, err := p.matchReader(bytes.NewReader(doc), 512, engine.CaptureOff); err == nil {
 		t.Fatal("matchReader with faulty replica: want error, got nil")
 	} else {
 		wantPanicError(t, err)

@@ -245,6 +245,16 @@ func (s *Sharded) shardOf(id string) *shard {
 // query must already be compiled; validation errors surface exactly as
 // from the sequential engine.
 func (s *Sharded) Add(id string, q *query.Query) error {
+	return s.add(id, q, false)
+}
+
+// AddExtract registers a subscription with fragment extraction enabled;
+// the Frags match variants capture and return its matched subtree.
+func (s *Sharded) AddExtract(id string, q *query.Query) error {
+	return s.add(id, q, true)
+}
+
+func (s *Sharded) add(id string, q *query.Query, extract bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -253,7 +263,13 @@ func (s *Sharded) Add(id string, q *query.Query) error {
 	if _, dup := s.index[id]; dup {
 		return fmt.Errorf("engine: duplicate subscription id %q", id)
 	}
-	if err := s.shardOf(id).eng.Add(id, q); err != nil {
+	var err error
+	if extract {
+		err = s.shardOf(id).eng.AddExtract(id, q)
+	} else {
+		err = s.shardOf(id).eng.Add(id, q)
+	}
+	if err != nil {
 		return err
 	}
 	s.index[id] = len(s.order)
@@ -381,19 +397,77 @@ func (s *Sharded) processBatch(sh *shard, b *batch) {
 	}
 }
 
+// setCapture mirrors a capture mode into every shard engine. Safe under
+// s.mu between documents: the engines are idle, and the mode takes
+// effect at the worker's Reset on the document's first batch.
+func (s *Sharded) setCapture(mode engine.CaptureMode) {
+	for _, sh := range s.shards {
+		sh.eng.SetCapture(mode)
+	}
+}
+
+// collectFrags merges the shards' captured fragments back into the
+// global subscription insertion order and copies the volatile ones
+// (serial captures and attribute values alias engine-internal buffers
+// that the next document overwrites). Called after finishDoc — the
+// document WaitGroup has ordered the shard engines quiescent. doc is
+// the whole-buffer document for slice-mode captures, nil on the reader
+// path. The result is freshly allocated per call: fragments outlive
+// the engine's scratch by design.
+func (s *Sharded) collectFrags(doc []byte) []engine.Fragment {
+	byPos := make([]engine.Fragment, len(s.order))
+	seen := make([]bool, len(s.order))
+	n := 0
+	for _, sh := range s.shards {
+		for _, f := range sh.eng.AppendFragments(nil, doc) {
+			if i, ok := s.index[f.ID]; ok && !seen[i] {
+				byPos[i] = f
+				seen[i] = true
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]engine.Fragment, 0, n)
+	for i := range byPos {
+		if seen[i] {
+			out = append(out, byPos[i])
+		}
+	}
+	engine.CopyVolatileFragments(out)
+	return out
+}
+
 // MatchBytes matches one in-memory document against every subscription:
 // tokenized once on the calling goroutine, matched concurrently by the
 // shards, merged into insertion order. The returned slice is reused by
 // the next call — copy it if it must outlive the call. It is non-nil
 // even when empty.
 func (s *Sharded) MatchBytes(doc []byte) ([]string, error) {
+	ids, _, err := s.matchBytes(doc, engine.CaptureOff)
+	return ids, err
+}
+
+// MatchBytesFrags is MatchBytes additionally returning the captured
+// subtrees of matched extraction subscriptions, in subscription
+// insertion order. Fragments of non-volatile origin are zero-copy
+// subslices of doc; the rest (attribute values, shared-capture copies)
+// are freshly allocated. The ids slice is reused by the next call; the
+// fragments are not.
+func (s *Sharded) MatchBytesFrags(doc []byte) ([]string, []engine.Fragment, error) {
+	return s.matchBytes(doc, engine.CaptureSlice)
+}
+
+func (s *Sharded) matchBytes(doc []byte, mode engine.CaptureMode) ([]string, []engine.Fragment, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, errClosed
+		return nil, nil, errClosed
 	}
 	if l := s.lim.MaxDocBytes; l > 0 && int64(len(doc)) > l {
-		return nil, fmt.Errorf("streamxpath: %w",
+		return nil, nil, fmt.Errorf("streamxpath: %w",
 			&limits.Error{Resource: "doc-bytes", Limit: l, Observed: int64(len(doc))})
 	}
 	if s.tok == nil {
@@ -402,6 +476,7 @@ func (s *Sharded) MatchBytes(doc []byte) ([]string, error) {
 	} else {
 		s.tok.Reset(doc)
 	}
+	s.setCapture(mode)
 	needText := s.needText()
 	s.wg.Add(len(s.shards))
 	b := s.getBatch()
@@ -440,7 +515,15 @@ func (s *Sharded) MatchBytes(doc []byte) ([]string, error) {
 	if tokErr == nil && !sawEnd {
 		tokErr = fmt.Errorf("streamxpath: document ended prematurely")
 	}
-	return s.finishDoc(b, tokErr)
+	ids, err := s.finishDoc(b, tokErr)
+	var frags []engine.Fragment
+	if mode != engine.CaptureOff {
+		// Even on a degraded (abstained) document, captures that finalized
+		// before the failure are definitive — return them alongside the
+		// partial verdicts. Unfinalized captures are skipped by the engine.
+		frags = s.collectFrags(doc)
+	}
+	return ids, frags, err
 }
 
 // needText reports whether any shard reads character data (a
@@ -492,18 +575,28 @@ func (s *Sharded) finishDoc(b *batch, tokErr error) ([]string, error) {
 // the early exit and whether it was negative) and the remainder goes
 // unvalidated.
 func (s *Sharded) MatchReader(r io.Reader, chunkSize int) ([]string, error) {
-	ids, _, err := s.matchReader(r, chunkSize)
+	ids, _, _, err := s.matchReader(r, chunkSize, engine.CaptureOff)
 	return ids, err
+}
+
+// MatchReaderFrags is MatchReader additionally returning the captured
+// subtrees of matched extraction subscriptions, re-serialized to
+// canonical form (the input is never buffered whole, so zero-copy
+// slicing is impossible on this path). All fragments are freshly
+// allocated. Early exit waits for open captures to finalize before
+// abandoning the reader.
+func (s *Sharded) MatchReaderFrags(r io.Reader, chunkSize int) ([]string, []engine.Fragment, ReadStats, error) {
+	return s.matchReader(r, chunkSize, engine.CaptureSerial)
 }
 
 // matchReader is MatchReader returning this call's accounting directly
 // (concurrent callers make the stored "last call" stats ambiguous; the
 // adaptive engine needs its own call's numbers).
-func (s *Sharded) matchReader(r io.Reader, chunkSize int) ([]string, ReadStats, error) {
+func (s *Sharded) matchReader(r io.Reader, chunkSize int, mode engine.CaptureMode) ([]string, []engine.Fragment, ReadStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, ReadStats{}, errClosed
+		return nil, nil, ReadStats{}, errClosed
 	}
 	if s.stok == nil {
 		s.stok = sax.NewStreamTokenizer(s.tab)
@@ -537,6 +630,7 @@ func (s *Sharded) matchReader(r io.Reader, chunkSize int) ([]string, ReadStats, 
 	} else {
 		s.stok.Reset()
 	}
+	s.setCapture(mode)
 	s.needTextMR = s.needText()
 	for _, sh := range s.shards {
 		sh.decided.Store(false)
@@ -569,11 +663,15 @@ func (s *Sharded) matchReader(r io.Reader, chunkSize int) ([]string, ReadStats, 
 	}
 	ids, err := s.finishDoc(s.curB, tokErr)
 	s.curB = nil
+	var frags []engine.Fragment
+	if mode != engine.CaptureOff {
+		frags = s.collectFrags(nil)
+	}
 	s.rstats = fromStream(ss)
 	if err == nil {
 		s.rstats.DecidedNegative = s.rstats.EarlyExit && len(ids) < len(s.order)
 	}
-	return ids, s.rstats, err
+	return ids, frags, s.rstats, err
 }
 
 // allDecided reports whether every shard has published an early
@@ -667,6 +765,7 @@ func (s *Sharded) MemStats() engine.MemStats {
 		out.PeakScopes += ms.PeakScopes
 		out.PeakPendings += ms.PeakPendings
 		out.PeakBufferedBytes += ms.PeakBufferedBytes
+		out.CapturedBytes += ms.CapturedBytes
 		out.EstimatedBits += ms.EstimatedBits
 		if ms.MaxDepth > out.MaxDepth {
 			out.MaxDepth = ms.MaxDepth

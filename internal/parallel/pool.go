@@ -135,13 +135,30 @@ func (p *Pool) releaseAll() {
 // query tree itself is immutable), so a validation failure is identical
 // across replicas and the pool stays consistent.
 func (p *Pool) Add(id string, q *query.Query) error {
+	return p.add(id, q, false)
+}
+
+// AddExtract registers a subscription with fragment extraction enabled
+// on every replica; the Frags match variants capture and return its
+// matched subtree.
+func (p *Pool) AddExtract(id string, q *query.Query) error {
+	return p.add(id, q, true)
+}
+
+func (p *Pool) add(id string, q *query.Query, extract bool) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.acquireAll()
 	defer p.releaseAll()
 	var first error
 	for _, r := range p.reps {
-		if err := r.eng.Add(id, q); err != nil {
+		var err error
+		if extract {
+			err = r.eng.AddExtract(id, q)
+		} else {
+			err = r.eng.Add(id, q)
+		}
+		if err != nil {
 			first = err
 			break
 		}
@@ -201,7 +218,33 @@ func (p *Pool) IDs() []string {
 // and quarantines the replica's engine (rebuilt from its subscription
 // list at the next checkout); errors mid-document still carry the
 // verdicts decided before the failure.
-func (p *Pool) MatchBytes(doc []byte) (ids []string, err error) {
+func (p *Pool) MatchBytes(doc []byte) ([]string, error) {
+	ids, _, err := p.matchBytes(doc, engine.CaptureOff)
+	return ids, err
+}
+
+// MatchBytesFrags is MatchBytes additionally returning the captured
+// subtrees of matched extraction subscriptions, in subscription
+// insertion order. Non-volatile fragments are zero-copy subslices of
+// doc; volatile ones (attribute values) are copied before the replica
+// returns to the ring, so fragments never alias replica scratch.
+func (p *Pool) MatchBytesFrags(doc []byte) ([]string, []engine.Fragment, error) {
+	return p.matchBytes(doc, engine.CaptureSlice)
+}
+
+// fragsOf collects a replica's fragments and copies the volatile ones.
+// Must run while the caller still holds the replica: volatile data
+// aliases engine-internal buffers the next document overwrites.
+func fragsOf(r *replica, doc []byte, mode engine.CaptureMode) []engine.Fragment {
+	if mode == engine.CaptureOff {
+		return nil
+	}
+	frags := r.eng.AppendFragments(nil, doc)
+	engine.CopyVolatileFragments(frags)
+	return frags
+}
+
+func (p *Pool) matchBytes(doc []byte, mode engine.CaptureMode) (ids []string, frags []engine.Fragment, err error) {
 	r := <-p.idle
 	defer func() { p.idle <- r }()
 	// Declared after the checkout-return defer, so on a panic this runs
@@ -209,13 +252,14 @@ func (p *Pool) MatchBytes(doc []byte) (ids []string, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			r.eng.Rebuild()
-			ids, err = nil, newPanicError(rec)
+			ids, frags, err = nil, nil, newPanicError(rec)
 		}
 	}()
 	if l := r.lim.MaxDocBytes; l > 0 && int64(len(doc)) > l {
-		return nil, fmt.Errorf("streamxpath: %w",
+		return nil, nil, fmt.Errorf("streamxpath: %w",
 			&limits.Error{Resource: "doc-bytes", Limit: l, Observed: int64(len(doc))})
 	}
+	r.eng.SetCapture(mode)
 	r.eng.Reset()
 	if r.tok == nil {
 		r.tok = sax.NewTokenizerBytes(doc, p.tab)
@@ -233,19 +277,19 @@ func (p *Pool) MatchBytes(doc []byte) (ids []string, err error) {
 			break
 		}
 		if err != nil {
-			return matchedSoFar(r), err
+			return matchedSoFar(r), fragsOf(r, doc, mode), err
 		}
 		if ev.Kind == sax.EndDocument {
 			sawEnd = true
 		}
 		if err := r.eng.ProcessBytes(ev); err != nil {
-			return matchedSoFar(r), fmt.Errorf("streamxpath: %w", err)
+			return matchedSoFar(r), fragsOf(r, doc, mode), fmt.Errorf("streamxpath: %w", err)
 		}
 	}
 	if !sawEnd {
-		return nil, fmt.Errorf("streamxpath: document ended prematurely")
+		return nil, nil, fmt.Errorf("streamxpath: document ended prematurely")
 	}
-	return matchedSoFar(r), nil
+	return matchedSoFar(r), fragsOf(r, doc, mode), nil
 }
 
 // MatchReader streams one document from r on a checked-out replica
@@ -253,11 +297,23 @@ func (p *Pool) MatchBytes(doc []byte) (ids []string, err error) {
 // sax.DefaultChunkSize): sequential bounded-memory matching with
 // mid-stream early exit, document-parallel across concurrent calls.
 func (p *Pool) MatchReader(r io.Reader, chunkSize int) ([]string, error) {
-	ids, rs, err := p.matchReader(r, chunkSize)
+	ids, _, rs, err := p.matchReader(r, chunkSize, engine.CaptureOff)
 	p.mu.Lock()
 	p.rstats = rs
 	p.mu.Unlock()
 	return ids, err
+}
+
+// MatchReaderFrags is MatchReader additionally returning the captured
+// subtrees of matched extraction subscriptions, re-serialized to
+// canonical form (the input is never buffered whole). All fragments are
+// freshly allocated.
+func (p *Pool) MatchReaderFrags(r io.Reader, chunkSize int) ([]string, []engine.Fragment, ReadStats, error) {
+	ids, frags, rs, err := p.matchReader(r, chunkSize, engine.CaptureSerial)
+	p.mu.Lock()
+	p.rstats = rs
+	p.mu.Unlock()
+	return ids, frags, rs, err
 }
 
 // ReadStats returns the input accounting of the last MatchReader call.
@@ -271,16 +327,17 @@ func (p *Pool) ReadStats() ReadStats {
 // (concurrent calls make the stored "last call" stats ambiguous; the
 // adaptive engine needs its own call's numbers). Panic isolation and
 // partial-verdict error returns work as in MatchBytes.
-func (p *Pool) matchReader(r io.Reader, chunkSize int) (ids []string, rs ReadStats, err error) {
+func (p *Pool) matchReader(r io.Reader, chunkSize int, mode engine.CaptureMode) (ids []string, frags []engine.Fragment, rs ReadStats, err error) {
 	var ss sax.StreamStats
 	rep := <-p.idle
 	defer func() { p.idle <- rep }()
 	defer func() {
 		if rec := recover(); rec != nil {
 			rep.eng.Rebuild()
-			ids, rs, err = nil, fromStream(ss), newPanicError(rec)
+			ids, frags, rs, err = nil, nil, fromStream(ss), newPanicError(rec)
 		}
 	}()
+	rep.eng.SetCapture(mode)
 	rep.eng.Reset()
 	if rep.stok == nil {
 		rep.stok = sax.NewStreamTokenizer(p.tab)
@@ -300,14 +357,14 @@ func (p *Pool) matchReader(r io.Reader, chunkSize int) (ids []string, rs ReadSta
 	sawEnd, err := rep.stok.Drive(r, chunkSize, &ss, process, nil, rep.eng.Decided)
 	rs = fromStream(ss)
 	if err != nil {
-		return matchedSoFar(rep), rs, err
+		return matchedSoFar(rep), fragsOf(rep, nil, mode), rs, err
 	}
 	if !sawEnd && !rs.EarlyExit {
-		return nil, rs, fmt.Errorf("streamxpath: document ended prematurely")
+		return nil, nil, rs, fmt.Errorf("streamxpath: document ended prematurely")
 	}
 	out := matchedSoFar(rep)
 	rs.DecidedNegative = rs.EarlyExit && len(out) < rep.eng.Len()
-	return out, rs, nil
+	return out, fragsOf(rep, nil, mode), rs, nil
 }
 
 // Symbols returns the shared symbol table.

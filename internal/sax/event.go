@@ -138,6 +138,15 @@ type ByteEvent struct {
 	Sym       symtab.Sym
 	Data      []byte
 	Attribute bool
+	// Off is the event's absolute document offset (independent of window
+	// compaction in the chunked tokenizer): for StartElement the position
+	// of the construct's '<', for EndElement the position one past the
+	// closing '>'. It is what fragment extraction uses to delimit a
+	// matched element's source region — a capture of element e spans
+	// [start.Off, end.Off). Attribute pseudo-events and Text carry the
+	// offset of the construct they were scanned from; only element
+	// boundaries are meaningful for captures.
+	Off int
 }
 
 // Event materializes the byte event as a heap-backed Event, resolving the

@@ -79,9 +79,12 @@ type TokenizerBytes struct {
 	// tagActive is set, pos sits at an attribute boundary inside the tag
 	// whose element is tagSym, pending holds the attribute events staged
 	// so far, and the next call re-enters scanAttrs there instead of
-	// rewinding to '<'.
+	// rewinding to '<'. tagOff is the absolute document offset of the
+	// tag's '<' — recorded up front because the suspended resume path no
+	// longer knows the construct's mark (and the window may have slid).
 	tagActive bool
 	tagSym    symtab.Sym
+	tagOff    int
 
 	// rescanned counts input bytes re-examined after suspension rewinds —
 	// the chunked parse's deviation from single-pass scanning. Tests pin
@@ -176,6 +179,7 @@ func (t *TokenizerBytes) Reset(data []byte) {
 	t.suspendAt = -1
 	t.scanned = 0
 	t.tagActive = false
+	t.tagOff = 0
 	t.rescanned = 0
 	t.started = false
 	t.ended = false
@@ -316,7 +320,7 @@ func (t *TokenizerBytes) Next() (ByteEvent, error) {
 		if err := t.scanAttrs(sym); err != nil {
 			return ByteEvent{}, err
 		}
-		return ByteEvent{Kind: StartElement, Sym: sym}, nil
+		return ByteEvent{Kind: StartElement, Sym: sym, Off: t.tagOff}, nil
 	}
 	for {
 		if t.pos >= len(t.data) {
@@ -353,7 +357,7 @@ func (t *TokenizerBytes) Next() (ByteEvent, error) {
 				if err != nil {
 					return ByteEvent{}, t.rewind(mark, err)
 				}
-				return ByteEvent{Kind: EndElement, Sym: sym}, nil
+				return ByteEvent{Kind: EndElement, Sym: sym, Off: t.base + t.pos}, nil
 			case '?':
 				t.pos++
 				if err := t.skipUntil("?>"); err != nil {
@@ -371,11 +375,12 @@ func (t *TokenizerBytes) Next() (ByteEvent, error) {
 				}
 				return ByteEvent{Kind: Text, Data: text}, nil
 			default:
+				t.tagOff = t.base + mark
 				sym, err := t.readStartTag()
 				if err != nil {
 					return ByteEvent{}, t.rewind(mark, err)
 				}
-				return ByteEvent{Kind: StartElement, Sym: sym}, nil
+				return ByteEvent{Kind: StartElement, Sym: sym, Off: t.tagOff}, nil
 			}
 		}
 		out, skip, err := t.readText()
@@ -711,7 +716,7 @@ func (t *TokenizerBytes) scanAttrs(sym symtab.Sym) error {
 			if len(t.stack) == 0 {
 				t.rootSeen = true
 			}
-			t.pending = append(t.pending, ByteEvent{Kind: EndElement, Sym: sym})
+			t.pending = append(t.pending, ByteEvent{Kind: EndElement, Sym: sym, Off: t.base + t.pos})
 			return nil
 		}
 		aname, err := t.readName()
@@ -758,9 +763,9 @@ func (t *TokenizerBytes) scanAttrs(sym symtab.Sym) error {
 		}
 		t.attrSeen[asym] = t.attrEpoch
 		t.pending = append(t.pending,
-			ByteEvent{Kind: StartElement, Sym: asym, Attribute: true},
-			ByteEvent{Kind: Text, Data: val},
-			ByteEvent{Kind: EndElement, Sym: asym, Attribute: true},
+			ByteEvent{Kind: StartElement, Sym: asym, Attribute: true, Off: t.base + attrMark},
+			ByteEvent{Kind: Text, Data: val, Off: t.base + attrMark},
+			ByteEvent{Kind: EndElement, Sym: asym, Attribute: true, Off: t.base + t.pos},
 		)
 	}
 }

@@ -100,6 +100,44 @@ func escapeText(s string) string { return textEscaper.Replace(s) }
 
 func escapeAttr(s string) string { return attrEscaper.Replace(s) }
 
+// AppendTextEscaped appends s to dst with Serialize's text escaping
+// (&, <, > become entities). It is the allocation-free counterpart of
+// escapeText used by the engine's fragment re-serializer, which must
+// produce output byte-identical to Serialize.
+func AppendTextEscaped(dst, s []byte) []byte {
+	for _, c := range s {
+		switch c {
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '>':
+			dst = append(dst, "&gt;"...)
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// AppendAttrEscaped appends s to dst with Serialize's attribute-value
+// escaping (&, <, " become entities).
+func AppendAttrEscaped(dst, s []byte) []byte {
+	for _, c := range s {
+		switch c {
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '"':
+			dst = append(dst, "&quot;"...)
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
 // CheckWellFormed verifies that a stream satisfies the well-formedness rules
 // of Section 3.1.4 without producing output: startDocument first,
 // endDocument last, properly nested matching element tags, a single root

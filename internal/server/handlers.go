@@ -30,6 +30,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
+	// Responses are an API, not HTML: leave extracted XML fragments
+	// readable instead of <-escaping every angle bracket.
+	enc.SetEscapeHTML(false)
 	_ = enc.Encode(v)
 }
 
@@ -223,33 +226,35 @@ func (s *Server) handleDeleteTenant(w http.ResponseWriter, r *http.Request) {
 // subscriptionBody parses a subscription PUT body. Two forms are
 // accepted: a raw XPath expression (the original wire format — any body
 // whose first non-space byte is not '{'), and a JSON envelope
-// {"query": "...", "webhook": {"url": ..., "timeout_ms": ...,
-// "max_attempts": ...}} that can attach a delivery target. A JSON
-// envelope without a webhook clears any existing one (PUT is a full
-// replace).
-func subscriptionBody(body []byte) (query string, hook *delivery.Webhook, err error) {
+// {"query": "...", "extract": true, "webhook": {"url": ...,
+// "timeout_ms": ..., "max_attempts": ...}} that can enable fragment
+// extraction and attach a delivery target. A JSON envelope without a
+// webhook clears any existing one, and one without "extract" disables
+// extraction (PUT is a full replace).
+func subscriptionBody(body []byte) (query string, extract bool, hook *delivery.Webhook, err error) {
 	trimmed := bytes.TrimLeft(body, " \t\r\n")
 	if len(trimmed) == 0 || trimmed[0] != '{' {
-		return string(body), nil, nil
+		return string(body), false, nil, nil
 	}
 	var wire struct {
 		Query   string       `json:"query"`
+		Extract bool         `json:"extract"`
 		Webhook *WebhookInfo `json:"webhook"`
 	}
 	if err := json.Unmarshal(trimmed, &wire); err != nil {
-		return "", nil, fmt.Errorf("parsing subscription body: %v", err)
+		return "", false, nil, fmt.Errorf("parsing subscription body: %v", err)
 	}
 	if wire.Query == "" {
-		return "", nil, errors.New(`subscription envelope is missing "query"`)
+		return "", false, nil, errors.New(`subscription envelope is missing "query"`)
 	}
 	if wire.Webhook != nil {
 		if err := validateWebhook(wire.Webhook); err != nil {
-			return "", nil, err
+			return "", false, nil, err
 		}
 		h := wire.Webhook.hook()
 		hook = &h
 	}
-	return wire.Query, hook, nil
+	return wire.Query, wire.Extract, hook, nil
 }
 
 // validateWebhook rejects malformed delivery targets before they reach
@@ -295,7 +300,7 @@ func (s *Server) handlePutSubscription(w http.ResponseWriter, r *http.Request) {
 			"query exceeds %d bytes", maxSubscriptionBytes)
 		return
 	}
-	query, hook, err := subscriptionBody(body)
+	query, extract, hook, err := subscriptionBody(body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "invalid_subscription", "%v", err)
 		return
@@ -309,7 +314,7 @@ func (s *Server) handlePutSubscription(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
-	created, err := t.PutSubscription(id, query, hook)
+	created, err := t.PutSubscription(id, query, extract, hook)
 	if err != nil {
 		switch {
 		case errors.Is(err, errTenantDeleted):
@@ -326,7 +331,7 @@ func (s *Server) handlePutSubscription(w http.ResponseWriter, r *http.Request) {
 	if created {
 		status = http.StatusCreated
 	}
-	info := SubInfo{ID: id, Query: query}
+	info := SubInfo{ID: id, Query: query, Extract: extract}
 	if hook != nil {
 		info.Webhook = webhookInfo(*hook)
 	}
@@ -414,12 +419,16 @@ func (s *Server) handleListSubscriptions(w http.ResponseWriter, r *http.Request)
 	writeJSON(w, http.StatusOK, map[string]any{"tenant": tenant, "subscriptions": subs})
 }
 
-// matchResponse is the ingest verdict envelope.
+// matchResponse is the ingest verdict envelope. Fragments carries the
+// extracted content of matched extraction-enabled subscriptions, keyed
+// by subscription id; it is omitted when no extraction subscription
+// matched.
 type matchResponse struct {
-	Tenant        string   `json:"tenant"`
-	Matched       []string `json:"matched"`
-	Subscriptions int      `json:"subscriptions"`
-	Abstained     bool     `json:"abstained"`
+	Tenant        string            `json:"tenant"`
+	Matched       []string          `json:"matched"`
+	Subscriptions int               `json:"subscriptions"`
+	Abstained     bool              `json:"abstained"`
+	Fragments     map[string]string `json:"fragments,omitempty"`
 	Stats         struct {
 		BytesRead       int64 `json:"bytesRead"`
 		BytesConsumed   int64 `json:"bytesConsumed"`
@@ -476,6 +485,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		Matched:       res.Matched,
 		Subscriptions: res.Subscriptions,
 		Abstained:     res.Abstained,
+		Fragments:     res.Fragments,
 	}
 	resp.Stats.BytesRead = res.Stats.BytesRead
 	resp.Stats.BytesConsumed = res.Stats.BytesConsumed

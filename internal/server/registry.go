@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"streamxpath"
@@ -53,28 +54,39 @@ type MatchResult struct {
 	Stats streamxpath.ReaderStats
 	// Mem is the live-memory accounting of this document.
 	Mem streamxpath.MemStats
+	// Fragments maps the ids of matched extraction-enabled
+	// subscriptions to their extracted content — the matched element's
+	// subtree as XML, or the decoded value for attribute-selecting
+	// queries. Private copies: safe to hold past the request and to
+	// hand to the async delivery queue. Nil when no extraction
+	// subscription matched.
+	Fragments map[string]string
 }
 
 // Tenant is one namespace: an AdaptiveFilterSet carrying the tenant's
 // standing subscriptions, the id→query source map backing GET, and the
-// tenant's metrics. All engine operations — subscription CRUD and
-// document matching — serialize on mu: the engine's Add/Remove
-// recompile shared indexes and its post-match accounting (Abstained,
-// ReaderStats, MemStats) carries last-call semantics, so the lock is
-// what makes a request's verdicts and its accounting belong to the same
-// document. The lock is per tenant: one tenant's traffic never blocks
-// another's.
+// tenant's metrics. mu is a reader/writer lock: document matching takes
+// the read side — the Match*Result API returns each call's verdicts,
+// fragments and accounting together, so concurrent ingest within one
+// tenant is safe and correctly attributed — while subscription CRUD and
+// teardown (which recompile or close the shared indexes) take the write
+// side and therefore still drain in-flight matches. The lock is per
+// tenant: one tenant's traffic never blocks another's.
 type Tenant struct {
 	Name string
 
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	set      *streamxpath.AdaptiveFilterSet
 	queries  map[string]string
+	extract  map[string]bool
 	webhooks map[string]delivery.Webhook
 	limits   streamxpath.Limits
 	maxSubs  int
-	docSeq   int64
 	closed   bool
+
+	// docSeq sequences delivered documents per tenant; atomic because
+	// concurrent matches deliver under the read lock.
+	docSeq atomic.Int64
 
 	delivery *delivery.Manager
 	metrics  *tenantMetrics
@@ -84,6 +96,7 @@ type Tenant struct {
 type SubInfo struct {
 	ID      string       `json:"id"`
 	Query   string       `json:"query"`
+	Extract bool         `json:"extract,omitempty"`
 	Webhook *WebhookInfo `json:"webhook,omitempty"`
 }
 
@@ -124,15 +137,15 @@ type matchEvent struct {
 
 // Limits returns the tenant's budgets (fixed at creation).
 func (t *Tenant) Limits() streamxpath.Limits {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.limits
 }
 
 // Len returns the standing subscription count.
 func (t *Tenant) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if t.closed {
 		return 0
 	}
@@ -142,12 +155,15 @@ func (t *Tenant) Len() int {
 // PutSubscription registers (or replaces) a subscription, reporting
 // whether it was newly created. The query is validated through the
 // library's Compile path before any engine mutation; on a replace the
-// old query is removed first and restored if the new one is rejected,
-// so a failed PUT never loses the standing subscription. hook, when
-// non-nil, attaches a webhook delivery target; nil clears any existing
-// one. Creating past the tenant's max-subscriptions cap answers
-// ErrSubLimit (replaces always pass — they don't grow the set).
-func (t *Tenant) PutSubscription(id, query string, hook *delivery.Webhook) (created bool, err error) {
+// old query is removed first and restored if the new one is rejected
+// (keeping its previous extraction flag), so a failed PUT never loses
+// the standing subscription. extract enables fragment extraction: the
+// matched element's subtree is captured and carried in match responses
+// and webhook deliveries. hook, when non-nil, attaches a webhook
+// delivery target; nil clears any existing one. Creating past the
+// tenant's max-subscriptions cap answers ErrSubLimit (replaces always
+// pass — they don't grow the set).
+func (t *Tenant) PutSubscription(id, query string, extract bool, hook *delivery.Webhook) (created bool, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
@@ -157,17 +173,18 @@ func (t *Tenant) PutSubscription(id, query string, hook *delivery.Webhook) (crea
 	if !exists && t.maxSubs > 0 && len(t.queries) >= t.maxSubs {
 		return false, ErrSubLimit
 	}
-	if exists && old == query {
+	if exists && old == query && t.extract[id] == extract {
 		t.setHookLocked(id, hook)
 		return false, nil
 	}
 	if exists {
 		t.set.Remove(id)
 	}
-	if err := t.set.Add(id, query); err != nil {
+	if err := t.addLocked(id, query, extract); err != nil {
 		if exists {
-			if rerr := t.set.Add(id, old); rerr != nil {
+			if rerr := t.addLocked(id, old, t.extract[id]); rerr != nil {
 				delete(t.queries, id)
+				delete(t.extract, id)
 				delete(t.webhooks, id)
 				return false, fmt.Errorf("%w: %v", errRestoreFailed, err)
 			}
@@ -175,8 +192,22 @@ func (t *Tenant) PutSubscription(id, query string, hook *delivery.Webhook) (crea
 		return false, err
 	}
 	t.queries[id] = query
+	if extract {
+		t.extract[id] = true
+	} else {
+		delete(t.extract, id)
+	}
 	t.setHookLocked(id, hook)
 	return !exists, nil
+}
+
+// addLocked registers one query on the engine, with or without fragment
+// extraction. Caller holds t.mu.
+func (t *Tenant) addLocked(id, query string, extract bool) error {
+	if extract {
+		return t.set.AddExtract(id, query)
+	}
+	return t.set.Add(id, query)
 }
 
 // setHookLocked stores or clears a subscription's webhook target.
@@ -202,13 +233,14 @@ func (t *Tenant) DeleteSubscription(id string) bool {
 	}
 	t.set.Remove(id)
 	delete(t.queries, id)
+	delete(t.extract, id)
 	delete(t.webhooks, id)
 	return true
 }
 
 // subInfoLocked assembles the API view of one subscription.
 func (t *Tenant) subInfoLocked(id string) SubInfo {
-	info := SubInfo{ID: id, Query: t.queries[id]}
+	info := SubInfo{ID: id, Query: t.queries[id], Extract: t.extract[id]}
 	if h, ok := t.webhooks[id]; ok {
 		info.Webhook = webhookInfo(h)
 	}
@@ -217,8 +249,8 @@ func (t *Tenant) subInfoLocked(id string) SubInfo {
 
 // Subscription returns one subscription's query source.
 func (t *Tenant) Subscription(id string) (SubInfo, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if _, ok := t.queries[id]; !ok {
 		return SubInfo{}, false
 	}
@@ -227,8 +259,8 @@ func (t *Tenant) Subscription(id string) (SubInfo, bool) {
 
 // Subscriptions lists the tenant's subscriptions in insertion order.
 func (t *Tenant) Subscriptions() []SubInfo {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if t.closed {
 		return nil
 	}
@@ -242,60 +274,74 @@ func (t *Tenant) Subscriptions() []SubInfo {
 
 // MaxSubs returns the tenant's subscription cap (0 = unlimited).
 func (t *Tenant) MaxSubs() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.maxSubs
 }
 
 // MatchBuffered matches one in-memory document — the fast path for
-// requests that arrived with a Content-Length.
+// requests that arrived with a Content-Length. It holds only the read
+// side of the tenant lock, so any number of documents can be ingested
+// into one tenant concurrently; the Match*Result API returns this
+// call's verdicts, fragments and accounting together, so each request's
+// response (and its webhook fan-out) is attributed to its own document.
 func (t *Tenant) MatchBuffered(doc []byte) (MatchResult, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if t.closed {
 		return MatchResult{}, errTenantDeleted
 	}
-	ids, err := t.set.MatchBytes(doc)
-	res := t.finishLocked(ids, int64(len(doc)), false)
+	mr, err := t.set.MatchBytesResult(doc)
+	res := t.finishRLocked(mr, int64(len(doc)), false)
 	t.metrics.recordDoc(res, err)
 	if err != nil {
 		return MatchResult{}, err
 	}
-	t.deliverLocked(res)
+	t.deliverRLocked(res)
 	return res, nil
 }
 
 // MatchStream matches a document streamed from r through the chunked
 // reader path: early exit stops consuming the wire, and the tenant's
 // MaxDocBytes budget bounds how much of an unbounded body is ever read.
+// Like MatchBuffered it holds only the read side of the tenant lock.
 func (t *Tenant) MatchStream(r io.Reader) (MatchResult, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if t.closed {
 		return MatchResult{}, errTenantDeleted
 	}
-	ids, err := t.set.MatchReader(r)
-	res := t.finishLocked(ids, 0, true)
+	mr, err := t.set.MatchReaderResult(r)
+	res := t.finishRLocked(mr, 0, true)
 	t.metrics.recordDoc(res, err)
 	if err != nil {
 		return MatchResult{}, err
 	}
-	t.deliverLocked(res)
+	t.deliverRLocked(res)
 	return res, nil
 }
 
-// deliverLocked fans one matched document out to the delivery queue:
-// one record per matched subscription that carries a webhook. Enqueue
-// never blocks — overflow sheds (counted by the manager), so a slow
-// receiver cannot back up the match path. Caller holds t.mu.
-func (t *Tenant) deliverLocked(res MatchResult) {
+// deliverRLocked fans one matched document out to the delivery queue:
+// one record per matched subscription that carries a webhook. A
+// subscription with an extracted fragment receives the matched subtree
+// itself as the POST body (Content-Type application/xml; tenant,
+// subscription and attempt ride in the X-Xpfilterd-* headers); the rest
+// receive the JSON matchEvent envelope. Enqueue never blocks — overflow
+// sheds (counted by the manager), so a slow receiver cannot back up the
+// match path. Caller holds t.mu.RLock; the webhook/query maps are
+// mutated only under the write lock.
+func (t *Tenant) deliverRLocked(res MatchResult) {
 	if t.delivery == nil || len(res.Matched) == 0 {
 		return
 	}
-	t.docSeq++
+	seq := t.docSeq.Add(1)
 	for _, id := range res.Matched {
 		hook, ok := t.webhooks[id]
 		if !ok {
+			continue
+		}
+		if frag, ok := res.Fragments[id]; ok {
+			t.delivery.EnqueueRaw(t.Name, id, hook, "application/xml", []byte(frag))
 			continue
 		}
 		payload, err := json.Marshal(matchEvent{
@@ -303,7 +349,7 @@ func (t *Tenant) deliverLocked(res MatchResult) {
 			Tenant:       t.Name,
 			Subscription: id,
 			Query:        t.queries[id],
-			Seq:          t.docSeq,
+			Seq:          seq,
 		})
 		if err != nil {
 			continue
@@ -312,21 +358,28 @@ func (t *Tenant) deliverLocked(res MatchResult) {
 	}
 }
 
-// finishLocked snapshots one match call's outcome into a MatchResult.
-// Caller holds t.mu (which is what ties the engine's last-call
-// accounting to this document).
-func (t *Tenant) finishLocked(ids []string, bodyLen int64, stream bool) MatchResult {
+// finishRLocked folds one Match*Result outcome into the server's
+// MatchResult: private copies of the id slice and fragment bytes (the
+// engine's fragments may alias the request body), this call's abstain
+// flag and accounting. Caller holds t.mu.RLock.
+func (t *Tenant) finishRLocked(mr streamxpath.MatchResult, bodyLen int64, stream bool) MatchResult {
 	res := MatchResult{
-		Matched:       append([]string(nil), ids...),
+		Matched:       append([]string(nil), mr.MatchedIDs...),
 		Subscriptions: t.set.Len(),
-		Abstained:     t.set.Abstained(),
-		Mem:           t.set.MemStats(),
+		Abstained:     mr.Abstained,
+		Mem:           mr.MemStats,
 	}
 	if res.Matched == nil {
 		res.Matched = []string{}
 	}
+	if len(mr.Fragments) > 0 {
+		res.Fragments = make(map[string]string, len(mr.Fragments))
+		for _, f := range mr.Fragments {
+			res.Fragments[f.ID] = string(f.Data)
+		}
+	}
 	if stream {
-		res.Stats = t.set.ReaderStats()
+		res.Stats = mr.ReaderStats
 	} else {
 		res.Stats = streamxpath.ReaderStats{
 			BytesRead:     bodyLen,
@@ -412,6 +465,7 @@ func (r *Registry) newTenant(name string, cfg TenantConfig) *Tenant {
 		Name:     name,
 		set:      set,
 		queries:  make(map[string]string),
+		extract:  make(map[string]bool),
 		webhooks: make(map[string]delivery.Webhook),
 		limits:   lim,
 		maxSubs:  maxSubs,

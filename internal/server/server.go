@@ -94,6 +94,17 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Handler returns the complete route table wrapped in the drain,
 // metrics, and logging middleware.
+//
+// The subscription PUT accepts either a raw XPath body or a JSON
+// envelope ({"query", "extract", "webhook"}); with "extract": true the
+// engine captures the matched element's subtree, POST .../match
+// responses carry it in a "fragments" object keyed by subscription id,
+// and webhook deliveries for that subscription POST the subtree itself
+// as application/xml (identified by X-Xpfilterd-* headers) instead of
+// the JSON match event. Ingest within a tenant is concurrent: each
+// response reports its own call's verdicts, fragments, abstain flag,
+// and reader/memory stats (per-call MatchResult, not last-call
+// engine accessors).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /v1/tenants/{tenant}", s.handlePutTenant)

@@ -78,6 +78,20 @@ func (s *ParallelFilterSet) Add(id, querySrc string) error {
 	return nil
 }
 
+// AddExtract is Add with fragment extraction enabled: the Match*Result
+// methods return the subscription's matched subtree as a Fragment. The
+// boolean Match methods ignore the flag and keep their fast path.
+func (s *ParallelFilterSet) AddExtract(id, querySrc string) error {
+	q, err := Compile(querySrc)
+	if err != nil {
+		return err
+	}
+	if err := s.s.AddExtract(id, q.q); err != nil {
+		return fmt.Errorf("streamxpath: subscription %q: %w", id, err)
+	}
+	return nil
+}
+
 // Remove deregisters a subscription, reporting whether it existed.
 func (s *ParallelFilterSet) Remove(id string) bool { return s.s.Remove(id) }
 
@@ -110,6 +124,9 @@ func (s *ParallelFilterSet) Limits() Limits {
 // Abstained reports whether the last Match call hit a resource budget
 // under LimitAbstain and returned the verdicts decided before the
 // breach.
+//
+// Deprecated: use the Match*Result methods, whose MatchResult.Abstained
+// is the same call's flag rather than whatever call finished last.
 func (s *ParallelFilterSet) Abstained() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -118,6 +135,9 @@ func (s *ParallelFilterSet) Abstained() bool {
 
 // MemStats aggregates the shards' live-memory accounting for the last
 // document (see MemStats).
+//
+// Deprecated: use the Match*Result methods, whose MatchResult.MemStats
+// is the same call's accounting rather than the last call's.
 func (s *ParallelFilterSet) MemStats() MemStats { return s.s.MemStats() }
 
 // finishLocked applies the abstain policy to one Match call's outcome
@@ -137,6 +157,19 @@ func (s *ParallelFilterSet) finish(ids []string, err error, rd bool) ([]string, 
 	return s.finishLocked(ids, err, rd)
 }
 
+// finishFlags is finish additionally returning this call's abstain flag
+// (the stored one is last-call state a concurrent call may overwrite).
+func (s *ParallelFilterSet) finishFlags(ids []string, err error, rd bool) ([]string, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out, abst, err := applyLimitPolicy(s.lim.Policy, ids, err)
+	s.abstained = abst
+	if rd {
+		s.rdAbstained = abst
+	}
+	return out, abst, err
+}
+
 // MatchBytes matches one in-memory document against every subscription
 // and returns the matching ids in insertion order — the same answer, in
 // the same order, as FilterSet.MatchBytes. The returned slice is reused
@@ -145,6 +178,71 @@ func (s *ParallelFilterSet) finish(ids []string, err error, rd bool) ([]string, 
 func (s *ParallelFilterSet) MatchBytes(doc []byte) ([]string, error) {
 	ids, err := s.s.MatchBytes(doc)
 	return s.finish(ids, err, false)
+}
+
+// MatchBytesResult is MatchBytes returning the unified MatchResult:
+// matched ids plus the extracted subtrees of extraction-enabled
+// subscriptions (AddExtract). Subtree fragments are zero-copy
+// subslices of doc; attribute values are decoded copies. The result
+// carries this call's abstain flag and aggregated memory accounting.
+func (s *ParallelFilterSet) MatchBytesResult(doc []byte) (MatchResult, error) {
+	ids, fr, err := s.s.MatchBytesFrags(doc)
+	ids, abst, err := s.finishFlags(ids, err, false)
+	if err != nil {
+		return MatchResult{}, err
+	}
+	return MatchResult{
+		MatchedIDs: ids,
+		Fragments:  toFragments(fr, false),
+		Abstained:  abst,
+		MemStats:   s.s.MemStats(),
+	}, nil
+}
+
+// MatchStringResult is MatchBytesResult over a string. The staging
+// buffer is reused, so every fragment is freshly allocated and owned by
+// the caller.
+func (s *ParallelFilterSet) MatchStringResult(xml string) (MatchResult, error) {
+	s.mu.Lock()
+	s.buf = append(s.buf[:0], xml...)
+	buf := s.buf
+	s.mu.Unlock()
+	ids, fr, err := s.s.MatchBytesFrags(buf)
+	ids, abst, err := s.finishFlags(ids, err, false)
+	if err != nil {
+		return MatchResult{}, err
+	}
+	return MatchResult{
+		MatchedIDs: ids,
+		Fragments:  toFragments(fr, true),
+		Abstained:  abst,
+		MemStats:   s.s.MemStats(),
+	}, nil
+}
+
+// MatchReaderResult is MatchReader returning the unified MatchResult:
+// matched ids plus the extracted subtrees of extraction-enabled
+// subscriptions, re-serialized to canonical form (the input is never
+// buffered whole) and freshly allocated, with this call's reader and
+// memory accounting.
+func (s *ParallelFilterSet) MatchReaderResult(r io.Reader) (MatchResult, error) {
+	s.mu.Lock()
+	chunk := s.chunk
+	s.mu.Unlock()
+	ids, fr, rs, err := s.s.MatchReaderFrags(r, chunk)
+	ids, abst, err := s.finishFlags(ids, err, true)
+	if err != nil {
+		return MatchResult{}, err
+	}
+	res := MatchResult{
+		MatchedIDs:  ids,
+		Fragments:   toFragments(fr, false),
+		Abstained:   abst,
+		ReaderStats: ReaderStats(rs),
+		MemStats:    s.s.MemStats(),
+	}
+	res.ReaderStats.Abstained = abst
+	return res, nil
 }
 
 // MatchReader streams the document from r through the chunked parallel
@@ -175,6 +273,9 @@ func (s *ParallelFilterSet) SetChunkSize(n int) {
 // ReaderStats returns the input accounting of the last MatchReader call:
 // bytes read, bytes tokenized, and whether every verdict was decided
 // before end of input.
+//
+// Deprecated: use MatchReaderResult, whose MatchResult.ReaderStats is
+// the same call's accounting rather than the last call's.
 func (s *ParallelFilterSet) ReaderStats() ReaderStats {
 	out := ReaderStats(s.s.ReadStats())
 	s.mu.Lock()
@@ -246,6 +347,20 @@ func (p *FilterPool) Add(id, querySrc string) error {
 	return nil
 }
 
+// AddExtract is Add with fragment extraction enabled: the Match*Result
+// methods return the subscription's matched subtree as a Fragment. The
+// boolean Match methods ignore the flag and keep their fast path.
+func (p *FilterPool) AddExtract(id, querySrc string) error {
+	q, err := Compile(querySrc)
+	if err != nil {
+		return err
+	}
+	if err := p.p.AddExtract(id, q.q); err != nil {
+		return fmt.Errorf("streamxpath: subscription %q: %w", id, err)
+	}
+	return nil
+}
+
 // Remove deregisters a subscription from every replica, reporting
 // whether it existed. It waits for in-flight Match calls to drain.
 func (p *FilterPool) Remove(id string) bool { return p.p.Remove(id) }
@@ -279,6 +394,10 @@ func (p *FilterPool) Limits() Limits {
 // Abstained reports whether the most recently finished Match call hit a
 // resource budget under LimitAbstain and returned the verdicts decided
 // before the breach.
+//
+// Deprecated: use the Match*Result methods, whose MatchResult.Abstained
+// is the same call's flag — with concurrent Match calls this accessor
+// reports whichever call finished last.
 func (p *FilterPool) Abstained() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -287,6 +406,9 @@ func (p *FilterPool) Abstained() bool {
 
 // MemStats returns the live-memory accounting of the busiest replica's
 // last document.
+//
+// Deprecated: use the Match*Result methods, whose MatchResult.MemStats
+// is the same call's accounting rather than a cross-call sample.
 func (p *FilterPool) MemStats() MemStats { return p.p.MemStats() }
 
 // finish applies the abstain policy to one Match call's outcome and
@@ -318,6 +440,71 @@ func (p *FilterPool) MatchString(xml string) ([]string, error) {
 	return p.finish(ids, err, false)
 }
 
+// MatchBytesResult is MatchBytes returning the unified MatchResult:
+// matched ids plus the extracted subtrees of extraction-enabled
+// subscriptions (AddExtract). Subtree fragments are zero-copy
+// subslices of doc; attribute values are decoded copies. Safe for
+// concurrent calls — the result carries this call's own flags, not
+// shared last-call state.
+func (p *FilterPool) MatchBytesResult(doc []byte) (MatchResult, error) {
+	ids, fr, err := p.p.MatchBytesFrags(doc)
+	ids, abst, err := p.finishFlags(ids, err, false)
+	if err != nil {
+		return MatchResult{}, err
+	}
+	return MatchResult{
+		MatchedIDs: ids,
+		Fragments:  toFragments(fr, false),
+		Abstained:  abst,
+		MemStats:   p.p.MemStats(),
+	}, nil
+}
+
+// MatchStringResult is MatchBytesResult over a string (the document
+// bytes are freshly staged per call, so fragments never alias shared
+// state).
+func (p *FilterPool) MatchStringResult(xml string) (MatchResult, error) {
+	return p.MatchBytesResult([]byte(xml))
+}
+
+// MatchReaderResult is MatchReader returning the unified MatchResult:
+// matched ids plus the extracted subtrees of extraction-enabled
+// subscriptions, re-serialized to canonical form and freshly
+// allocated, with this call's reader and memory accounting. Safe for
+// concurrent calls.
+func (p *FilterPool) MatchReaderResult(r io.Reader) (MatchResult, error) {
+	p.mu.Lock()
+	chunk := p.chunk
+	p.mu.Unlock()
+	ids, fr, rs, err := p.p.MatchReaderFrags(r, chunk)
+	ids, abst, err := p.finishFlags(ids, err, true)
+	if err != nil {
+		return MatchResult{}, err
+	}
+	res := MatchResult{
+		MatchedIDs:  ids,
+		Fragments:   toFragments(fr, false),
+		Abstained:   abst,
+		ReaderStats: ReaderStats(rs),
+		MemStats:    p.p.MemStats(),
+	}
+	res.ReaderStats.Abstained = abst
+	return res, nil
+}
+
+// finishFlags is finish additionally returning this call's abstain flag
+// (the stored one is last-call state a concurrent call may overwrite).
+func (p *FilterPool) finishFlags(ids []string, err error, rd bool) ([]string, bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out, abst, err := applyLimitPolicy(p.lim.Policy, ids, err)
+	p.abstained = abst
+	if rd {
+		p.rdAbstained = abst
+	}
+	return out, abst, err
+}
+
 // MatchReader streams one document from r on a checked-out replica
 // through the chunked byte path: sequential bounded-memory matching with
 // mid-stream early exit, safe to call from any number of goroutines
@@ -340,6 +527,9 @@ func (p *FilterPool) SetChunkSize(n int) {
 
 // ReaderStats returns the input accounting of the last MatchReader call
 // (with concurrent calls, "last" is whichever finished most recently).
+//
+// Deprecated: use MatchReaderResult, whose MatchResult.ReaderStats is
+// the same call's accounting rather than the last call's.
 func (p *FilterPool) ReaderStats() ReaderStats {
 	out := ReaderStats(p.p.ReadStats())
 	p.mu.Lock()
@@ -399,6 +589,21 @@ func (s *AdaptiveFilterSet) Add(id, querySrc string) error {
 	return nil
 }
 
+// AddExtract is Add with fragment extraction enabled on both halves:
+// the Match*Result methods return the subscription's matched subtree as
+// a Fragment whichever engine the size policy routes to. The boolean
+// Match methods ignore the flag and keep their fast path.
+func (s *AdaptiveFilterSet) AddExtract(id, querySrc string) error {
+	q, err := Compile(querySrc)
+	if err != nil {
+		return err
+	}
+	if err := s.a.AddExtract(id, q.q); err != nil {
+		return fmt.Errorf("streamxpath: subscription %q: %w", id, err)
+	}
+	return nil
+}
+
 // Remove deregisters a subscription, reporting whether it existed.
 func (s *AdaptiveFilterSet) Remove(id string) bool { return s.a.Remove(id) }
 
@@ -431,6 +636,9 @@ func (s *AdaptiveFilterSet) Limits() Limits {
 // Abstained reports whether the last Match call hit a resource budget
 // under LimitAbstain and returned the verdicts decided before the
 // breach.
+//
+// Deprecated: use the Match*Result methods, whose MatchResult.Abstained
+// is the same call's flag rather than whatever call finished last.
 func (s *AdaptiveFilterSet) Abstained() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -439,6 +647,9 @@ func (s *AdaptiveFilterSet) Abstained() bool {
 
 // MemStats returns the live-memory accounting of the half the last
 // Match call ran on.
+//
+// Deprecated: use the Match*Result methods, whose MatchResult.MemStats
+// is the same call's accounting rather than the last call's.
 func (s *AdaptiveFilterSet) MemStats() MemStats { return s.a.MemStats() }
 
 // finishLocked applies the abstain policy to one Match call's outcome
@@ -458,6 +669,19 @@ func (s *AdaptiveFilterSet) finish(ids []string, err error, rd bool) ([]string, 
 	return s.finishLocked(ids, err, rd)
 }
 
+// finishFlags is finish additionally returning this call's abstain flag
+// (the stored one is last-call state a concurrent call may overwrite).
+func (s *AdaptiveFilterSet) finishFlags(ids []string, err error, rd bool) ([]string, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out, abst, err := applyLimitPolicy(s.lim.Policy, ids, err)
+	s.abstained = abst
+	if rd {
+		s.rdAbstained = abst
+	}
+	return out, abst, err
+}
+
 // MatchBytes matches one in-memory document on the half the size policy
 // picks, returning the matching ids in insertion order (identical to
 // FilterSet.MatchBytes). Copy the slice if it must outlive the call.
@@ -474,6 +698,73 @@ func (s *AdaptiveFilterSet) MatchString(xml string) ([]string, error) {
 	s.buf = append(s.buf[:0], xml...)
 	ids, err := s.a.MatchBytes(s.buf)
 	return s.finishLocked(ids, err, false)
+}
+
+// MatchBytesResult is MatchBytes returning the unified MatchResult:
+// matched ids plus the extracted subtrees of extraction-enabled
+// subscriptions (AddExtract), whichever half the size policy routed
+// to. Subtree fragments are zero-copy subslices of doc; attribute
+// values are decoded copies. Safe for concurrent calls — the result
+// carries this call's own flags, not shared last-call state.
+func (s *AdaptiveFilterSet) MatchBytesResult(doc []byte) (MatchResult, error) {
+	ids, fr, err := s.a.MatchBytesFrags(doc)
+	ids, abst, err := s.finishFlags(ids, err, false)
+	if err != nil {
+		return MatchResult{}, err
+	}
+	return MatchResult{
+		MatchedIDs: ids,
+		Fragments:  toFragments(fr, false),
+		Abstained:  abst,
+		MemStats:   s.a.MemStats(),
+	}, nil
+}
+
+// MatchStringResult is MatchBytesResult over a string. The staging
+// buffer is reused, so every fragment is freshly allocated and owned by
+// the caller.
+func (s *AdaptiveFilterSet) MatchStringResult(xml string) (MatchResult, error) {
+	s.mu.Lock()
+	s.buf = append(s.buf[:0], xml...)
+	buf := s.buf
+	s.mu.Unlock()
+	ids, fr, err := s.a.MatchBytesFrags(buf)
+	ids, abst, err := s.finishFlags(ids, err, false)
+	if err != nil {
+		return MatchResult{}, err
+	}
+	return MatchResult{
+		MatchedIDs: ids,
+		Fragments:  toFragments(fr, true),
+		Abstained:  abst,
+		MemStats:   s.a.MemStats(),
+	}, nil
+}
+
+// MatchReaderResult is MatchReader returning the unified MatchResult:
+// matched ids plus the extracted subtrees of extraction-enabled
+// subscriptions, re-serialized to canonical form on every route (even
+// a fully staged small document — the staging buffer is recycled) and
+// freshly allocated, with this call's reader and memory accounting.
+// Safe for concurrent calls.
+func (s *AdaptiveFilterSet) MatchReaderResult(r io.Reader) (MatchResult, error) {
+	s.mu.Lock()
+	chunk := s.chunk
+	s.mu.Unlock()
+	ids, fr, rs, err := s.a.MatchReaderFrags(r, chunk)
+	ids, abst, err := s.finishFlags(ids, err, true)
+	if err != nil {
+		return MatchResult{}, err
+	}
+	res := MatchResult{
+		MatchedIDs:  ids,
+		Fragments:   toFragments(fr, false),
+		Abstained:   abst,
+		ReaderStats: ReaderStats(rs),
+		MemStats:    s.a.MemStats(),
+	}
+	res.ReaderStats.Abstained = abst
+	return res, nil
 }
 
 // MatchReader streams one document from r: documents ending within the
@@ -499,6 +790,9 @@ func (s *AdaptiveFilterSet) SetChunkSize(n int) {
 }
 
 // ReaderStats returns the input accounting of the last MatchReader call.
+//
+// Deprecated: use MatchReaderResult, whose MatchResult.ReaderStats is
+// the same call's accounting rather than the last call's.
 func (s *AdaptiveFilterSet) ReaderStats() ReaderStats {
 	out := ReaderStats(s.a.ReadStats())
 	s.mu.Lock()

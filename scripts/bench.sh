@@ -3,7 +3,7 @@
 # so the performance trajectory is tracked PR over PR.
 #
 # Usage:
-#   scripts/bench.sh [output.json]          # default: BENCH_pr7.json
+#   scripts/bench.sh [output.json]          # default: BENCH_pr10.json
 #   BENCHTIME=1s scripts/bench.sh           # longer, steadier numbers
 #   CPUS=1,2,4,8 scripts/bench.sh           # parallel-arm scaling sweep
 #   BENCH_FILTER='^BenchmarkMatchReader' scripts/bench.sh  # pinned subset
@@ -13,9 +13,12 @@
 #   BENCH_SERVER_CLIENTS=64 BENCH_SERVER_REQUESTS=5000  # its knobs
 #
 # The main pass runs the sequential hot-path arms — including the
-# chunked-vs-buffered BenchmarkMatchReader family and the
-# BenchmarkMatchReaderNoMatch negative-early-exit family, with alloc
-# tracking — and the second pass runs the parallel dissemination arms
+# chunked-vs-buffered BenchmarkMatchReader family, the
+# BenchmarkMatchReaderNoMatch negative-early-exit family, and the
+# BenchmarkFanoutRouting content-based-routing family (delivered
+# bytes/s of fragment extraction, with the boolean baseline pinned at
+# 0 allocs/event), with alloc tracking — and the second pass runs the
+# parallel dissemination arms
 # (BenchmarkParallelFilterSet) across the CPUS list so the snapshot
 # records the cores-vs-throughput curve. BENCH_FILTER narrows the main
 # pass to a pinned arm subset (the CI regression gate uses this to
@@ -23,10 +26,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr7.json}"
+out="${1:-BENCH_pr10.json}"
 benchtime="${BENCHTIME:-1x}"
 cpus="${CPUS:-1,2,4}"
-filter="${BENCH_FILTER:-^BenchmarkFilterSet$|^BenchmarkFilterSetLimits$|Throughput|^BenchmarkMatchReader$|^BenchmarkMatchReaderNoMatch$|^BenchmarkTokenizer$}"
+filter="${BENCH_FILTER:-^BenchmarkFilterSet$|^BenchmarkFilterSetLimits$|Throughput|^BenchmarkMatchReader$|^BenchmarkMatchReaderNoMatch$|^BenchmarkTokenizer$|^BenchmarkFanoutRouting$}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 

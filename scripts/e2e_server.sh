@@ -3,7 +3,9 @@
 # (race-instrumented by default), boot it on an ephemeral port, exercise
 # subscription CRUD plus buffered and chunked ingest over real HTTP,
 # drive webhook delivery through a fault-injecting receiver (forcing a
-# retry), scrape /metrics, drive a short xpload run, then SIGTERM it
+# retry), assert fragment extraction end to end (the /match response's
+# fragments object AND the webhook body carry the matched subtree
+# itself), scrape /metrics, drive a short xpload run, then SIGTERM it
 # and assert a clean graceful-drain exit.
 #
 # Usage:
@@ -115,6 +117,29 @@ grep -q 'xpfilterd_delivery_successes_total{tenant="e2e"} 1' "$work/metrics2" ||
 grep -q 'xpfilterd_delivery_retries_total{tenant="e2e"} 1' "$work/metrics2" || fail "delivery_retries_total"
 curl -fsS "$base/v1/tenants/e2e/deadletters" | grep -q '"deadletters":\[\]' || fail "dead-letter ring not empty"
 curl -s -o /dev/null -X DELETE "$base/v1/tenants/e2e/subscriptions/hooked"
+
+echo "== fragment extraction: response fragments and webhook subtree body"
+code=$(curl -s -o "$work/out" -w '%{http_code}' -X PUT "$base/v1/tenants/e2e/subscriptions/router" \
+  -d "{\"query\": \"//item[keyword]\", \"extract\": true, \"webhook\": {\"url\": \"http://$sink_addr/hook\"}}")
+[ "$code" = 201 ] || fail "PUT extraction subscription: $code $(cat "$work/out")"
+want_frag='<item><title>t</title><keyword>go</keyword></item>'
+curl -fsS -X POST "$base/v1/tenants/e2e/match" -d "$doc" >"$work/verdict3" || fail "extraction match"
+grep -qF "\"router\":\"${want_frag//\"/\\\"}\"" "$work/verdict3" \
+  || fail "match response lacks extracted fragment: $(cat "$work/verdict3")"
+# The webhook body must be the matched subtree itself (not a JSON
+# envelope), delivered as application/xml.
+delivered2=""
+for _ in $(seq 1 100); do
+  delivered2="$(curl -fsS "http://$sink_addr/stats" | grep -o '"delivered":[0-9]*' | cut -d: -f2)"
+  [ "$delivered2" = 2 ] && break
+  sleep 0.1
+done
+[ "$delivered2" = 2 ] || fail "extraction webhook never delivered: $(curl -fsS "http://$sink_addr/stats")"
+curl -fsS -D "$work/last.hdr" "http://$sink_addr/last" >"$work/last.body" || fail "sink /last"
+[ "$(cat "$work/last.body")" = "$want_frag" ] \
+  || fail "webhook body is not the matched subtree: $(cat "$work/last.body")"
+grep -qi 'content-type: application/xml' "$work/last.hdr" || fail "webhook body not application/xml"
+curl -s -o /dev/null -X DELETE "$base/v1/tenants/e2e/subscriptions/router"
 kill -TERM "$sink_pid" 2>/dev/null || true
 wait "$sink_pid" 2>/dev/null || true
 sink_pid=""

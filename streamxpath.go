@@ -218,6 +218,9 @@ func (f *Filter) Limits() Limits { return f.lim }
 // provisional one at the moment of the breach: true is definitive (a
 // provisional match is final by monotonicity); false means "not matched
 // within budget".
+//
+// Deprecated: use the Match*Result methods, whose MatchResult.Abstained
+// is the same call's flag rather than the last call's.
 func (f *Filter) Abstained() bool { return f.abstained }
 
 // limited applies the breach policy to an error carrying a *LimitError:
@@ -235,6 +238,9 @@ func (f *Filter) limited(err error) (bool, error) {
 // ReaderStats returns the input accounting of the last MatchReader call:
 // bytes read, bytes tokenized, and whether the verdict was decided
 // before end of input.
+//
+// Deprecated: use MatchReaderResult, whose MatchResult.ReaderStats is
+// the same call's accounting rather than the last call's.
 func (f *Filter) ReaderStats() ReaderStats { return f.rs }
 
 // MatchString filters an XML document given as a string: it is staged
@@ -282,6 +288,61 @@ func (f *Filter) MatchBytes(doc []byte) (bool, error) {
 		return false, fmt.Errorf("streamxpath: document ended prematurely")
 	}
 	return f.f.Matched(), nil
+}
+
+// result assembles a single-query MatchResult: MatchedIDs carries the
+// query source when it matched (the Filter analogue of a subscription
+// id), and the memory accounting maps the filter's MemoryStats onto the
+// engine-level MemStats shape. A standalone Filter has no extraction
+// registration, so Fragments is always nil — use FilterSet.AddExtract
+// for fragment extraction.
+func (f *Filter) result(ok bool) MatchResult {
+	res := MatchResult{Abstained: f.abstained}
+	if ok {
+		res.MatchedIDs = []string{f.f.Query().String()}
+	}
+	st := f.Stats()
+	res.MemStats = MemStats{
+		Events:            st.Events,
+		PeakLiveTuples:    st.PeakFrontierTuples,
+		PeakBufferedBytes: st.PeakBufferBytes,
+		MaxDepth:          st.MaxDepth,
+		EstimatedBits:     st.EstimatedBits,
+		LowerBoundBits:    st.LowerBoundBits,
+		OptimalityRatio:   st.OptimalityRatio,
+	}
+	return res
+}
+
+// MatchBytesResult is MatchBytes returning the unified MatchResult.
+func (f *Filter) MatchBytesResult(doc []byte) (MatchResult, error) {
+	ok, err := f.MatchBytes(doc)
+	if err != nil {
+		return MatchResult{}, err
+	}
+	return f.result(ok), nil
+}
+
+// MatchStringResult is MatchString returning the unified MatchResult.
+func (f *Filter) MatchStringResult(xml string) (MatchResult, error) {
+	ok, err := f.MatchString(xml)
+	if err != nil {
+		return MatchResult{}, err
+	}
+	return f.result(ok), nil
+}
+
+// MatchReaderResult is MatchReader returning the unified MatchResult,
+// with this call's reader accounting in place of the ReaderStats
+// accessor.
+func (f *Filter) MatchReaderResult(r io.Reader) (MatchResult, error) {
+	ok, err := f.MatchReader(r)
+	if err != nil {
+		return MatchResult{}, err
+	}
+	res := f.result(ok)
+	res.ReaderStats = f.rs
+	return res, nil
 }
 
 // MemoryStats reports the filter's peak memory use on the last document,
